@@ -1,0 +1,32 @@
+//! Criterion benches: cost of building each protocol's converged state
+//! (the static simulator) and of generating the evaluation topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disco_baselines::{S4State, VrrState};
+use disco_core::{DiscoConfig, DiscoState};
+use disco_metrics::Topology;
+
+fn topology_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation");
+    group.sample_size(10);
+    for topo in Topology::ALL {
+        group.bench_with_input(BenchmarkId::new("n=2048", topo.label()), &topo, |b, &topo| {
+            b.iter(|| topo.build(2048, 7))
+        });
+    }
+    group.finish();
+}
+
+fn state_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_construction");
+    group.sample_size(10);
+    let g = Topology::Gnm.build(1024, 7);
+    let cfg = DiscoConfig::seeded(7);
+    group.bench_function("disco_1024", |b| b.iter(|| DiscoState::build(&g, &cfg)));
+    group.bench_function("s4_1024", |b| b.iter(|| S4State::build(&g, &cfg)));
+    group.bench_function("vrr_1024", |b| b.iter(|| VrrState::build(&g, &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, topology_generation, state_construction);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches: per-packet routing cost over converged state for
+//! Disco (first and later packets), S4 and VRR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disco_baselines::{S4Router, S4State, VrrRouter, VrrState};
+use disco_core::routing::DiscoRouter;
+use disco_core::{DiscoConfig, DiscoState};
+use disco_graph::NodeId;
+use disco_metrics::{sample_pairs, Topology};
+
+fn routing(c: &mut Criterion) {
+    let n = 1024;
+    let g = Topology::Gnm.build(n, 3);
+    let cfg = DiscoConfig::seeded(3);
+    let disco = DiscoState::build(&g, &cfg);
+    let s4 = S4State::build(&g, &cfg);
+    let vrr = VrrState::build(&g, &cfg);
+    let pairs: Vec<(NodeId, NodeId)> = sample_pairs(n, 64, 3);
+
+    let mut group = c.benchmark_group("routing_1024");
+    group.bench_function("disco_first_packet", |b| {
+        let router = DiscoRouter::new(&g, &disco);
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| router.route_first_packet(s, t).length)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("disco_later_packet", |b| {
+        let router = DiscoRouter::new(&g, &disco);
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| router.route_later_packet(s, t).length)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("s4_later_packet", |b| {
+        let router = S4Router::new(&g, &s4);
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| router.route_later_packet(s, t).1)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("vrr_greedy", |b| {
+        let router = VrrRouter::new(&g, &vrr);
+        b.iter(|| pairs.iter().map(|&(s, t)| router.route(s, t).1).sum::<f64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, routing);
+criterion_main!(benches);

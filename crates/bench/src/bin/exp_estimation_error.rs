@@ -1,0 +1,31 @@
+//! §5.2 — Error in estimating the number of nodes: inject up to 40% / 60%
+//! random error into every node's estimate of n and measure reachability
+//! (resolution-database fallbacks) and mean first-packet stretch.
+
+use disco_bench::CommonArgs;
+use disco_metrics::experiment::estimation_error_experiment;
+use disco_metrics::report;
+
+fn main() {
+    let args = CommonArgs::parse(1024);
+    let params = args.params();
+    let rows: Vec<Vec<String>> = [0.0, 0.2, 0.4, 0.6]
+        .iter()
+        .map(|&e| {
+            let out = estimation_error_experiment(&params, e);
+            vec![
+                format!("{:.0}%", e * 100.0),
+                format!("{}/{}", out.fallback_pairs, out.total_pairs),
+                report::fmt3(out.mean_first_stretch),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &format!("§5.2 — error in estimating n (G(n,m), n={})", args.nodes),
+            &["injected error", "fallback pairs", "mean first-packet stretch"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,33 @@
+//! §4.4 — Overlay dissemination hop counts with 1 vs 3 fingers
+//! (paper, 1,024-node G(n,m): mean 5.77 / max 24 with 1 finger,
+//! mean 3.04 / max 16 with 3 fingers).
+
+use disco_bench::CommonArgs;
+use disco_metrics::experiment::overlay_hops_experiment;
+use disco_metrics::report;
+
+fn main() {
+    let args = CommonArgs::parse(1024);
+    let params = args.params();
+    let rows: Vec<Vec<String>> = [1usize, 3]
+        .iter()
+        .map(|&f| {
+            let out = overlay_hops_experiment(&params, f);
+            vec![
+                f.to_string(),
+                report::fmt3(out.mean_hops),
+                out.max_hops.to_string(),
+                report::fmt3(out.mean_messages),
+                format!("{:.4}", out.coverage),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &format!("§4.4 — address dissemination over the overlay (n={})", args.nodes),
+            &["fingers", "mean hops", "max hops", "mean messages/announcement", "coverage"],
+            &rows
+        )
+    );
+}

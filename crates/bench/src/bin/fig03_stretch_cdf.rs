@@ -1,0 +1,31 @@
+//! Fig. 3 — Stretch CDF (first and later packets) for Disco and S4 on the
+//! geometric, AS-level and router-level topologies.
+
+use disco_bench::CommonArgs;
+use disco_metrics::experiment::stretch_comparison;
+use disco_metrics::{report, Topology};
+
+fn main() {
+    let args = CommonArgs::parse(8192);
+    for topology in [Topology::Geometric, Topology::AsLevel, Topology::RouterLevel] {
+        let cmp = stretch_comparison(topology, &args.params(), false);
+        let df = cmp.disco.first_cdf();
+        let dl = cmp.disco.later_cdf();
+        let sf = cmp.s4.first_cdf();
+        let sl = cmp.s4.later_cdf();
+        let series = [
+            ("Disco-First", &df),
+            ("Disco-Later", &dl),
+            ("S4-First", &sf),
+            ("S4-Later", &sl),
+        ];
+        println!(
+            "{}",
+            report::render_summary(
+                &format!("Fig. 3 — path stretch, {topology}, n={}", cmp.nodes),
+                &series
+            )
+        );
+        println!("{}", report::render_cdf_series("CDF over src-dest pairs", &series, args.points));
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 6 — Mean first-packet stretch for each shortcutting heuristic on
+//! the AS-level, router-level, geometric and G(n,m) topologies.
+
+use disco_bench::CommonArgs;
+use disco_metrics::experiment::shortcut_sweep;
+use disco_metrics::{report, Topology};
+
+fn main() {
+    let args = CommonArgs::parse(4096);
+    let params = args.params();
+    let topologies = [
+        Topology::AsLevel,
+        Topology::RouterLevel,
+        Topology::Geometric,
+        Topology::Gnm,
+    ];
+    let rows_data: Vec<_> = topologies
+        .iter()
+        .map(|&t| shortcut_sweep(t, &params))
+        .collect();
+
+    let mut headers: Vec<&str> = vec!["Heuristic"];
+    for t in &topologies {
+        headers.push(t.label());
+    }
+    let mut rows = Vec::new();
+    for (i, (mode, _)) in rows_data[0].means.iter().enumerate() {
+        let mut row = vec![mode.paper_label().to_string()];
+        for data in &rows_data {
+            row.push(report::fmt3(data.means[i].1));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        report::render_table(
+            &format!("Fig. 6 — mean stretch per shortcutting heuristic (n={})", args.nodes),
+            &headers,
+            &rows
+        )
+    );
+}

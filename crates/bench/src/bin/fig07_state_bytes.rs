@@ -1,0 +1,41 @@
+//! Fig. 7 — State at a node in entries and kilobytes (IPv4- and IPv6-sized
+//! identifiers) for S4, ND-Disco and Disco on the router-level topology.
+
+use disco_bench::CommonArgs;
+use disco_metrics::experiment::state_bytes_table;
+use disco_metrics::{report, Topology};
+
+fn main() {
+    let args = CommonArgs::parse(8192);
+    let rows = state_bytes_table(Topology::RouterLevel, &args.params());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.protocol.to_string(),
+                report::fmt3(r.mean_entries),
+                report::fmt3(r.max_entries),
+                report::fmt3(r.mean_kb_v4),
+                report::fmt3(r.max_kb_v4),
+                report::fmt3(r.mean_kb_v6),
+                report::fmt3(r.max_kb_v6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            &format!("Fig. 7 — state at a node, router-level topology, n={}", args.nodes),
+            &[
+                "Protocol",
+                "Entries mean",
+                "Entries max",
+                "KB(IPv4) mean",
+                "KB(IPv4) max",
+                "KB(IPv6) mean",
+                "KB(IPv6) max",
+            ],
+            &table
+        )
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig. 8 — Mean messages per node until convergence for path-vector, S4,
+//! NDDisco and Disco (1 and 3 fingers) on G(n,m) graphs of increasing size.
+//!
+//! This experiment runs the actual distributed protocols in the
+//! discrete-event simulator; it is the slowest figure. The default sweep
+//! stops at 1,024 nodes as in the paper.
+
+use disco_bench::CommonArgs;
+use disco_metrics::experiment::messaging_sweep;
+use disco_metrics::report;
+
+fn main() {
+    let args = CommonArgs::parse(1024);
+    let sizes: Vec<usize> = [128usize, 256, 512, 768, 1024]
+        .into_iter()
+        .filter(|&s| s <= args.nodes)
+        .collect();
+    let points = messaging_sweep(&sizes, args.seed);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.nodes.to_string(),
+                report::fmt3(p.path_vector),
+                report::fmt3(p.s4),
+                report::fmt3(p.nddisco),
+                report::fmt3(p.disco_1_finger),
+                report::fmt3(p.disco_3_finger),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::render_table(
+            "Fig. 8 — mean messages per node until convergence (G(n,m))",
+            &["nodes", "Path-vector", "S4", "ND-Disco", "Disco-1-Finger", "Disco-3-Finger"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 9 — Mean stretch (left) and mean state (right) for Disco, NDDisco
+//! and S4 on geometric random graphs of increasing size.
+
+use disco_bench::CommonArgs;
+use disco_metrics::experiment::scaling_point;
+use disco_metrics::report;
+
+fn main() {
+    let args = CommonArgs::parse(16384);
+    let sizes: Vec<usize> = [2048usize, 4096, 8192, 12288, 16384]
+        .into_iter()
+        .filter(|&s| s <= args.nodes)
+        .collect();
+    let mut stretch_rows = Vec::new();
+    let mut state_rows = Vec::new();
+    for &n in &sizes {
+        let p = scaling_point(n, args.seed);
+        stretch_rows.push(vec![
+            n.to_string(),
+            report::fmt3(p.disco_first),
+            report::fmt3(p.disco_later),
+            report::fmt3(p.s4_first),
+            report::fmt3(p.s4_later),
+        ]);
+        state_rows.push(vec![
+            n.to_string(),
+            report::fmt3(p.disco_state),
+            report::fmt3(p.nddisco_state),
+            report::fmt3(p.s4_state),
+        ]);
+    }
+    println!(
+        "{}",
+        report::render_table(
+            "Fig. 9 (left) — mean path stretch vs n (geometric graphs)",
+            &["nodes", "Disco First", "Disco Later", "S4 First", "S4 Later"],
+            &stretch_rows
+        )
+    );
+    println!(
+        "{}",
+        report::render_table(
+            "Fig. 9 (right) — mean state (entries) vs n",
+            &["nodes", "Disco", "ND-Disco", "S4"],
+            &state_rows
+        )
+    );
+}

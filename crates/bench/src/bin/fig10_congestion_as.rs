@@ -1,0 +1,28 @@
+//! Fig. 10 — Congestion CDF on the AS-level topology: Disco vs path-vector
+//! vs S4 (each node routes to one random destination).
+
+use disco_bench::CommonArgs;
+use disco_metrics::experiment::congestion_comparison;
+use disco_metrics::{report, Topology};
+
+fn main() {
+    let args = CommonArgs::parse(8192);
+    let cg = congestion_comparison(Topology::AsLevel, &args.params(), false);
+    let dc = cg.disco.cdf();
+    let pc = cg.path_vector.cdf();
+    let sc = cg.s4.cdf();
+    let series = [("Disco", &dc), ("Path Vector", &pc), ("S4", &sc)];
+    println!(
+        "{}",
+        report::render_summary(
+            &format!("Fig. 10 — congestion on the AS-level topology, n={}", cg.nodes),
+            &series
+        )
+    );
+    println!("{}", report::render_cdf_series("CDF over edges", &series, args.points));
+    println!(
+        "# fraction of edges loaded more than 4x the shortest-path maximum: Disco {:.5}, S4 {:.5}",
+        cg.disco.fraction_above(cg.path_vector.max() * 4),
+        cg.s4.fraction_above(cg.path_vector.max() * 4)
+    );
+}

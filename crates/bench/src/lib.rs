@@ -1,0 +1,13 @@
+//! # disco-bench
+//!
+//! Benchmark and figure-regeneration harness. The `fig*`/`exp*` binaries in
+//! `src/bin/` regenerate every table and figure of the paper's evaluation
+//! (§5); the Criterion benches in `benches/` measure the cost of the core
+//! operations (topology generation, state construction, routing).
+//!
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured comparison.
+
+pub mod cli;
+
+pub use cli::CommonArgs;

@@ -1,0 +1,508 @@
+//! The bounded path-vector protocol that learns landmark and vicinity
+//! routes (paper §4.2, "Learning paths to landmarks and vicinities").
+//!
+//! "Nodes learn shortest paths to landmarks and vicinities via a single,
+//! standard path vector routing protocol. When learning paths, a route
+//! announcement is accepted into v's routing table if and only if the
+//! route's destination is a landmark or one of the Θ(√(n log n)) closest
+//! nodes currently advertised to v. The entire routing table is then
+//! exported to v's neighbors."
+//!
+//! The same machinery, with a different acceptance rule, also implements
+//! the protocols Disco is compared against:
+//!
+//! * [`TableLimit::Unlimited`] — classic path-vector / shortest-path
+//!   routing (every destination accepted), the paper's `Path-vector` curve,
+//! * [`TableLimit::VicinityCap`] — NDDisco / Disco's rule (landmarks plus
+//!   the `k` closest destinations),
+//! * [`TableLimit::Cluster`] — S4's rule (landmarks plus every destination
+//!   closer to the node than to its own landmark), which is what breaks
+//!   S4's per-node state bound.
+//!
+//! Each route announcement forwarded to one neighbor counts as one message;
+//! the per-node totals until quiescence are the quantity plotted in the
+//! paper's Fig. 8.
+
+use disco_graph::{NodeId, Weight};
+use disco_sim::{Context, Protocol};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Acceptance rule for destinations other than landmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TableLimit {
+    /// Accept every destination (classic path vector).
+    Unlimited,
+    /// Accept landmarks plus at most `size` closest destinations
+    /// (NDDisco / Disco vicinities).
+    VicinityCap {
+        /// Maximum number of non-landmark entries.
+        size: usize,
+    },
+    /// Accept landmarks plus destinations closer to this node than to their
+    /// own closest landmark (S4 clusters).
+    Cluster,
+}
+
+/// One route announcement: "I can reach `dest` over `path` at cost `dist`".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The destination the route leads to.
+    pub dest: NodeId,
+    /// Distance from the announcing node to `dest`.
+    pub dist: Weight,
+    /// Path from the announcing node to `dest` (announcer first).
+    pub path: Vec<NodeId>,
+    /// Whether the destination is a landmark.
+    pub dest_is_landmark: bool,
+    /// The destination's current distance to its own closest landmark
+    /// (`∞` until it has one); needed by the S4 cluster rule.
+    pub dest_landmark_dist: Weight,
+}
+
+/// A converged routing-table entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Distance to the destination.
+    pub dist: Weight,
+    /// Next hop toward the destination.
+    pub next_hop: NodeId,
+    /// Full path (this node first, destination last).
+    pub path: Vec<NodeId>,
+    /// Whether the destination is a landmark.
+    pub dest_is_landmark: bool,
+    /// Destination's distance to its own closest landmark (used by the
+    /// cluster rule; `∞` if unknown).
+    pub dest_landmark_dist: Weight,
+}
+
+/// A path-vector node with a configurable acceptance rule.
+#[derive(Debug, Clone)]
+pub struct PathVectorNode {
+    id: NodeId,
+    is_landmark: bool,
+    limit: TableLimit,
+    /// Data-plane routing table: only destinations accepted by the table
+    /// limit (plus the self entry).
+    pub table: HashMap<NodeId, RouteEntry>,
+    /// Control-plane knowledge: the best route heard for every destination
+    /// any neighbor ever advertised (what the paper calls the full set of
+    /// received announcements; forgetful routing would prune this).
+    knowledge: HashMap<NodeId, RouteEntry>,
+    /// Distance to this node's own closest landmark; re-announced when it
+    /// improves (needed for the cluster rule).
+    own_landmark_dist: Weight,
+}
+
+impl PathVectorNode {
+    /// Create the node. `is_landmark` is this node's own (locally decided)
+    /// landmark status; `limit` is the acceptance rule.
+    pub fn new(id: NodeId, is_landmark: bool, limit: TableLimit) -> Self {
+        PathVectorNode {
+            id,
+            is_landmark,
+            limit,
+            table: HashMap::new(),
+            knowledge: HashMap::new(),
+            own_landmark_dist: if is_landmark { 0.0 } else { Weight::INFINITY },
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this node is a landmark.
+    pub fn is_landmark(&self) -> bool {
+        self.is_landmark
+    }
+
+    /// Distance to this node's closest landmark (∞ if none learned yet;
+    /// 0 for landmarks).
+    pub fn own_landmark_distance(&self) -> Weight {
+        self.own_landmark_dist
+    }
+
+    /// Number of entries in the routing table (excluding the self entry).
+    pub fn table_size(&self) -> usize {
+        self.table.len().saturating_sub(1)
+    }
+
+    /// Converged distance to `dest`, if known.
+    pub fn distance_to(&self, dest: NodeId) -> Option<Weight> {
+        self.table.get(&dest).map(|e| e.dist)
+    }
+
+    /// Landmark entries currently in the table.
+    pub fn landmark_entries(&self) -> impl Iterator<Item = (&NodeId, &RouteEntry)> {
+        self.table.iter().filter(|(_, e)| e.dest_is_landmark)
+    }
+
+    /// Non-landmark entries currently in the table (the vicinity / cluster).
+    pub fn local_entries(&self) -> impl Iterator<Item = (&NodeId, &RouteEntry)> {
+        self.table
+            .iter()
+            .filter(move |(&d, e)| !e.dest_is_landmark && d != self.id)
+    }
+
+    /// The announcement describing this node's own (zero-length) route.
+    fn self_announcement(&self) -> Announcement {
+        Announcement {
+            dest: self.id,
+            dist: 0.0,
+            path: vec![self.id],
+            dest_is_landmark: self.is_landmark,
+            dest_landmark_dist: self.own_landmark_dist,
+        }
+    }
+
+    /// Whether an announcement for a non-landmark destination at distance
+    /// `dist` (whose own closest-landmark distance is `dest_landmark_dist`)
+    /// would currently be accepted, and which entry it would evict (for the
+    /// vicinity cap).
+    fn accepts_non_landmark(
+        &self,
+        dest: NodeId,
+        dist: Weight,
+        dest_landmark_dist: Weight,
+    ) -> (bool, Option<NodeId>) {
+        match self.limit {
+            TableLimit::Unlimited => (true, None),
+            // S4 cluster rule: keep w iff d(v, w) < d(w, ℓ_w).
+            TableLimit::Cluster => (dist + 1e-12 < dest_landmark_dist, None),
+            TableLimit::VicinityCap { size } => {
+                let mut non_landmark: Vec<(NodeId, Weight)> = self
+                    .table
+                    .iter()
+                    .filter(|(&d, e)| !e.dest_is_landmark && d != self.id && d != dest)
+                    .map(|(&d, e)| (d, e.dist))
+                    .collect();
+                if non_landmark.len() < size {
+                    return (true, None);
+                }
+                // Find the farthest current entry (ties by larger id so the
+                // result is deterministic).
+                non_landmark.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap()
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                let &(worst_id, worst_dist) = non_landmark.last().unwrap();
+                if dist < worst_dist || (dist == worst_dist && dest < worst_id) {
+                    (true, Some(worst_id))
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Process one incoming announcement; returns the announcements this
+    /// node must propagate as a result (about the destination, and possibly
+    /// about itself if its own landmark distance improved).
+    ///
+    /// Propagation fires only when the announcement strictly improved either
+    /// the known distance to the destination or the destination's reported
+    /// landmark distance (both monotonically decreasing), so the protocol
+    /// terminates; and only for destinations the node accepts (or has just
+    /// evicted, which acts as the update that lets downstream nodes evict
+    /// too).
+    fn process(&mut self, from: NodeId, link_weight: Weight, ann: &Announcement) -> Vec<Announcement> {
+        let mut out = Vec::new();
+        if ann.dest == self.id || ann.path.contains(&self.id) {
+            return out; // loop prevention
+        }
+        let dist = ann.dist + link_weight;
+
+        // Merge into control-plane knowledge; bail out if nothing improved.
+        let (improved_dist, improved_dld) = match self.knowledge.get(&ann.dest) {
+            None => (true, true),
+            Some(k) => (
+                dist + 1e-12 < k.dist,
+                ann.dest_landmark_dist + 1e-12 < k.dest_landmark_dist,
+            ),
+        };
+        if !improved_dist && !improved_dld {
+            return out;
+        }
+        let mut new_path = vec![self.id];
+        new_path.extend_from_slice(&ann.path);
+        let merged = match self.knowledge.get(&ann.dest) {
+            None => RouteEntry {
+                dist,
+                next_hop: from,
+                path: new_path,
+                dest_is_landmark: ann.dest_is_landmark,
+                dest_landmark_dist: ann.dest_landmark_dist,
+            },
+            Some(k) => {
+                let mut m = k.clone();
+                if improved_dist {
+                    m.dist = dist;
+                    m.next_hop = from;
+                    m.path = new_path;
+                }
+                if improved_dld {
+                    m.dest_landmark_dist = ann.dest_landmark_dist;
+                }
+                m.dest_is_landmark |= ann.dest_is_landmark;
+                m
+            }
+        };
+        self.knowledge.insert(ann.dest, merged.clone());
+
+        // Track our own closest-landmark distance; if it improved,
+        // re-announce ourselves so nodes applying the cluster rule to *us*
+        // can re-evaluate.
+        if merged.dest_is_landmark && merged.dist + 1e-12 < self.own_landmark_dist {
+            self.own_landmark_dist = merged.dist;
+            if let Some(e) = self.table.get_mut(&self.id) {
+                e.dest_landmark_dist = self.own_landmark_dist;
+            }
+            out.push(self.self_announcement());
+        }
+
+        // Decide data-plane acceptance for this destination with the merged
+        // knowledge.
+        let was_in_table = self.table.contains_key(&ann.dest);
+        let accept = if merged.dest_is_landmark {
+            true
+        } else {
+            let (ok, evict) =
+                self.accepts_non_landmark(ann.dest, merged.dist, merged.dest_landmark_dist);
+            if ok {
+                if let Some(victim) = evict {
+                    self.table.remove(&victim);
+                }
+            }
+            ok
+        };
+
+        if accept {
+            self.table.insert(ann.dest, merged.clone());
+        } else if was_in_table {
+            // A fresher landmark distance invalidated an accepted entry.
+            self.table.remove(&ann.dest);
+        }
+
+        // Propagate when we use the route, or when we just evicted it (the
+        // update doubles as the withdrawal that lets downstream re-check).
+        if accept || was_in_table {
+            out.push(Announcement {
+                dest: ann.dest,
+                dist: merged.dist,
+                path: merged.path,
+                dest_is_landmark: merged.dest_is_landmark,
+                dest_landmark_dist: merged.dest_landmark_dist,
+            });
+        }
+        out
+    }
+
+    /// Number of control-plane (knowledge) entries, excluding self.
+    pub fn knowledge_size(&self) -> usize {
+        self.knowledge.len().saturating_sub(usize::from(self.knowledge.contains_key(&self.id)))
+    }
+}
+
+impl Protocol for PathVectorNode {
+    type Message = Announcement;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Announcement>) {
+        // Install the self route.
+        self.table.insert(
+            self.id,
+            RouteEntry {
+                dist: 0.0,
+                next_hop: self.id,
+                path: vec![self.id],
+                dest_is_landmark: self.is_landmark,
+                dest_landmark_dist: self.own_landmark_dist,
+            },
+        );
+        // Announce ourselves. Under the S4 cluster rule a non-landmark node
+        // waits until it knows its own landmark distance (which `process`
+        // re-announces as soon as the first landmark route arrives);
+        // otherwise the initial announcement carries an infinite landmark
+        // distance and would flood the whole network like plain path
+        // vector, which is not how S4 behaves after its landmark phase.
+        if self.is_landmark || !matches!(self.limit, TableLimit::Cluster) {
+            let ann = self.self_announcement();
+            let size = announcement_bytes(&ann);
+            for nb in ctx.neighbors() {
+                ctx.send_sized(nb, ann.clone(), size);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Announcement, ctx: &mut Context<'_, Announcement>) {
+        let w = ctx
+            .link_weight(from)
+            .expect("messages only arrive from neighbors");
+        let to_propagate = self.process(from, w, &msg);
+        for ann in to_propagate {
+            let size = announcement_bytes(&ann);
+            for nb in ctx.neighbors() {
+                ctx.send_sized(nb, ann.clone(), size);
+            }
+        }
+    }
+}
+
+/// Wire size estimate for an announcement: destination id, distance, flags
+/// plus 4 bytes per path element.
+pub fn announcement_bytes(ann: &Announcement) -> usize {
+    4 + 8 + 2 + 4 * ann.path.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscoConfig;
+    use crate::landmark::select_landmarks;
+    use disco_graph::{dijkstra, generators, Graph};
+    use disco_sim::Engine;
+
+    fn run(
+        g: &Graph,
+        landmarks: &[NodeId],
+        limit_for: impl Fn(NodeId) -> TableLimit,
+    ) -> (Vec<PathVectorNode>, disco_sim::MessageStats) {
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let mut engine = Engine::new(g, |v| PathVectorNode::new(v, lm_set.contains(&v), limit_for(v)));
+        let report = engine.run();
+        assert!(report.converged, "path vector did not converge");
+        (engine.nodes().to_vec(), report.stats)
+    }
+
+    #[test]
+    fn unlimited_converges_to_shortest_paths() {
+        let g = generators::gnm_connected(64, 256, 3);
+        let landmarks = vec![NodeId(0)];
+        let (nodes, _) = run(&g, &landmarks, |_| TableLimit::Unlimited);
+        let truth = dijkstra(&g, NodeId(10));
+        for v in g.nodes() {
+            let got = nodes[v.0].distance_to(NodeId(10)).unwrap();
+            let want = truth.distance(v).unwrap();
+            assert!((got - want).abs() < 1e-9, "node {v}: {got} vs {want}");
+            // Table holds every destination.
+            assert_eq!(nodes[v.0].table_size(), 63);
+        }
+    }
+
+    #[test]
+    fn landmark_routes_always_learned() {
+        let g = generators::gnm_connected(128, 512, 5);
+        let cfg = DiscoConfig::seeded(5);
+        let landmarks = select_landmarks(128, &cfg);
+        let (nodes, _) = run(&g, &landmarks, |_| TableLimit::VicinityCap { size: 20 });
+        for v in g.nodes() {
+            for &lm in &landmarks {
+                let got = nodes[v.0].distance_to(lm).unwrap();
+                let want = dijkstra(&g, lm).distance(v).unwrap();
+                assert!((got - want).abs() < 1e-9);
+            }
+            // Own landmark distance matches the closest landmark.
+            let want_own = landmarks
+                .iter()
+                .map(|&lm| dijkstra(&g, lm).distance(v).unwrap())
+                .fold(f64::INFINITY, f64::min);
+            assert!((nodes[v.0].own_landmark_distance() - want_own).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vicinity_cap_limits_table_and_learns_closest() {
+        let g = generators::gnm_connected(128, 512, 7);
+        let cap = 15;
+        let landmarks = vec![NodeId(3)];
+        let (nodes, _) = run(&g, &landmarks, |_| TableLimit::VicinityCap { size: cap });
+        let truth = dijkstra(&g, NodeId(40));
+        // Node 40's non-landmark entries: exactly `cap` of them, and every
+        // entry's distance is correct.
+        let node = &nodes[40];
+        let locals: Vec<_> = node.local_entries().collect();
+        assert_eq!(locals.len(), cap);
+        for (&d, e) in &locals {
+            let want = truth.distance(d).unwrap();
+            assert!((e.dist - want).abs() < 1e-9, "dest {d}");
+        }
+        // The farthest kept entry is not (much) farther than the true k-th
+        // closest node. (Distributed eviction can differ on ties.)
+        let mut true_dists: Vec<f64> = g
+            .nodes()
+            .filter(|&v| v != NodeId(40) && v != NodeId(3))
+            .map(|v| truth.distance(v).unwrap())
+            .collect();
+        true_dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let kth = true_dists[cap - 1];
+        let worst_kept = locals
+            .iter()
+            .map(|(_, e)| e.dist)
+            .fold(0.0f64, f64::max);
+        assert!(worst_kept <= kth + 1e-9, "kept {worst_kept} vs true kth {kth}");
+    }
+
+    #[test]
+    fn cluster_rule_matches_cluster_definition() {
+        let g = generators::gnm_connected(96, 380, 9);
+        let cfg = DiscoConfig::seeded(9);
+        let landmarks = select_landmarks(96, &cfg);
+        let (nodes, _) = run(&g, &landmarks, |_| TableLimit::Cluster);
+        // Check against the static definition: w ∈ cluster(v) iff
+        // d(v,w) < d(w, ℓ_w).
+        let lm_trees: Vec<_> = landmarks.iter().map(|&lm| dijkstra(&g, lm)).collect();
+        let closest_lm_dist = |w: NodeId| -> f64 {
+            lm_trees
+                .iter()
+                .map(|t| t.distance(w).unwrap())
+                .fold(f64::INFINITY, f64::min)
+        };
+        for v in g.nodes().step_by(7) {
+            let tree = dijkstra(&g, v);
+            for w in g.nodes() {
+                if w == v || landmarks.contains(&w) {
+                    continue;
+                }
+                let should_have = tree.distance(w).unwrap() < closest_lm_dist(w) - 1e-12;
+                let has = nodes[v.0].table.contains_key(&w);
+                assert_eq!(
+                    has, should_have,
+                    "cluster membership mismatch v={v} w={w} (have {has}, want {should_have})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn messaging_scales_with_table_size() {
+        // The bounded protocols must send far fewer messages than full path
+        // vector on the same topology.
+        let g = generators::gnm_connected(128, 512, 11);
+        let cfg = DiscoConfig::seeded(11);
+        let landmarks = select_landmarks(128, &cfg);
+        let (_, full) = run(&g, &landmarks, |_| TableLimit::Unlimited);
+        let (_, capped) = run(&g, &landmarks, |_| TableLimit::VicinityCap { size: 12 });
+        assert!(
+            capped.total_sent() * 2 < full.total_sent(),
+            "capped {} vs full {}",
+            capped.total_sent(),
+            full.total_sent()
+        );
+    }
+
+    #[test]
+    fn announcement_size_grows_with_path() {
+        let a = Announcement {
+            dest: NodeId(1),
+            dist: 1.0,
+            path: vec![NodeId(0), NodeId(1)],
+            dest_is_landmark: false,
+            dest_landmark_dist: f64::INFINITY,
+        };
+        let mut b = a.clone();
+        b.path.push(NodeId(2));
+        assert!(announcement_bytes(&b) > announcement_bytes(&a));
+    }
+}

@@ -1,0 +1,632 @@
+//! The distributed Disco protocol for the discrete-event simulator
+//! (paper §5.1, "custom discrete event simulator").
+//!
+//! [`DiscoProtocol`] composes the pieces of §4 into one per-node state
+//! machine:
+//!
+//! 1. **Phase 0 — route learning.** The bounded path-vector protocol of
+//!    [`crate::path_vector`] learns landmark routes and the vicinity.
+//! 2. **Phase 1 — name resolution insert** (timer). The node source-routes
+//!    an *insert* of its `(hash, address)` pair to the landmark owning its
+//!    hash (§4.3).
+//! 3. **Phase 2 — overlay bootstrap** (timer). The node source-routes
+//!    successor / predecessor / finger *lookups* to the owning landmarks,
+//!    which reply with the best matching entry they store (§4.4).
+//! 4. **Phase 3 — address dissemination** (timer). The node announces its
+//!    address to its overlay neighbors; announcements are forwarded inside
+//!    the sloppy group following the direction rule (hash-space distance
+//!    from the origin strictly increases), each overlay hop source-routed
+//!    over the physical network.
+//!
+//! Every physical transmission — a path-vector announcement, one hop of a
+//! source-routed insert, lookup, reply or overlay message — counts as one
+//! message in [`disco_sim::MessageStats`]; those per-node totals are what
+//! the paper's Fig. 8 plots. The phase timers stand in for the "low rate"
+//! periodic refresh of the real protocol: by the time they fire, the
+//! previous phase has quiesced on the topologies studied here (the engine's
+//! run report still verifies global quiescence).
+//!
+//! One deliberate approximation: the overlay bootstrap answers successor /
+//! predecessor lookups from the single owning landmark's shard, so ring
+//! links that straddle a consistent-hashing arc boundary can be slightly
+//! off. The *static* simulator ([`crate::static_state`]) builds the exact
+//! overlay and is authoritative for all state/stretch results; this
+//! distributed form is used for convergence-messaging measurements, where
+//! the message counts are unaffected.
+
+use crate::config::DiscoConfig;
+use crate::hash::{NameHash, NameHasher};
+use crate::name::FlatName;
+use crate::path_vector::{Announcement, PathVectorNode, TableLimit};
+use disco_graph::NodeId;
+use disco_sim::context::Action;
+use disco_sim::rng::rng_for;
+use disco_sim::{Context, Protocol};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Timer tokens.
+const TIMER_INSERT: u64 = 1;
+const TIMER_LOOKUP: u64 = 2;
+const TIMER_DISSEMINATE: u64 = 3;
+
+/// When (in simulation time units) each phase starts. Defaults are far
+/// beyond path-vector convergence on the evaluation topologies (unweighted
+/// G(n,m) graphs of the sizes used have diameter ≤ ~6).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimers {
+    /// Start of the resolution-database insert.
+    pub insert_at: f64,
+    /// Start of the overlay successor/predecessor/finger lookups.
+    pub lookup_at: f64,
+    /// Start of address dissemination.
+    pub disseminate_at: f64,
+}
+
+impl Default for PhaseTimers {
+    fn default() -> Self {
+        PhaseTimers {
+            insert_at: 50.0,
+            lookup_at: 80.0,
+            disseminate_at: 110.0,
+        }
+    }
+}
+
+/// A node's address as carried in protocol messages: the landmark plus the
+/// node path `landmark ; node` (the compact label form is an encoding
+/// detail; the simulator carries the node list and accounts bytes
+/// accordingly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAddress {
+    /// The owning node.
+    pub node: NodeId,
+    /// Its closest landmark.
+    pub landmark: NodeId,
+    /// Node path from the landmark to the node.
+    pub path: Vec<NodeId>,
+}
+
+/// What an overlay lookup is asking for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupKind {
+    /// First stored entry clockwise of the target (successor semantics).
+    Successor,
+    /// First stored entry counter-clockwise of the target (predecessor).
+    Predecessor,
+    /// Stored entry with minimum ring distance to the target (fingers).
+    Closest,
+}
+
+/// Payload delivered at the end of a source-routed transport.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Store `(hash, address)` in the resolution database (handled by
+    /// landmarks).
+    ResolutionInsert { hash: NameHash, address: WireAddress },
+    /// Ask the owning landmark for a stored entry relative to `target`.
+    OverlayLookup {
+        target: NameHash,
+        kind: LookupKind,
+        exclude: NodeId,
+        reply_route: Vec<NodeId>,
+        /// Which overlay slot the requester fills with the answer
+        /// (0 = successor, 1 = predecessor, 2.. = fingers).
+        slot: usize,
+    },
+    /// Reply to an [`Payload::OverlayLookup`].
+    OverlayReply {
+        slot: usize,
+        hash: NameHash,
+        address: WireAddress,
+    },
+    /// An address announcement disseminated within the sloppy group.
+    /// `up` is the direction of travel in hash space (`None` at the origin).
+    GroupAnnouncement {
+        origin_hash: NameHash,
+        address: WireAddress,
+        up: Option<bool>,
+    },
+}
+
+/// Messages of the distributed Disco protocol.
+#[derive(Debug, Clone)]
+pub enum DiscoMsg {
+    /// Path-vector route announcement (phase 0).
+    Route(Announcement),
+    /// One hop of a source-routed message; `route` is the remaining path
+    /// and starts with the node currently holding the message.
+    Forward { route: Vec<NodeId>, payload: Payload },
+}
+
+/// Per-node state of the distributed Disco protocol.
+pub struct DiscoProtocol {
+    /// The embedded path-vector machinery (landmarks + vicinity).
+    pub pv: PathVectorNode,
+    cfg: DiscoConfig,
+    timers: PhaseTimers,
+    name: FlatName,
+    hasher: NameHasher,
+    my_hash: NameHash,
+    /// Resolution entries stored here (landmarks only).
+    pub resolution_store: HashMap<NameHash, WireAddress>,
+    /// Overlay neighbors learned in phase 2: slot → (hash, address).
+    pub overlay_neighbors: HashMap<usize, (NameHash, WireAddress)>,
+    /// Addresses of sloppy-group members learned through dissemination.
+    pub group_addresses: HashMap<NodeId, WireAddress>,
+    /// Directions in which this node has already forwarded each origin's
+    /// announcement — suppresses duplicate floods.
+    forwarded: HashMap<(NodeId, bool), bool>,
+    /// This node's estimate of the network size.
+    n_estimate: usize,
+}
+
+impl DiscoProtocol {
+    /// Create the protocol instance for `id`. `is_landmark` is the node's
+    /// locally drawn landmark status and `n_estimate` its estimate of the
+    /// network size.
+    pub fn new(
+        id: NodeId,
+        is_landmark: bool,
+        n_estimate: usize,
+        cfg: &DiscoConfig,
+        timers: PhaseTimers,
+    ) -> Self {
+        let name = FlatName::synthetic(id.0);
+        let hasher = NameHasher::new(cfg.seed ^ 0x510f);
+        let my_hash = hasher.hash_name(&name);
+        let vicinity = cfg.vicinity_size(n_estimate);
+        DiscoProtocol {
+            pv: PathVectorNode::new(id, is_landmark, TableLimit::VicinityCap { size: vicinity }),
+            cfg: cfg.clone(),
+            timers,
+            name,
+            hasher,
+            my_hash,
+            resolution_store: HashMap::new(),
+            overlay_neighbors: HashMap::new(),
+            group_addresses: HashMap::new(),
+            forwarded: HashMap::new(),
+            n_estimate,
+        }
+    }
+
+    /// This node's flat name.
+    pub fn name(&self) -> &FlatName {
+        &self.name
+    }
+
+    /// This node's position on the hash ring.
+    pub fn my_hash(&self) -> NameHash {
+        self.my_hash
+    }
+
+    /// This node's current address (closest landmark + path), if a landmark
+    /// route has been learned.
+    pub fn my_address(&self) -> Option<WireAddress> {
+        let id = self.pv.id();
+        if self.pv.is_landmark() {
+            return Some(WireAddress {
+                node: id,
+                landmark: id,
+                path: vec![id],
+            });
+        }
+        let (lm, entry) = self
+            .pv
+            .landmark_entries()
+            .min_by(|a, b| {
+                a.1.dist
+                    .partial_cmp(&b.1.dist)
+                    .unwrap()
+                    .then_with(|| a.0.cmp(b.0))
+            })?;
+        let mut path = entry.path.clone();
+        path.reverse(); // entry.path runs node → landmark
+        Some(WireAddress {
+            node: id,
+            landmark: *lm,
+            path,
+        })
+    }
+
+    /// The landmark responsible for `hash` according to this node's current
+    /// view of the landmark set (first landmark position clockwise of the
+    /// hash — standard consistent hashing).
+    fn owner_landmark(&self, hash: NameHash) -> Option<NodeId> {
+        let mut best: Option<(u64, NodeId)> = None;
+        for (&lm, _) in self.pv.landmark_entries() {
+            let pos = self.hasher.hash_u64(lm.0 as u64);
+            let d = hash.clockwise_distance(pos);
+            match best {
+                Some((bd, _)) if bd <= d => {}
+                _ => best = Some((d, lm)),
+            }
+        }
+        best.map(|(_, lm)| lm)
+    }
+
+    /// Full path from this node to `target` using learned routes: a table
+    /// route if present, otherwise through the target's address.
+    fn route_to(&self, target: NodeId, target_addr: Option<&WireAddress>) -> Option<Vec<NodeId>> {
+        if target == self.pv.id() {
+            return Some(vec![self.pv.id()]);
+        }
+        if let Some(entry) = self.pv.table.get(&target) {
+            return Some(entry.path.clone());
+        }
+        let addr = target_addr?;
+        let lm_entry = self.pv.table.get(&addr.landmark)?;
+        let mut route = lm_entry.path.clone();
+        route.extend_from_slice(&addr.path[1..]);
+        Some(route)
+    }
+
+    /// Send `payload` along `route` (this node first).
+    fn send_along(&self, route: Vec<NodeId>, payload: Payload, ctx: &mut Context<'_, DiscoMsg>) {
+        if route.len() < 2 {
+            return;
+        }
+        let next = route[1];
+        if ctx.link_weight(next).is_none() {
+            return; // stale route; drop
+        }
+        let remaining = route[1..].to_vec();
+        let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
+        ctx.send_sized(next, DiscoMsg::Forward { route: remaining, payload }, size);
+    }
+
+    /// Answer an overlay lookup from this node's resolution store.
+    fn answer_lookup(
+        &self,
+        target: NameHash,
+        kind: LookupKind,
+        exclude: NodeId,
+    ) -> Option<(NameHash, WireAddress)> {
+        self.resolution_store
+            .iter()
+            .filter(|(_, a)| a.node != exclude)
+            .min_by_key(|(&h, _)| match kind {
+                LookupKind::Successor => target.clockwise_distance(h),
+                LookupKind::Predecessor => h.clockwise_distance(target),
+                LookupKind::Closest => h.ring_distance(target),
+            })
+            .map(|(&h, a)| (h, a.clone()))
+    }
+
+    /// Handle a payload that has reached this node.
+    fn deliver(&mut self, payload: Payload, ctx: &mut Context<'_, DiscoMsg>) {
+        match payload {
+            Payload::ResolutionInsert { hash, address } => {
+                self.resolution_store.insert(hash, address);
+            }
+            Payload::OverlayLookup {
+                target,
+                kind,
+                exclude,
+                reply_route,
+                slot,
+            } => {
+                if let Some((h, addr)) = self.answer_lookup(target, kind, exclude) {
+                    self.send_along(
+                        reply_route,
+                        Payload::OverlayReply {
+                            slot,
+                            hash: h,
+                            address: addr,
+                        },
+                        ctx,
+                    );
+                }
+            }
+            Payload::OverlayReply { slot, hash, address } => {
+                if address.node != self.pv.id() {
+                    self.overlay_neighbors.insert(slot, (hash, address));
+                }
+            }
+            Payload::GroupAnnouncement {
+                origin_hash,
+                address,
+                up,
+            } => {
+                let origin = address.node;
+                if origin == self.pv.id() {
+                    return;
+                }
+                let k = self.cfg.group_prefix_bits(self.n_estimate);
+                if origin_hash.prefix(k) == self.my_hash.prefix(k) {
+                    self.group_addresses.insert(origin, address.clone());
+                }
+                let directions: Vec<bool> = match up {
+                    Some(d) => vec![d],
+                    None => vec![true, false],
+                };
+                for d in directions {
+                    if self.forwarded.insert((origin, d), true).is_some() {
+                        continue;
+                    }
+                    self.forward_announcement(origin_hash, &address, d, ctx);
+                }
+            }
+        }
+    }
+
+    /// Forward an announcement to all overlay neighbors in direction `up`.
+    fn forward_announcement(
+        &self,
+        origin_hash: NameHash,
+        address: &WireAddress,
+        up: bool,
+        ctx: &mut Context<'_, DiscoMsg>,
+    ) {
+        let k = self.cfg.group_prefix_bits(self.n_estimate);
+        for (nb_hash, nb_addr) in self.overlay_neighbors.values() {
+            if nb_hash.prefix(k) != self.my_hash.prefix(k) {
+                continue; // keep the announcement inside the group
+            }
+            let goes_up = nb_hash.value() > self.my_hash.value();
+            if goes_up != up {
+                continue;
+            }
+            if let Some(route) = self.route_to(nb_addr.node, Some(nb_addr)) {
+                self.send_along(
+                    route,
+                    Payload::GroupAnnouncement {
+                        origin_hash,
+                        address: address.clone(),
+                        up: Some(up),
+                    },
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// Phase 1: insert this node's address into the resolution database.
+    fn do_insert(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
+        let Some(my_addr) = self.my_address() else {
+            return;
+        };
+        if let Some(owner) = self.owner_landmark(self.my_hash) {
+            if owner == self.pv.id() {
+                self.resolution_store.insert(self.my_hash, my_addr);
+            } else if let Some(route) = self.route_to(owner, None) {
+                self.send_along(
+                    route,
+                    Payload::ResolutionInsert {
+                        hash: self.my_hash,
+                        address: my_addr,
+                    },
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// Phase 2: look up overlay successor, predecessor and fingers.
+    fn do_lookups(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
+        let me = self.pv.id();
+        let k = self.cfg.group_prefix_bits(self.n_estimate);
+        let arc_bits = 64 - k;
+        let arc_size: u128 = 1u128 << arc_bits;
+        let mut rng = rng_for(self.cfg.seed, 0x22, me.0 as u64);
+
+        let mut targets: Vec<(usize, NameHash, LookupKind)> = vec![
+            (
+                0,
+                NameHash(self.my_hash.value().wrapping_add(1)),
+                LookupKind::Successor,
+            ),
+            (
+                1,
+                NameHash(self.my_hash.value().wrapping_sub(1)),
+                LookupKind::Predecessor,
+            ),
+        ];
+        for f in 0..self.cfg.fingers {
+            let u: f64 = rng.gen();
+            let d = (((arc_size as f64).ln() * u).exp() as u128).clamp(1, arc_size.saturating_sub(1).max(1));
+            let up: bool = rng.gen();
+            let raw = if up {
+                self.my_hash.value().wrapping_add(d as u64)
+            } else {
+                self.my_hash.value().wrapping_sub(d as u64)
+            };
+            targets.push((2 + f, NameHash(raw), LookupKind::Closest));
+        }
+
+        for (slot, target, kind) in targets {
+            if let Some(owner) = self.owner_landmark(target) {
+                if owner == me {
+                    if let Some((h, addr)) = self.answer_lookup(target, kind, me) {
+                        self.overlay_neighbors.insert(slot, (h, addr));
+                    }
+                } else if let Some(route) = self.route_to(owner, None) {
+                    let mut reply = route.clone();
+                    reply.reverse();
+                    self.send_along(
+                        route,
+                        Payload::OverlayLookup {
+                            target,
+                            kind,
+                            exclude: me,
+                            reply_route: reply,
+                            slot,
+                        },
+                        ctx,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Phase 3: announce this node's address to its overlay neighbors.
+    fn do_disseminate(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
+        let Some(my_addr) = self.my_address() else {
+            return;
+        };
+        self.forwarded.insert((self.pv.id(), true), true);
+        self.forwarded.insert((self.pv.id(), false), true);
+        for up in [true, false] {
+            self.forward_announcement(self.my_hash, &my_addr, up, ctx);
+        }
+    }
+
+    /// Run the embedded path-vector handler and re-wrap its outgoing
+    /// announcements as [`DiscoMsg::Route`].
+    fn run_pv(&mut self, from: Option<NodeId>, ann: Option<Announcement>, ctx: &mut Context<'_, DiscoMsg>) {
+        let mut inner: Context<'_, Announcement> =
+            Context::new(ctx.node_id(), ctx.now(), ctx.graph(), 64);
+        match (from, ann) {
+            (Some(f), Some(a)) => self.pv.on_message(f, a, &mut inner),
+            _ => self.pv.on_start(&mut inner),
+        }
+        for action in inner.take_actions() {
+            match action {
+                Action::Send { to, msg, size_bytes } => {
+                    ctx.send_sized(to, DiscoMsg::Route(msg), size_bytes);
+                }
+                Action::Timer { .. } => {}
+            }
+        }
+    }
+}
+
+fn payload_bytes(p: &Payload) -> usize {
+    match p {
+        Payload::ResolutionInsert { address, .. } => 12 + 4 * address.path.len(),
+        Payload::OverlayLookup { reply_route, .. } => 18 + 4 * reply_route.len(),
+        Payload::OverlayReply { address, .. } => 13 + 4 * address.path.len(),
+        Payload::GroupAnnouncement { address, .. } => 13 + 4 * address.path.len(),
+    }
+}
+
+impl Protocol for DiscoProtocol {
+    type Message = DiscoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
+        self.run_pv(None, None, ctx);
+        ctx.set_timer(self.timers.insert_at, TIMER_INSERT);
+        ctx.set_timer(self.timers.lookup_at, TIMER_LOOKUP);
+        ctx.set_timer(self.timers.disseminate_at, TIMER_DISSEMINATE);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: DiscoMsg, ctx: &mut Context<'_, DiscoMsg>) {
+        match msg {
+            DiscoMsg::Route(ann) => self.run_pv(Some(from), Some(ann), ctx),
+            DiscoMsg::Forward { route, payload } => {
+                if route.len() <= 1 {
+                    self.deliver(payload, ctx);
+                } else {
+                    let next = route[1];
+                    if ctx.link_weight(next).is_none() {
+                        return;
+                    }
+                    let remaining = route[1..].to_vec();
+                    let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
+                    ctx.send_sized(next, DiscoMsg::Forward { route: remaining, payload }, size);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, DiscoMsg>) {
+        match token {
+            TIMER_INSERT => self.do_insert(ctx),
+            TIMER_LOOKUP => self.do_lookups(ctx),
+            TIMER_DISSEMINATE => self.do_disseminate(ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landmark::select_landmarks;
+    use disco_graph::generators;
+    use disco_sim::Engine;
+
+    fn run_disco(n: usize, seed: u64, fingers: usize) -> (disco_sim::RunReport, Vec<usize>, usize, usize) {
+        let g = generators::gnm_average_degree(n, 8.0, seed);
+        let cfg = DiscoConfig::seeded(seed).with_fingers(fingers);
+        let landmarks = select_landmarks(n, &cfg);
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let mut engine = Engine::new(&g, |v| {
+            DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
+        });
+        let report = engine.run();
+        let group_counts: Vec<usize> = engine
+            .nodes()
+            .iter()
+            .map(|p| p.group_addresses.len())
+            .collect();
+        let resolution_total: usize = engine
+            .nodes()
+            .iter()
+            .map(|p| p.resolution_store.len())
+            .sum();
+        let with_overlay = engine
+            .nodes()
+            .iter()
+            .filter(|p| !p.overlay_neighbors.is_empty())
+            .count();
+        (report, group_counts, resolution_total, with_overlay)
+    }
+
+    #[test]
+    fn distributed_disco_converges_and_builds_state() {
+        let n = 96;
+        let (report, group_counts, resolution_total, with_overlay) = run_disco(n, 5, 1);
+        assert!(report.converged);
+        assert!(report.stats.total_sent() > 0);
+        // The resolution database collectively holds (almost) every node.
+        assert!(
+            resolution_total >= n * 9 / 10,
+            "resolution database holds only {resolution_total} entries"
+        );
+        // Most nodes found at least one overlay neighbor.
+        assert!(with_overlay > n * 3 / 4, "only {with_overlay} nodes have overlay links");
+        // Dissemination delivered group addresses to a majority of nodes.
+        let with_group_state = group_counts.iter().filter(|&&c| c > 0).count();
+        assert!(
+            with_group_state > n / 2,
+            "only {with_group_state} nodes learned any group address"
+        );
+    }
+
+    #[test]
+    fn my_address_points_back_to_self_via_landmark() {
+        let n = 64;
+        let seed = 9;
+        let g = generators::gnm_average_degree(n, 8.0, seed);
+        let cfg = DiscoConfig::seeded(seed);
+        let landmarks = select_landmarks(n, &cfg);
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let mut engine = Engine::new(&g, |v| {
+            DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
+        });
+        let report = engine.run();
+        assert!(report.converged);
+        for node in engine.nodes() {
+            let addr = node.my_address().expect("address after convergence");
+            assert_eq!(*addr.path.last().unwrap(), node.pv.id());
+            assert_eq!(*addr.path.first().unwrap(), addr.landmark);
+            assert!(lm_set.contains(&addr.landmark));
+        }
+    }
+
+    #[test]
+    fn more_fingers_means_more_messages() {
+        let n = 80;
+        let (r1, ..) = run_disco(n, 7, 1);
+        let (r3, ..) = run_disco(n, 7, 3);
+        assert!(r1.converged && r3.converged);
+        assert!(
+            r3.stats.total_sent() > r1.stats.total_sent(),
+            "3 fingers {} should exceed 1 finger {}",
+            r3.stats.total_sent(),
+            r1.stats.total_sent()
+        );
+    }
+}

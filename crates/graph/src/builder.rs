@@ -1,0 +1,183 @@
+//! Incremental graph construction.
+
+use crate::graph::{Edge, EdgeId, Graph, Neighbor, NodeId, Weight};
+use std::collections::HashSet;
+
+/// Builds a [`Graph`] incrementally while enforcing the graph invariants
+/// (no self loops, no parallel edges, positive finite weights).
+///
+/// Duplicate edges are ignored (the first weight wins), which is convenient
+/// for random generators that may propose the same pair twice.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    seen: HashSet<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Create a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Number of nodes the graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an additional node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.n);
+        self.n += 1;
+        id
+    }
+
+    /// Whether the edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = Self::key(u, v);
+        self.seen.contains(&key)
+    }
+
+    /// Add an undirected edge `{u, v}` with the given weight.
+    ///
+    /// Returns `true` if the edge was added, `false` if it was rejected as a
+    /// self loop or duplicate. Panics if an endpoint is out of range or the
+    /// weight is not finite and positive.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> bool {
+        assert!(
+            u.0 < self.n && v.0 < self.n,
+            "edge endpoint out of range: {u} or {v} >= {}",
+            self.n
+        );
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "edge weight must be finite and positive, got {weight}"
+        );
+        if u == v {
+            return false;
+        }
+        let key = Self::key(u, v);
+        if !self.seen.insert(key) {
+            return false;
+        }
+        let (a, b) = (NodeId(key.0), NodeId(key.1));
+        self.edges.push(Edge { u: a, v: b, weight });
+        true
+    }
+
+    /// Add an unweighted (weight 1.0) edge.
+    pub fn add_unit_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.add_edge(u, v, 1.0)
+    }
+
+    fn key(u: NodeId, v: NodeId) -> (usize, usize) {
+        if u.0 <= v.0 {
+            (u.0, v.0)
+        } else {
+            (v.0, u.0)
+        }
+    }
+
+    /// Finalize into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let mut adjacency: Vec<Vec<Neighbor>> = vec![Vec::new(); self.n];
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i);
+            adjacency[e.u.0].push(Neighbor {
+                node: e.v,
+                edge: id,
+                weight: e.weight,
+            });
+            adjacency[e.v.0].push(Neighbor {
+                node: e.u,
+                edge: id,
+                weight: e.weight,
+            });
+        }
+        // Keep adjacency lists sorted by neighbor id for deterministic
+        // iteration order regardless of insertion order.
+        for list in &mut adjacency {
+            list.sort_by_key(|nb| nb.node.0);
+        }
+        Graph::from_parts(adjacency, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new(4);
+        assert!(!b.add_edge(NodeId(1), NodeId(1), 1.0));
+        assert!(b.add_edge(NodeId(0), NodeId(1), 1.0));
+        assert!(!b.add_edge(NodeId(1), NodeId(0), 2.0));
+        assert_eq!(b.edge_count(), 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), f64::NAN);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_node();
+        assert_eq!(v, NodeId(1));
+        b.add_edge(NodeId(0), v, 1.5);
+        let g = b.build();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn adjacency_sorted_deterministically() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(4), 1.0);
+        b.add_edge(NodeId(0), NodeId(2), 1.0);
+        b.add_edge(NodeId(0), NodeId(3), 1.0);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.build();
+        let ids: Vec<usize> = g.neighbors(NodeId(0)).iter().map(|nb| nb.node.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn has_edge_reflects_builder_state() {
+        let mut b = GraphBuilder::new(3);
+        assert!(!b.has_edge(NodeId(0), NodeId(1)));
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        assert!(b.has_edge(NodeId(1), NodeId(0)));
+    }
+}

@@ -1,0 +1,273 @@
+//! Compact undirected weighted graph representation.
+//!
+//! The graph is stored as a flat adjacency list (CSR-like, but kept as
+//! per-node `Vec`s for simplicity of incremental construction through
+//! [`crate::GraphBuilder`]). Node identifiers are dense `usize` indices
+//! wrapped in [`NodeId`]; the paper's *flat names* are a separate concept
+//! layered on top by `disco-core` — a graph node never needs to know its
+//! name.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Link weight (latency / cost). The paper uses unweighted Internet maps
+/// (weight 1.0 per hop) and Euclidean latencies on geometric random graphs.
+pub type Weight = f64;
+
+/// Dense node identifier, `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Dense edge identifier, `0..m`. Each undirected edge has a single id shared
+/// by both endpoints; this is what congestion accounting keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One directed half of an undirected edge as seen from a node's adjacency
+/// list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The node at the other end of the edge.
+    pub node: NodeId,
+    /// The undirected edge identifier.
+    pub edge: EdgeId,
+    /// Link weight.
+    pub weight: Weight,
+}
+
+/// An undirected edge record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint (the smaller index by construction in the builder).
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Link weight.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Given one endpoint, return the other. Panics if `x` is not an
+    /// endpoint of this edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of edge {self:?}");
+        }
+    }
+}
+
+/// An undirected weighted graph with dense node ids.
+///
+/// Invariants maintained by [`crate::GraphBuilder`]:
+/// * no self loops,
+/// * no parallel edges,
+/// * every weight is finite and strictly positive.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<Neighbor>>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Construct directly from parts. Intended for use by the builder; most
+    /// callers should use [`crate::GraphBuilder`] or a generator.
+    pub(crate) fn from_parts(adjacency: Vec<Vec<Neighbor>>, edges: Vec<Edge>) -> Self {
+        Graph { adjacency, edges }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterator over all undirected edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i), e))
+    }
+
+    /// Edge record by id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Neighbors of `v` (the node's adjacency list).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[Neighbor] {
+        &self.adjacency[v.0]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.0].len()
+    }
+
+    /// Whether an edge between `u` and `v` exists; linear in `min(deg)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacency[a.0].iter().any(|nb| nb.node == b)
+    }
+
+    /// Find the undirected edge id between `u` and `v`, if any.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adjacency[u.0]
+            .iter()
+            .find(|nb| nb.node == v)
+            .map(|nb| nb.edge)
+    }
+
+    /// Weight of the edge between `u` and `v`, if any.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.adjacency[u.0]
+            .iter()
+            .find(|nb| nb.node == v)
+            .map(|nb| nb.weight)
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> Weight {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(1), NodeId(2), 2.0);
+        b.add_edge(NodeId(2), NodeId(0), 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle();
+        for (_, e) in g.edges() {
+            assert!(g.has_edge(e.u, e.v));
+            assert!(g.has_edge(e.v, e.u));
+        }
+    }
+
+    #[test]
+    fn edge_lookup_and_weight() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(2)), Some(2.0));
+        assert_eq!(g.edge_weight(NodeId(2), NodeId(1)), Some(2.0));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(0)), None);
+        let id = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(g.edge(id).weight, 3.0);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let (_, e) = g.edges().next().unwrap();
+        assert_eq!(e.other(e.u), e.v);
+        assert_eq!(e.other(e.v), e.u);
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = Edge {
+            u: NodeId(0),
+            v: NodeId(1),
+            weight: 1.0,
+        };
+        let _ = e.other(NodeId(5));
+    }
+
+    #[test]
+    fn total_weight() {
+        let g = triangle();
+        assert!((g.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(EdgeId(3).to_string(), "e3");
+    }
+}

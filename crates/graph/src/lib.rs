@@ -1,0 +1,53 @@
+//! # disco-graph
+//!
+//! Graph substrate for the Disco compact-routing reproduction
+//! (*Scalable Routing on Flat Names*, CoNEXT 2010).
+//!
+//! The paper evaluates routing protocols over undirected, connected,
+//! possibly edge-weighted networks: Internet AS-level and router-level maps,
+//! `G(n, m)` random graphs, and geometric random graphs with Euclidean link
+//! latencies. This crate provides:
+//!
+//! * [`Graph`] — a compact adjacency-list representation of an undirected
+//!   weighted graph,
+//! * [`GraphBuilder`] — incremental construction with duplicate-edge
+//!   handling,
+//! * [`generators`] — all topology families used in the paper's evaluation
+//!   plus pathological topologies used to exercise worst cases (ring, star,
+//!   the two-level tree from the paper's footnote 6 that breaks S4's state
+//!   bound),
+//! * [`shortest_path`] — Dijkstra in full, truncated (k nearest nodes, used
+//!   to build vicinities), multi-source and target-set variants, plus path
+//!   reconstruction,
+//! * [`properties`] — connectivity checks, degree statistics, diameter
+//!   estimation.
+//!
+//! All generators are deterministic given a seed, so every experiment in the
+//! paper reproduction is replayable bit-for-bit.
+//!
+//! ```
+//! use disco_graph::{generators, shortest_path};
+//!
+//! // A 256-node G(n, m) random graph with average degree 8.
+//! let g = generators::gnm_connected(256, 1024, 42);
+//! assert!(disco_graph::properties::is_connected(&g));
+//!
+//! // Shortest-path tree from node 0.
+//! let spt = shortest_path::dijkstra(&g, disco_graph::NodeId(0));
+//! assert!(spt.distance(disco_graph::NodeId(17)).is_some());
+//! ```
+
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod path;
+pub mod properties;
+pub mod shortest_path;
+
+pub use builder::GraphBuilder;
+pub use graph::{EdgeId, Graph, NodeId, Weight};
+pub use path::Path;
+pub use shortest_path::{
+    dijkstra, dijkstra_bounded, dijkstra_to_targets, k_nearest, multi_source_dijkstra,
+    ShortestPathTree,
+};

@@ -1,0 +1,506 @@
+//! Shortest-path algorithms.
+//!
+//! The Disco reproduction needs four flavours of Dijkstra:
+//!
+//! * [`dijkstra`] — full single-source shortest-path tree; used for landmark
+//!   trees (routes `ℓ ; v` embedded in addresses) and for ground-truth
+//!   distances when computing stretch,
+//! * [`k_nearest`] — truncated Dijkstra that stops after settling the `k`
+//!   closest nodes; this *is* the paper's vicinity `V(v)` (the
+//!   `Θ(√(n log n))` nodes closest to `v`),
+//! * [`multi_source_dijkstra`] — distance to the closest of a set of sources
+//!   (used to find each node's closest landmark `ℓ_v` in one pass),
+//! * [`dijkstra_to_targets`] — early-terminating variant that stops once a
+//!   given set of targets has been settled (used when measuring stretch on
+//!   sampled source–destination pairs of very large graphs).
+//!
+//! Ties in distance are broken by node id so that vicinity membership and
+//! closest-landmark assignment are deterministic, which keeps every
+//! experiment reproducible.
+
+use crate::graph::{Graph, NodeId, Weight};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Queue entry: (distance, tie-break id, node).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    dist: Weight,
+    node: NodeId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (dist, node id): reverse the natural order.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a single-source shortest-path computation.
+///
+/// Stores, for every reached node, its distance from the source and its
+/// predecessor on a shortest path; paths can be reconstructed with
+/// [`ShortestPathTree::path_to`].
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: HashMap<NodeId, Weight>,
+    parent: HashMap<NodeId, NodeId>,
+    /// Nodes in the order they were settled (non-decreasing distance). For
+    /// [`k_nearest`] this is exactly the vicinity ordering.
+    settled: Vec<NodeId>,
+}
+
+impl ShortestPathTree {
+    /// The source node of this tree.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `v`, if `v` was reached.
+    pub fn distance(&self, v: NodeId) -> Option<Weight> {
+        self.dist.get(&v).copied()
+    }
+
+    /// Whether `v` was reached/settled.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist.contains_key(&v)
+    }
+
+    /// Predecessor of `v` on its shortest path from the source.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent.get(&v).copied()
+    }
+
+    /// Nodes in settling order (non-decreasing distance, ties by id).
+    pub fn settled_order(&self) -> &[NodeId] {
+        &self.settled
+    }
+
+    /// Number of nodes reached (including the source).
+    pub fn reached_count(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Reconstruct the shortest path from the source to `v`.
+    pub fn path_to(&self, v: NodeId) -> Option<Path> {
+        if !self.dist.contains_key(&v) {
+            return None;
+        }
+        let mut nodes = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent[&cur];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(Path::new(nodes))
+    }
+
+    /// Iterate over `(node, distance)` for every reached node.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.dist.iter().map(|(&v, &d)| (v, d))
+    }
+}
+
+/// Generic Dijkstra core. `limit` bounds the number of settled nodes
+/// (`usize::MAX` for unbounded); `targets` (if non-empty) stops the search
+/// once all of them are settled.
+fn dijkstra_core(
+    g: &Graph,
+    source: NodeId,
+    limit: usize,
+    targets: Option<&HashSet<NodeId>>,
+) -> ShortestPathTree {
+    let mut dist: HashMap<NodeId, Weight> = HashMap::new();
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut settled: Vec<NodeId> = Vec::new();
+    let mut done: HashSet<NodeId> = HashSet::new();
+    let mut remaining_targets = targets.map(|t| t.len()).unwrap_or(0);
+
+    let mut heap = BinaryHeap::new();
+    heap.push(QueueEntry {
+        dist: 0.0,
+        node: source,
+    });
+    let mut best: HashMap<NodeId, Weight> = HashMap::new();
+    best.insert(source, 0.0);
+
+    while let Some(QueueEntry { dist: d, node: v }) = heap.pop() {
+        if done.contains(&v) {
+            continue;
+        }
+        done.insert(v);
+        dist.insert(v, d);
+        settled.push(v);
+        if let Some(t) = targets {
+            if t.contains(&v) {
+                remaining_targets -= 1;
+                if remaining_targets == 0 {
+                    break;
+                }
+            }
+        }
+        if settled.len() >= limit {
+            break;
+        }
+        for nb in g.neighbors(v) {
+            if done.contains(&nb.node) {
+                continue;
+            }
+            let nd = d + nb.weight;
+            let improve = match best.get(&nb.node) {
+                Some(&old) => nd < old || (nd == old && v.0 < parent.get(&nb.node).map(|p| p.0).unwrap_or(usize::MAX)),
+                None => true,
+            };
+            if improve {
+                best.insert(nb.node, nd);
+                parent.insert(nb.node, v);
+                heap.push(QueueEntry {
+                    dist: nd,
+                    node: nb.node,
+                });
+            }
+        }
+    }
+
+    ShortestPathTree {
+        source,
+        dist,
+        parent,
+        settled,
+    }
+}
+
+/// Full single-source shortest paths from `source`.
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPathTree {
+    dijkstra_core(g, source, usize::MAX, None)
+}
+
+/// Truncated Dijkstra: settle only the `k` nodes closest to `source`
+/// (including `source` itself). The settled order of the returned tree is
+/// the vicinity of `source` in the paper's sense.
+pub fn k_nearest(g: &Graph, source: NodeId, k: usize) -> ShortestPathTree {
+    dijkstra_core(g, source, k.max(1), None)
+}
+
+/// Distance-bounded Dijkstra: settle every node at distance strictly less
+/// than `bound` from `source`. Used to build S4's clusters (`w` belongs to
+/// `v`'s cluster iff `d(v, w) < d(w, ℓ_w)`, i.e. `v` is settled by a search
+/// from `w` bounded by `w`'s landmark distance).
+pub fn dijkstra_bounded(g: &Graph, source: NodeId, bound: Weight) -> ShortestPathTree {
+    let mut tree = dijkstra_core_bounded(g, source, bound);
+    tree.settled.retain(|v| tree.dist[v] < bound);
+    tree
+}
+
+fn dijkstra_core_bounded(g: &Graph, source: NodeId, bound: Weight) -> ShortestPathTree {
+    let mut dist: HashMap<NodeId, Weight> = HashMap::new();
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut settled: Vec<NodeId> = Vec::new();
+    let mut done: HashSet<NodeId> = HashSet::new();
+    let mut best: HashMap<NodeId, Weight> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    heap.push(QueueEntry {
+        dist: 0.0,
+        node: source,
+    });
+    best.insert(source, 0.0);
+    while let Some(QueueEntry { dist: d, node: v }) = heap.pop() {
+        if done.contains(&v) {
+            continue;
+        }
+        if d >= bound {
+            break;
+        }
+        done.insert(v);
+        dist.insert(v, d);
+        settled.push(v);
+        for nb in g.neighbors(v) {
+            if done.contains(&nb.node) {
+                continue;
+            }
+            let nd = d + nb.weight;
+            if nd >= bound {
+                continue;
+            }
+            let improve = best.get(&nb.node).map_or(true, |&old| nd < old);
+            if improve {
+                best.insert(nb.node, nd);
+                parent.insert(nb.node, v);
+                heap.push(QueueEntry {
+                    dist: nd,
+                    node: nb.node,
+                });
+            }
+        }
+    }
+    ShortestPathTree {
+        source,
+        dist,
+        parent,
+        settled,
+    }
+}
+
+/// Dijkstra that stops as soon as every node in `targets` has been settled
+/// (or the graph component is exhausted).
+pub fn dijkstra_to_targets(g: &Graph, source: NodeId, targets: &HashSet<NodeId>) -> ShortestPathTree {
+    dijkstra_core(g, source, usize::MAX, Some(targets))
+}
+
+/// Result of a multi-source Dijkstra: for each reached node, the distance to
+/// the closest source and which source that is.
+#[derive(Debug, Clone)]
+pub struct MultiSourceResult {
+    dist: HashMap<NodeId, Weight>,
+    closest: HashMap<NodeId, NodeId>,
+}
+
+impl MultiSourceResult {
+    /// Distance from `v` to its closest source.
+    pub fn distance(&self, v: NodeId) -> Option<Weight> {
+        self.dist.get(&v).copied()
+    }
+
+    /// The closest source to `v` (ties broken by source id through the
+    /// deterministic queue ordering).
+    pub fn closest_source(&self, v: NodeId) -> Option<NodeId> {
+        self.closest.get(&v).copied()
+    }
+
+    /// Number of nodes reached.
+    pub fn reached_count(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+/// Multi-source Dijkstra: computes, for every node, the distance to and
+/// identity of its closest source in `sources`. Used to assign each node its
+/// closest landmark `ℓ_v` in a single pass over the graph.
+pub fn multi_source_dijkstra(g: &Graph, sources: &[NodeId]) -> MultiSourceResult {
+    let mut dist: HashMap<NodeId, Weight> = HashMap::new();
+    let mut closest: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut done: HashSet<NodeId> = HashSet::new();
+    let mut best: HashMap<NodeId, (Weight, NodeId)> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+
+    // Sort sources so tie-breaking (equal distance to two landmarks) is by
+    // landmark id, independent of the caller's ordering.
+    let mut sorted: Vec<NodeId> = sources.to_vec();
+    sorted.sort();
+    for &s in &sorted {
+        best.insert(s, (0.0, s));
+        heap.push(QueueEntry { dist: 0.0, node: s });
+    }
+
+    while let Some(QueueEntry { dist: d, node: v }) = heap.pop() {
+        if done.contains(&v) {
+            continue;
+        }
+        done.insert(v);
+        let owner = best[&v].1;
+        dist.insert(v, d);
+        closest.insert(v, owner);
+        for nb in g.neighbors(v) {
+            if done.contains(&nb.node) {
+                continue;
+            }
+            let nd = d + nb.weight;
+            let improve = match best.get(&nb.node) {
+                Some(&(old, old_owner)) => {
+                    nd < old || (nd == old && owner.0 < old_owner.0)
+                }
+                None => true,
+            };
+            if improve {
+                best.insert(nb.node, (nd, owner));
+                heap.push(QueueEntry {
+                    dist: nd,
+                    node: nb.node,
+                });
+            }
+        }
+    }
+
+    MultiSourceResult { dist, closest }
+}
+
+/// All-pairs shortest path distances by repeated Dijkstra. Quadratic memory;
+/// only for small graphs (tests, 1,024-node experiments).
+pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<Option<Weight>>> {
+    let n = g.node_count();
+    let mut out = vec![vec![None; n]; n];
+    for s in g.nodes() {
+        let t = dijkstra(g, s);
+        for (v, d) in t.iter() {
+            out[s.0][v.0] = Some(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2 -1- 3 and a shortcut 0 -2.5- 3
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(1), NodeId(2), 1.0);
+        b.add_edge(NodeId(2), NodeId(3), 1.0);
+        b.add_edge(NodeId(0), NodeId(3), 2.5);
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_basic_distances() {
+        let g = diamond();
+        let t = dijkstra(&g, NodeId(0));
+        assert_eq!(t.distance(NodeId(0)), Some(0.0));
+        assert_eq!(t.distance(NodeId(1)), Some(1.0));
+        assert_eq!(t.distance(NodeId(2)), Some(2.0));
+        assert_eq!(t.distance(NodeId(3)), Some(2.5));
+    }
+
+    #[test]
+    fn dijkstra_path_reconstruction() {
+        let g = diamond();
+        let t = dijkstra(&g, NodeId(0));
+        let p = t.path_to(NodeId(2)).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(p.is_valid(&g));
+        assert!((p.length(&g) - 2.0).abs() < 1e-12);
+        // Direct heavier edge is the shortest way to 3.
+        let p3 = t.path_to(NodeId(3)).unwrap();
+        assert_eq!(p3.nodes(), &[NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.build();
+        let t = dijkstra(&g, NodeId(0));
+        assert!(!t.reached(NodeId(2)));
+        assert!(t.path_to(NodeId(2)).is_none());
+        assert_eq!(t.reached_count(), 2);
+    }
+
+    #[test]
+    fn k_nearest_settles_exactly_k() {
+        let g = generators::gnm_connected(64, 256, 7);
+        let k = 10;
+        let t = k_nearest(&g, NodeId(0), k);
+        assert_eq!(t.settled_order().len(), k);
+        assert_eq!(t.settled_order()[0], NodeId(0));
+        // Settled order must be non-decreasing in distance.
+        let dists: Vec<f64> = t
+            .settled_order()
+            .iter()
+            .map(|&v| t.distance(v).unwrap())
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_full_dijkstra_prefix() {
+        let g = generators::geometric_connected(128, 8.0, 3);
+        let full = dijkstra(&g, NodeId(5));
+        let trunc = k_nearest(&g, NodeId(5), 20);
+        for &v in trunc.settled_order() {
+            assert_eq!(trunc.distance(v), full.distance(v));
+        }
+    }
+
+    #[test]
+    fn multi_source_assigns_closest() {
+        let g = diamond();
+        let res = multi_source_dijkstra(&g, &[NodeId(0), NodeId(3)]);
+        assert_eq!(res.closest_source(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(res.closest_source(NodeId(2)), Some(NodeId(3)));
+        assert_eq!(res.distance(NodeId(2)), Some(1.0));
+        assert_eq!(res.reached_count(), 4);
+    }
+
+    #[test]
+    fn multi_source_matches_min_of_single_sources() {
+        let g = generators::gnm_connected(100, 400, 11);
+        let sources = vec![NodeId(3), NodeId(50), NodeId(97)];
+        let res = multi_source_dijkstra(&g, &sources);
+        let trees: Vec<_> = sources.iter().map(|&s| dijkstra(&g, s)).collect();
+        for v in g.nodes() {
+            let expect = trees
+                .iter()
+                .filter_map(|t| t.distance(v))
+                .fold(f64::INFINITY, f64::min);
+            let got = res.distance(v).unwrap();
+            assert!((expect - got).abs() < 1e-9, "node {v}: {expect} vs {got}");
+        }
+    }
+
+    #[test]
+    fn dijkstra_to_targets_settles_all_targets() {
+        let g = generators::gnm_connected(200, 800, 13);
+        let targets: HashSet<NodeId> = [NodeId(9), NodeId(150), NodeId(42)].into_iter().collect();
+        let t = dijkstra_to_targets(&g, NodeId(0), &targets);
+        for &x in &targets {
+            assert!(t.reached(x));
+            // Distances must agree with the full computation.
+            let full = dijkstra(&g, NodeId(0));
+            assert_eq!(t.distance(x), full.distance(x));
+        }
+    }
+
+    #[test]
+    fn bounded_dijkstra_settles_exactly_nodes_within_bound() {
+        let g = generators::gnm_connected(150, 600, 21);
+        let full = dijkstra(&g, NodeId(7));
+        let bound = 2.5;
+        let t = dijkstra_bounded(&g, NodeId(7), bound);
+        for v in g.nodes() {
+            let within = full.distance(v).unwrap() < bound;
+            assert_eq!(t.reached(v) && t.settled_order().contains(&v), within, "node {v}");
+            if within {
+                assert_eq!(t.distance(v), full.distance(v));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_dijkstra_zero_bound_is_empty() {
+        let g = generators::ring(10);
+        let t = dijkstra_bounded(&g, NodeId(0), 0.0);
+        assert!(t.settled_order().is_empty());
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = generators::gnm_connected(40, 120, 5);
+        let d = all_pairs_distances(&g);
+        for i in 0..40 {
+            for j in 0..40 {
+                assert_eq!(d[i][j], d[j][i]);
+            }
+            assert_eq!(d[i][i], Some(0.0));
+        }
+    }
+}

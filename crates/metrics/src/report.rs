@@ -1,0 +1,123 @@
+//! Plain-text rendering of experiment results in the shape the paper
+//! reports them (CDF series and tables), plus CSV output for plotting.
+
+use crate::cdf::Cdf;
+use std::fmt::Write as _;
+
+/// Render a set of named CDFs as aligned columns of `(value, fraction)`
+/// series — the data behind a paper figure.
+pub fn render_cdf_series(title: &str, series: &[(&str, &Cdf)], points: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(
+        out,
+        "# columns: fraction, then one value column per protocol"
+    );
+    let mut header = String::from("fraction");
+    for (name, _) in series {
+        header.push_str(&format!(", {name}"));
+    }
+    let _ = writeln!(out, "{header}");
+    for i in 1..=points {
+        let p = i as f64 / points as f64;
+        let mut row = format!("{p:.4}");
+        for (_, cdf) in series {
+            row.push_str(&format!(", {:.4}", cdf.percentile(p)));
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Render summary statistics (mean / median / p95 / max) for named CDFs.
+pub fn render_summary(title: &str, series: &[(&str, &Cdf)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>12} {:>12}",
+        "protocol", "mean", "median", "p95", "max"
+    );
+    for (name, cdf) in series {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            name,
+            cdf.mean(),
+            cdf.median(),
+            cdf.percentile(0.95),
+            cdf.max()
+        );
+    }
+    out
+}
+
+/// Render a generic table with a header row.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let mut header = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        header.push_str(&format!("{h:<width$}  ", width = w));
+    }
+    let _ = writeln!(out, "{}", header.trim_end());
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{cell:<width$}  ", width = w));
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Format a float with three decimals (the precision the paper uses in its
+/// tables).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_series_has_requested_points() {
+        let c = Cdf::from_counts(0..100usize);
+        let d = Cdf::from_counts(100..200usize);
+        let s = render_cdf_series("demo", &[("a", &c), ("b", &d)], 10);
+        assert!(s.contains("# demo"));
+        // Header + comment lines + 10 data rows.
+        assert_eq!(s.lines().filter(|l| !l.starts_with('#')).count(), 11);
+        assert!(s.contains("fraction, a, b"));
+    }
+
+    #[test]
+    fn summary_contains_every_protocol() {
+        let c = Cdf::from_counts(1..10usize);
+        let s = render_summary("stats", &[("disco", &c), ("s4", &c)]);
+        assert!(s.contains("disco"));
+        assert!(s.contains("s4"));
+        assert!(s.contains("mean"));
+    }
+
+    #[test]
+    fn table_alignment_includes_all_rows() {
+        let rows = vec![
+            vec!["Disco".to_string(), fmt3(1.153)],
+            vec!["S4".to_string(), fmt3(2.0)],
+        ];
+        let t = render_table("fig", &["protocol", "stretch"], &rows);
+        assert!(t.contains("Disco"));
+        assert!(t.contains("1.153"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

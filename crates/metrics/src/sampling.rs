@@ -1,0 +1,130 @@
+//! Deterministic sampling of nodes and source–destination pairs.
+//!
+//! "In many cases, for large topologies, we sample a fraction of nodes or
+//! source-destination pairs to compute state, stretch, and congestion"
+//! (paper §5.1). Samples are deterministic in the seed so experiments are
+//! reproducible, and pairs are grouped by source so the routers' per-source
+//! shortest-path caches are effective.
+
+use disco_graph::NodeId;
+use disco_sim::rng::rng_for;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sample `count` distinct nodes of an `n`-node network (all nodes if
+/// `count ≥ n`), deterministically in `seed`.
+pub fn sample_nodes(n: usize, count: usize, seed: u64) -> Vec<NodeId> {
+    if count >= n {
+        return (0..n).map(NodeId).collect();
+    }
+    let mut rng = rng_for(seed, 0xA0, 0);
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(&mut rng);
+    let mut picked: Vec<NodeId> = all[..count].iter().copied().map(NodeId).collect();
+    picked.sort();
+    picked
+}
+
+/// Sample `count` ordered source–destination pairs (`s ≠ t`) uniformly at
+/// random, deterministically in `seed`.
+pub fn sample_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    assert!(n >= 2);
+    let mut rng = rng_for(seed, 0xA1, 0);
+    (0..count)
+        .map(|_| {
+            let s = rng.gen_range(0..n);
+            let mut t = rng.gen_range(0..n);
+            while t == s {
+                t = rng.gen_range(0..n);
+            }
+            (NodeId(s), NodeId(t))
+        })
+        .collect()
+}
+
+/// Sample pairs grouped by source: `sources` distinct sources, each with
+/// `dests_per_source` distinct destinations. Grouping keeps the per-source
+/// Dijkstra caches of the routers hot, which matters on 16k-node graphs.
+pub fn sample_pairs_grouped(
+    n: usize,
+    sources: usize,
+    dests_per_source: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(n >= 2);
+    let srcs = sample_nodes(n, sources.min(n), seed ^ 0x51);
+    let mut rng = rng_for(seed, 0xA2, 1);
+    let mut out = Vec::with_capacity(srcs.len() * dests_per_source);
+    for &s in &srcs {
+        let mut seen = std::collections::HashSet::new();
+        let want = dests_per_source.min(n - 1);
+        while seen.len() < want {
+            let t = NodeId(rng.gen_range(0..n));
+            if t != s && seen.insert(t) {
+                out.push((s, t));
+            }
+        }
+    }
+    out
+}
+
+/// One random destination per node (the paper's congestion workload:
+/// "we have each node route to a random destination").
+pub fn one_destination_per_node(n: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    assert!(n >= 2);
+    let mut rng = rng_for(seed, 0xA3, 2);
+    (0..n)
+        .map(|s| {
+            let mut t = rng.gen_range(0..n);
+            while t == s {
+                t = rng.gen_range(0..n);
+            }
+            (NodeId(s), NodeId(t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_nodes_distinct_and_deterministic() {
+        let a = sample_nodes(1000, 50, 7);
+        let b = sample_nodes(1000, 50, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 50);
+        assert_eq!(sample_nodes(10, 100, 7).len(), 10);
+    }
+
+    #[test]
+    fn sample_pairs_never_self_pairs() {
+        for (s, t) in sample_pairs(50, 500, 3) {
+            assert_ne!(s, t);
+            assert!(s.0 < 50 && t.0 < 50);
+        }
+    }
+
+    #[test]
+    fn grouped_pairs_have_requested_shape() {
+        let pairs = sample_pairs_grouped(200, 10, 20, 5);
+        assert_eq!(pairs.len(), 200);
+        let sources: std::collections::HashSet<_> = pairs.iter().map(|p| p.0).collect();
+        assert_eq!(sources.len(), 10);
+        for (s, t) in pairs {
+            assert_ne!(s, t);
+        }
+    }
+
+    #[test]
+    fn one_destination_per_node_covers_all_sources() {
+        let pairs = one_destination_per_node(64, 9);
+        assert_eq!(pairs.len(), 64);
+        for (i, (s, t)) in pairs.iter().enumerate() {
+            assert_eq!(s.0, i);
+            assert_ne!(s, t);
+        }
+    }
+}

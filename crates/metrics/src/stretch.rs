@@ -1,0 +1,216 @@
+//! Stretch measurement (paper §5.2 "Stretch", Fig. 3, Fig. 4/5 middle,
+//! Fig. 6, Fig. 9 left).
+//!
+//! Stretch is the ratio of a protocol's route length to the shortest-path
+//! length, measured over sampled source–destination pairs; the paper
+//! reports both the first packet of a flow and subsequent ("later")
+//! packets.
+
+use crate::cdf::Cdf;
+use disco_baselines::{S4Router, VrrRouter};
+use disco_core::routing::DiscoRouter;
+use disco_core::shortcut::ShortcutMode;
+use disco_graph::NodeId;
+
+/// First- and later-packet stretch samples for one protocol.
+#[derive(Debug, Clone, Default)]
+pub struct StretchReport {
+    /// Stretch of the first packet, one sample per pair.
+    pub first: Vec<f64>,
+    /// Stretch of subsequent packets, one sample per pair.
+    pub later: Vec<f64>,
+}
+
+impl StretchReport {
+    /// Mean first-packet stretch.
+    pub fn mean_first(&self) -> f64 {
+        mean(&self.first)
+    }
+
+    /// Mean later-packet stretch.
+    pub fn mean_later(&self) -> f64 {
+        mean(&self.later)
+    }
+
+    /// Maximum first-packet stretch.
+    pub fn max_first(&self) -> f64 {
+        self.first.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Maximum later-packet stretch.
+    pub fn max_later(&self) -> f64 {
+        self.later.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// CDF of first-packet stretch over pairs.
+    pub fn first_cdf(&self) -> Cdf {
+        Cdf::new(self.first.clone())
+    }
+
+    /// CDF of later-packet stretch over pairs.
+    pub fn later_cdf(&self) -> Cdf {
+        Cdf::new(self.later.clone())
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Measure Disco first/later-packet stretch over the given pairs with the
+/// router's configured shortcutting.
+pub fn disco_stretch(router: &DiscoRouter<'_>, pairs: &[(NodeId, NodeId)]) -> StretchReport {
+    let mut report = StretchReport::default();
+    for &(s, t) in pairs {
+        let d = router.true_distance(s, t);
+        report.first.push(router.route_first_packet(s, t).stretch(d));
+        report.later.push(router.route_later_packet(s, t).stretch(d));
+    }
+    report
+}
+
+/// Measure Disco first-packet stretch under an explicit shortcut mode
+/// (used by the Fig. 6 sweep). Returns the mean.
+pub fn disco_mean_stretch_with_mode(
+    router: &DiscoRouter<'_>,
+    pairs: &[(NodeId, NodeId)],
+    mode: ShortcutMode,
+) -> f64 {
+    let samples: Vec<f64> = pairs
+        .iter()
+        .map(|&(s, t)| {
+            let d = router.true_distance(s, t);
+            router.route_first_packet_with(s, t, mode).stretch(d)
+        })
+        .collect();
+    mean(&samples)
+}
+
+/// Measure NDDisco first/later-packet stretch (name-dependent protocol).
+pub fn nddisco_stretch(router: &DiscoRouter<'_>, pairs: &[(NodeId, NodeId)]) -> StretchReport {
+    let mut report = StretchReport::default();
+    for &(s, t) in pairs {
+        let d = router.true_distance(s, t);
+        report
+            .first
+            .push(router.nddisco_first_packet(s, t).stretch(d));
+        report
+            .later
+            .push(router.nddisco_later_packet(s, t).stretch(d));
+    }
+    report
+}
+
+/// Measure S4 first/later-packet stretch.
+pub fn s4_stretch(router: &S4Router<'_>, pairs: &[(NodeId, NodeId)]) -> StretchReport {
+    let mut report = StretchReport::default();
+    for &(s, t) in pairs {
+        report.first.push(router.first_packet_stretch(s, t));
+        report.later.push(router.later_packet_stretch(s, t));
+    }
+    report
+}
+
+/// Measure VRR stretch (VRR has no first/later distinction; both fields get
+/// the same samples so reports stay comparable).
+pub fn vrr_stretch(router: &VrrRouter<'_>, pairs: &[(NodeId, NodeId)]) -> StretchReport {
+    let samples: Vec<f64> = pairs.iter().map(|&(s, t)| router.stretch(s, t)).collect();
+    StretchReport {
+        first: samples.clone(),
+        later: samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::sample_pairs_grouped;
+    use disco_baselines::{S4State, VrrState};
+    use disco_core::config::DiscoConfig;
+    use disco_core::static_state::DiscoState;
+    use disco_graph::generators;
+
+    #[test]
+    fn disco_stretch_bounds_and_ordering() {
+        let n = 300;
+        let g = generators::gnm_average_degree(n, 8.0, 3);
+        let cfg = DiscoConfig::seeded(3);
+        let state = DiscoState::build(&g, &cfg);
+        let router = DiscoRouter::new(&g, &state);
+        let pairs = sample_pairs_grouped(n, 12, 10, 3);
+        let rep = disco_stretch(&router, &pairs);
+        assert_eq!(rep.first.len(), pairs.len());
+        assert!(rep.mean_first() >= 1.0 - 1e-9);
+        assert!(rep.mean_later() <= rep.mean_first() + 1e-9);
+        assert!(rep.max_first() <= 7.0 + 1e-9);
+        assert!(rep.max_later() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn shortcut_modes_reduce_mean_stretch_monotonically() {
+        let n = 300;
+        let g = generators::geometric_connected(n, 8.0, 5);
+        let cfg = DiscoConfig::seeded(5);
+        let state = DiscoState::build(&g, &cfg);
+        let router = DiscoRouter::new(&g, &state);
+        let pairs = sample_pairs_grouped(n, 10, 10, 5);
+        let none = disco_mean_stretch_with_mode(&router, &pairs, ShortcutMode::None);
+        let to_dest = disco_mean_stretch_with_mode(&router, &pairs, ShortcutMode::ToDestination);
+        let npk = disco_mean_stretch_with_mode(&router, &pairs, ShortcutMode::NoPathKnowledge);
+        let pk = disco_mean_stretch_with_mode(&router, &pairs, ShortcutMode::PathKnowledge);
+        assert!(to_dest <= none + 1e-9);
+        assert!(npk <= to_dest + 1e-9);
+        assert!(pk <= npk + 1e-9);
+        assert!(pk >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn s4_and_vrr_stretch_exceed_disco_on_average() {
+        let n = 400;
+        let g = generators::gnm_average_degree(n, 8.0, 7);
+        let cfg = DiscoConfig::seeded(7);
+        let disco = DiscoState::build(&g, &cfg);
+        let s4 = S4State::build(&g, &cfg);
+        let vrr = VrrState::build(&g, &cfg);
+        let d_router = DiscoRouter::new(&g, &disco);
+        let s_router = S4Router::new(&g, &s4);
+        let v_router = VrrRouter::new(&g, &vrr);
+        let pairs = sample_pairs_grouped(n, 15, 8, 7);
+        let d = disco_stretch(&d_router, &pairs);
+        let s = s4_stretch(&s_router, &pairs);
+        let v = vrr_stretch(&v_router, &pairs);
+        // First-packet comparison is where Disco's advantage shows.
+        assert!(
+            d.mean_first() < s.mean_first() + 1e-9,
+            "Disco {} vs S4 {}",
+            d.mean_first(),
+            s.mean_first()
+        );
+        assert!(
+            d.mean_first() < v.mean_first(),
+            "Disco {} vs VRR {}",
+            d.mean_first(),
+            v.mean_first()
+        );
+        // Later packets: both compact schemes are ≤ 3.
+        assert!(d.max_later() <= 3.0 + 1e-9);
+        assert!(s.max_later() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn nddisco_stretch_at_most_5_and_3() {
+        let n = 300;
+        let g = generators::gnm_average_degree(n, 8.0, 9);
+        let cfg = DiscoConfig::seeded(9);
+        let state = DiscoState::build(&g, &cfg);
+        let router = DiscoRouter::new(&g, &state);
+        let pairs = sample_pairs_grouped(n, 10, 10, 9);
+        let rep = nddisco_stretch(&router, &pairs);
+        assert!(rep.max_first() <= 5.0 + 1e-9);
+        assert!(rep.max_later() <= 3.0 + 1e-9);
+    }
+}

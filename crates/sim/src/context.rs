@@ -1,0 +1,190 @@
+//! The per-upcall handle a protocol uses to interact with the simulated
+//! world.
+
+use crate::event::SimTime;
+use disco_graph::{Graph, NodeId, Weight};
+
+/// An outgoing action recorded by a [`Context`] during one upcall; the
+/// engine turns these into events after the upcall returns.
+///
+/// The type is public so protocols can *compose*: an outer protocol can run
+/// an embedded sub-protocol in a fresh `Context`, drain its actions with
+/// [`Context::take_actions`], and re-wrap the messages in its own message
+/// type (see `disco-core`'s `DiscoProtocol`, which embeds the path-vector
+/// protocol this way).
+#[derive(Debug, Clone)]
+pub enum Action<M> {
+    /// Send `msg` (accounted as `size_bytes`) to the direct neighbor `to`.
+    Send {
+        /// Receiving neighbor.
+        to: NodeId,
+        /// The message.
+        msg: M,
+        /// Accounted wire size.
+        size_bytes: usize,
+    },
+    /// Fire a timer on this node after `delay` with the given token.
+    Timer {
+        /// Relative delay.
+        delay: SimTime,
+        /// Caller-chosen token passed back to `on_timer`.
+        token: u64,
+    },
+}
+
+/// Handle passed to every protocol upcall.
+///
+/// A protocol can only observe its own node id, its direct neighborhood
+/// (ids and link weights) and the current simulation time; it can only act
+/// by sending messages to direct neighbors and by scheduling timers on
+/// itself. This enforces the paper's locality assumption (§4.1: "each node
+/// knows its own name and its neighbors' names, but nothing else").
+pub struct Context<'a, M> {
+    node: NodeId,
+    now: SimTime,
+    graph: &'a Graph,
+    pub(crate) actions: Vec<Action<M>>,
+    /// Default per-message size used by [`Context::send`]; protocols that
+    /// care about byte accounting use [`Context::send_sized`].
+    pub(crate) default_msg_size: usize,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Create a context for `node` at time `now` over `graph`. Mostly used
+    /// by the engine, but public so protocols can run embedded
+    /// sub-protocols (see [`Action`]).
+    pub fn new(node: NodeId, now: SimTime, graph: &'a Graph, default_msg_size: usize) -> Self {
+        Context {
+            node,
+            now,
+            graph,
+            actions: Vec::new(),
+            default_msg_size,
+        }
+    }
+
+    /// The graph this context operates over (exposed so an outer protocol
+    /// can construct a sub-context for an embedded protocol).
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Drain the actions recorded so far (used when relaying an embedded
+    /// protocol's actions into an outer protocol's context).
+    pub fn take_actions(&mut self) -> Vec<Action<M>> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Id of the node this upcall runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Ids of this node's direct neighbors.
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        self.graph
+            .neighbors(self.node)
+            .iter()
+            .map(|nb| nb.node)
+            .collect()
+    }
+
+    /// Number of direct neighbors.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// Weight (latency) of the link to direct neighbor `to`, if it exists.
+    pub fn link_weight(&self, to: NodeId) -> Option<Weight> {
+        self.graph.edge_weight(self.node, to)
+    }
+
+    /// Total number of nodes in the network. Protocols that honour the
+    /// paper's model should *not* rely on this except to emulate the
+    /// synopsis-diffusion estimate of `n` (§4.1); it is exposed for
+    /// convenience and for test assertions.
+    pub fn network_size(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Send `msg` to the direct neighbor `to`, with the default message
+    /// size. Panics if `to` is not a neighbor.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let size = self.default_msg_size;
+        self.send_sized(to, msg, size);
+    }
+
+    /// Send `msg` to neighbor `to`, accounting `size_bytes` for it.
+    pub fn send_sized(&mut self, to: NodeId, msg: M, size_bytes: usize) {
+        assert!(
+            self.graph.edge_weight(self.node, to).is_some(),
+            "{} tried to send to non-neighbor {to}",
+            self.node
+        );
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            size_bytes,
+        });
+    }
+
+    /// Send a clone of `msg` to every direct neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        let neighbors = self.neighbors();
+        for to in neighbors {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Schedule a timer to fire on this node after `delay` time units; the
+    /// protocol's `on_timer` will be invoked with `token`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        assert!(delay >= 0.0, "timer delay must be non-negative");
+        self.actions.push(Action::Timer { delay, token });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_graph::generators;
+
+    #[test]
+    fn context_exposes_neighborhood() {
+        let g = generators::ring(5);
+        let ctx: Context<'_, ()> = Context::new(NodeId(0), 1.5, &g, 64);
+        assert_eq!(ctx.node_id(), NodeId(0));
+        assert_eq!(ctx.now(), 1.5);
+        assert_eq!(ctx.degree(), 2);
+        let mut nbrs = ctx.neighbors();
+        nbrs.sort();
+        assert_eq!(nbrs, vec![NodeId(1), NodeId(4)]);
+        assert_eq!(ctx.link_weight(NodeId(1)), Some(1.0));
+        assert_eq!(ctx.link_weight(NodeId(2)), None);
+        assert_eq!(ctx.network_size(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn send_to_non_neighbor_panics() {
+        let g = generators::ring(5);
+        let mut ctx: Context<'_, u8> = Context::new(NodeId(0), 0.0, &g, 64);
+        ctx.send(NodeId(2), 7);
+    }
+
+    #[test]
+    fn broadcast_records_one_send_per_neighbor() {
+        let g = generators::star(6);
+        let mut ctx: Context<'_, u8> = Context::new(NodeId(0), 0.0, &g, 64);
+        ctx.broadcast(9);
+        assert_eq!(ctx.actions.len(), 5);
+    }
+}

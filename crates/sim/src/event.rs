@@ -1,0 +1,170 @@
+//! Event queue of the discrete-event engine.
+
+use disco_graph::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time, in the same unit as link weights (the paper uses
+/// latencies; for unweighted graphs a hop costs 1.0).
+pub type SimTime = f64;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub enum EventKind<M> {
+    /// Deliver a message to `to`, sent by `from`.
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// Fire a timer at `node` with the caller-chosen `token`.
+    Timer { node: NodeId, token: u64 },
+}
+
+/// An event scheduled to fire at `time`. The sequence number makes ordering
+/// total and deterministic for equal timestamps.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the earliest (time, seq) first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic priority queue of events.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `kind` to fire at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(
+            3.0,
+            EventKind::Timer {
+                node: NodeId(0),
+                token: 3,
+            },
+        );
+        q.push(
+            1.0,
+            EventKind::Timer {
+                node: NodeId(0),
+                token: 1,
+            },
+        );
+        q.push(
+            2.0,
+            EventKind::Timer {
+                node: NodeId(0),
+                token: 2,
+            },
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fifo_by_sequence() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for token in 0..10 {
+            q.push(
+                5.0,
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token,
+                },
+            );
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(
+            0.0,
+            EventKind::Timer {
+                node: NodeId(1),
+                token: 0,
+            },
+        );
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

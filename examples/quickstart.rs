@@ -1,0 +1,70 @@
+//! Quickstart: build Disco's converged state on a small random network and
+//! route a flow between two flat names.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use disco::core::prelude::*;
+use disco::graph::{generators, NodeId};
+
+fn main() {
+    // 1. A 512-node random network with average degree 8 (the paper's
+    //    G(n,m) family).
+    let n = 512;
+    let graph = generators::gnm_average_degree(n, 8.0, 42);
+    println!("network: {} nodes, {} links", graph.node_count(), graph.edge_count());
+
+    // 2. Give every node a flat, location-independent name and build the
+    //    converged Disco state (landmarks, vicinities, addresses, sloppy
+    //    groups, overlay).
+    let names: Vec<FlatName> = (0..n)
+        .map(|i| FlatName::from_str_name(&format!("host-{i}.example.net")))
+        .collect();
+    let config = DiscoConfig::seeded(42);
+    let state = DiscoState::build_with_names(&graph, &config, names);
+    println!(
+        "landmarks: {} (expected Θ(√(n log n)) ≈ {:.0})",
+        state.landmarks().len(),
+        ((n as f64) * (n as f64).ln()).sqrt()
+    );
+
+    // 3. Route the first packet of a flow from one flat name to another,
+    //    then subsequent packets.
+    let router = DiscoRouter::new(&graph, &state);
+    let (s, t) = (NodeId(17), NodeId(401));
+    let shortest = router.true_distance(s, t);
+    let first = router.route_first_packet(s, t);
+    let later = router.route_later_packet(s, t);
+    println!(
+        "routing {} -> {}",
+        state.name_of(s),
+        state.name_of(t)
+    );
+    println!(
+        "  shortest path:      {:.2} ({} hops minimum)",
+        shortest,
+        router.shortest_path(s, t).hop_count()
+    );
+    println!(
+        "  first packet:       length {:.2}, stretch {:.3}, via {:?}",
+        first.length,
+        first.stretch(shortest),
+        first.category
+    );
+    println!(
+        "  subsequent packets: length {:.2}, stretch {:.3}, via {:?}",
+        later.length,
+        later.stretch(shortest),
+        later.category
+    );
+
+    // 4. Show the per-node state bound in action.
+    let breakdown = state.state_breakdown(&graph, s);
+    println!(
+        "routing state at {}: {} entries total (landmarks {}, vicinity {}, group addresses {})",
+        state.name_of(s),
+        breakdown.disco_total(),
+        breakdown.landmark_entries,
+        breakdown.vicinity_entries,
+        breakdown.group_address_entries
+    );
+}

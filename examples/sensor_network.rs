@@ -1,0 +1,55 @@
+//! Sensor-network scenario: the geometric, latency-weighted setting S4 was
+//! designed for, showing Disco's bounded first-packet stretch against S4's
+//! unbounded directory detour (the effect behind the paper's Fig. 3 left
+//! and Fig. 5 middle).
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use disco::baselines::{S4Router, S4State};
+use disco::core::prelude::*;
+use disco::graph::{generators, NodeId};
+
+fn main() {
+    let n = 900;
+    let seed = 13;
+    // A field of sensors placed uniformly at random; link latency is the
+    // Euclidean distance between radio neighbors.
+    let graph = generators::geometric_connected(n, 8.0, seed);
+    let cfg = DiscoConfig::seeded(seed);
+    let disco_state = DiscoState::build(&graph, &cfg);
+    let s4_state = S4State::build(&graph, &cfg);
+    let disco = DiscoRouter::new(&graph, &disco_state);
+    let s4 = S4Router::new(&graph, &s4_state);
+
+    // Sink node collecting readings from every sensor: measure the cost of
+    // the *first* packet of each sensor→sink flow (e.g. an alarm message
+    // that must arrive quickly).
+    let sink = NodeId(0);
+    let mut disco_worst: f64 = 1.0;
+    let mut s4_worst: f64 = 1.0;
+    let mut disco_sum = 0.0;
+    let mut s4_sum = 0.0;
+    let mut count = 0.0;
+    for sensor in graph.nodes().skip(1).step_by(3) {
+        let d = disco.true_distance(sensor, sink);
+        if d <= 0.0 {
+            continue;
+        }
+        let disco_stretch = disco.route_first_packet(sensor, sink).stretch(d);
+        let s4_stretch = s4.first_packet_stretch(sensor, sink);
+        disco_worst = disco_worst.max(disco_stretch);
+        s4_worst = s4_worst.max(s4_stretch);
+        disco_sum += disco_stretch;
+        s4_sum += s4_stretch;
+        count += 1.0;
+    }
+    println!("first-packet (alarm) stretch over {count:.0} sensor→sink flows, latency-weighted:");
+    println!("  Disco: mean {:.3}, worst {:.3}", disco_sum / count, disco_worst);
+    println!("  S4:    mean {:.3}, worst {:.3}", s4_sum / count, s4_worst);
+    println!();
+    println!(
+        "Disco's worst case stays below the Theorem-1 bound of 7; S4's first packet\n\
+         detours through a hashed directory landmark and can be far worse on a\n\
+         latency-weighted field."
+    );
+}

@@ -1,0 +1,23 @@
+//! # disco — Scalable Routing on Flat Names
+//!
+//! Facade crate for the reproduction of *"Scalable Routing on Flat Names"*
+//! (Singla, Godfrey, Fall, Iannaccone, Ratnasamy — ACM CoNEXT 2010).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`graph`] — topologies, generators, shortest paths,
+//! * [`sim`] — the discrete-event simulation engine,
+//! * [`core`] — the Disco protocol itself (NDDisco, name resolution,
+//!   sloppy groups, dissemination overlay, static & distributed forms),
+//! * [`baselines`] — S4, VRR and path-vector comparison protocols,
+//! * [`metrics`] — state/stretch/congestion measurement and the experiment
+//!   runners behind every figure and table of the paper.
+//!
+//! See the repository README for a quickstart and `examples/` for runnable
+//! scenarios.
+
+pub use disco_baselines as baselines;
+pub use disco_core as core;
+pub use disco_graph as graph;
+pub use disco_metrics as metrics;
+pub use disco_sim as sim;

@@ -1,0 +1,182 @@
+//! Integration tests for the paper's theoretical guarantees (§4.5), run
+//! across crates: Theorem 1 (stretch ≤ 7 on the first packet, ≤ 3 after)
+//! and Theorem 2 (O(√(n log n)) routing-table entries), plus
+//! property-based tests that the guarantees hold across random topologies,
+//! seeds and pair choices whenever the with-high-probability preconditions
+//! hold.
+
+use disco::core::prelude::*;
+use disco::core::routing::RouteCategory;
+use disco::graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+/// The w.h.p. preconditions of Theorems 1–2 for a specific pair: both
+/// endpoints have a landmark in their vicinity, and the source can find a
+/// member of the destination's sloppy group in its vicinity.
+fn preconditions_hold(state: &DiscoState, s: NodeId, t: NodeId) -> bool {
+    let lm_in = |v: NodeId| {
+        state
+            .vicinity(v)
+            .members()
+            .any(|(w, _)| state.is_landmark(w))
+    };
+    let proxy_ok = state.knows_address(s, t)
+        || state
+            .best_group_proxy(s, t)
+            .map(|w| state.knows_address(w, t))
+            .unwrap_or(false);
+    lm_in(s) && lm_in(t) && proxy_ok
+}
+
+fn check_guarantees(graph: &Graph, state: &DiscoState, pairs: &[(NodeId, NodeId)]) {
+    let router = DiscoRouter::new(graph, state);
+    for &(s, t) in pairs {
+        if s == t || !preconditions_hold(state, s, t) {
+            continue;
+        }
+        let d = router.true_distance(s, t);
+        let first = router.route_first_packet(s, t);
+        let later = router.route_later_packet(s, t);
+        assert!(
+            first.stretch(d) <= 7.0 + 1e-9,
+            "Theorem 1 violated: first-packet stretch {} for {s}->{t}",
+            first.stretch(d)
+        );
+        assert!(
+            later.stretch(d) <= 3.0 + 1e-9,
+            "Theorem 1 violated: later-packet stretch {} for {s}->{t}",
+            later.stretch(d)
+        );
+        // NDDisco (name-dependent) first packet: stretch ≤ 5.
+        let nd = router.nddisco_first_packet(s, t);
+        assert!(nd.stretch(d) <= 5.0 + 1e-9);
+        // Routes must be usable walks.
+        assert_eq!(*first.nodes.first().unwrap(), s);
+        assert_eq!(*first.nodes.last().unwrap(), t);
+    }
+}
+
+#[test]
+fn theorem_1_on_random_graph() {
+    let n = 400;
+    let g = generators::gnm_average_degree(n, 8.0, 77);
+    let state = DiscoState::build(&g, &DiscoConfig::seeded(77));
+    let pairs: Vec<_> = (0..n)
+        .step_by(11)
+        .flat_map(|s| (0..n).step_by(37).map(move |t| (NodeId(s), NodeId(t))))
+        .collect();
+    check_guarantees(&g, &state, &pairs);
+}
+
+#[test]
+fn theorem_1_on_weighted_geometric_graph() {
+    let n = 400;
+    let g = generators::geometric_connected(n, 8.0, 78);
+    let state = DiscoState::build(&g, &DiscoConfig::seeded(78));
+    let pairs: Vec<_> = (0..n)
+        .step_by(13)
+        .flat_map(|s| (0..n).step_by(41).map(move |t| (NodeId(s), NodeId(t))))
+        .collect();
+    check_guarantees(&g, &state, &pairs);
+}
+
+#[test]
+fn theorem_1_on_pathological_topologies() {
+    for (name, g) in [
+        ("ring", generators::ring(200)),
+        ("grid", generators::grid(14, 14)),
+        ("binary tree", generators::binary_tree(7)),
+        ("adversarial tree", generators::s4_adversarial_tree(14)),
+    ] {
+        let state = DiscoState::build(&g, &DiscoConfig::seeded(5));
+        let n = g.node_count();
+        let pairs: Vec<_> = (0..n)
+            .step_by(7)
+            .flat_map(|s| (0..n).step_by(29).map(move |t| (NodeId(s), NodeId(t))))
+            .collect();
+        println!("checking {name}");
+        check_guarantees(&g, &state, &pairs);
+    }
+}
+
+#[test]
+fn theorem_2_state_bound_across_topologies() {
+    // Every node's Disco state stays within a constant multiple of
+    // √(n log n) on very different topologies.
+    for (name, g) in [
+        ("gnm", generators::gnm_average_degree(600, 8.0, 9)),
+        ("geometric", generators::geometric_connected(600, 8.0, 9)),
+        ("router-like", generators::internet_router_like(600, 9)),
+        ("star", generators::star(600)),
+        ("adversarial tree", generators::s4_adversarial_tree(24)),
+    ] {
+        let n = g.node_count() as f64;
+        let state = DiscoState::build(&g, &DiscoConfig::seeded(9));
+        let bound = 10.0 * (n * n.ln()).sqrt();
+        for v in g.nodes() {
+            let entries = state.state_breakdown(&g, v).disco_total();
+            assert!(
+                (entries as f64) < bound,
+                "{name}: node {v} holds {entries} entries (bound {bound:.0})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fallback_keeps_routing_correct_even_when_whp_fails() {
+    // Even for pairs where the precondition fails, routing must still
+    // deliver (via the resolution-database fallback), just without the
+    // stretch bound.
+    let n = 300;
+    let g = generators::gnm_average_degree(n, 8.0, 31);
+    let state = DiscoState::build(&g, &DiscoConfig::seeded(31).with_n_estimate_error(0.6));
+    let router = DiscoRouter::new(&g, &state);
+    for s in (0..n).step_by(17) {
+        for t in (0..n).step_by(23) {
+            let out = router.route_first_packet(NodeId(s), NodeId(t));
+            assert_eq!(*out.nodes.last().unwrap(), NodeId(t));
+            // Fallback routes are still loop-free walks on real edges.
+            for w in out.nodes.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+            let _ = out.category == RouteCategory::Fallback;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Theorem 1/2 hold for random seeds and sizes on G(n,m) graphs.
+    #[test]
+    fn prop_guarantees_hold_on_random_instances(seed in 0u64..1000, n in 150usize..350) {
+        let g = generators::gnm_average_degree(n, 8.0, seed);
+        let state = DiscoState::build(&g, &DiscoConfig::seeded(seed));
+        let pairs: Vec<_> = (0..n)
+            .step_by(23)
+            .flat_map(|s| (0..n).step_by(31).map(move |t| (NodeId(s), NodeId(t))))
+            .collect();
+        check_guarantees(&g, &state, &pairs);
+        // Theorem 2.
+        let bound = 10.0 * (n as f64 * (n as f64).ln()).sqrt();
+        for v in g.nodes().step_by(13) {
+            prop_assert!((state.state_breakdown(&g, v).disco_total() as f64) < bound);
+        }
+    }
+
+    /// Addresses always expand to valid landmark→node shortest paths.
+    #[test]
+    fn prop_addresses_expand_to_valid_routes(seed in 0u64..1000, n in 100usize..250) {
+        let g = generators::gnm_average_degree(n, 8.0, seed);
+        let state = DiscoState::build(&g, &DiscoConfig::seeded(seed));
+        for v in g.nodes().step_by(7) {
+            let addr = state.address_of(v);
+            let path = addr.route_path(&g).unwrap();
+            prop_assert_eq!(path.source(), addr.landmark);
+            prop_assert_eq!(path.destination(), v);
+            prop_assert!(path.is_valid(&g));
+            prop_assert!((path.length(&g) - state.closest_landmark_distance(v)).abs() < 1e-9);
+        }
+    }
+}
