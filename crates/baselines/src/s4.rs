@@ -27,9 +27,7 @@ use disco_core::config::DiscoConfig;
 use disco_core::hash::NameHasher;
 use disco_core::landmark;
 use disco_core::name::FlatName;
-use disco_graph::{
-    dijkstra, dijkstra_bounded, multi_source_dijkstra, Graph, NodeId, Path, Weight,
-};
+use disco_graph::{dijkstra, dijkstra_bounded, multi_source_dijkstra, Graph, NodeId, Path, Weight};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -413,7 +411,10 @@ mod tests {
                 }
             }
         }
-        assert!(any_worse, "the directory detour should hurt some first packets");
+        assert!(
+            any_worse,
+            "the directory detour should hurt some first packets"
+        );
         assert!(max_first > 1.5, "max first-packet stretch {max_first}");
     }
 

@@ -10,9 +10,11 @@ fn topology_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_generation");
     group.sample_size(10);
     for topo in Topology::ALL {
-        group.bench_with_input(BenchmarkId::new("n=2048", topo.label()), &topo, |b, &topo| {
-            b.iter(|| topo.build(2048, 7))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("n=2048", topo.label()),
+            &topo,
+            |b, &topo| b.iter(|| topo.build(2048, 7)),
+        );
     }
     group.finish();
 }

@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use disco_metrics::experiment::{
-    address_size_experiment, congestion_comparison, messaging_point, scaling_point,
-    shortcut_sweep, state_bytes_table, state_comparison, static_accuracy_experiment,
-    stretch_comparison, ExperimentParams,
+    address_size_experiment, congestion_comparison, messaging_point, scaling_point, shortcut_sweep,
+    state_bytes_table, state_comparison, static_accuracy_experiment, stretch_comparison,
+    ExperimentParams,
 };
 use disco_metrics::Topology;
 

@@ -47,7 +47,12 @@ fn routing(c: &mut Criterion) {
     });
     group.bench_function("vrr_greedy", |b| {
         let router = VrrRouter::new(&g, &vrr);
-        b.iter(|| pairs.iter().map(|&(s, t)| router.route(s, t).1).sum::<f64>())
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| router.route(s, t).1)
+                .sum::<f64>()
+        })
     });
     group.finish();
 }

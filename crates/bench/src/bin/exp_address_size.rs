@@ -8,9 +8,15 @@ use disco_metrics::Topology;
 fn main() {
     let args = CommonArgs::parse(16384);
     let stats = address_size_experiment(Topology::RouterLevel, &args.params());
-    println!("# §4.2 — explicit-route size on the router-level topology (n={})", args.nodes);
+    println!(
+        "# §4.2 — explicit-route size on the router-level topology (n={})",
+        args.nodes
+    );
     println!("mean bytes:           {:.3}", stats.mean_bytes);
     println!("95th percentile bytes: {:.3}", stats.p95_bytes);
     println!("max bytes:            {:.3}", stats.max_bytes);
-    println!("mean address bytes (IPv4 landmark id + route): {:.3}", stats.mean_address_bytes_v4);
+    println!(
+        "mean address bytes (IPv4 landmark id + route): {:.3}",
+        stats.mean_address_bytes_v4
+    );
 }

@@ -1,0 +1,20 @@
+//! Dynamics — route availability, stretch and repair traffic under
+//! steady-state Poisson churn (extends the paper's Fig. 8 messaging
+//! methodology from one-shot convergence to a dynamic network).
+//!
+//! The summary is a pure function of `(--nodes, --seed)`: the same
+//! invocation reproduces byte-identical output, which is how churn
+//! regressions are caught.
+//!
+//! Run with: `cargo run --release -p disco-bench --bin exp_churn`
+//! (defaults: 512 nodes, seed 1).
+
+use disco_bench::churn::{churn_experiment, ChurnParams};
+use disco_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse(512);
+    let params = ChurnParams::sized(args.nodes, args.seed);
+    let outcome = churn_experiment(&params);
+    print!("{}", outcome.summary(&params));
+}

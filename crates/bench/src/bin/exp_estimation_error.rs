@@ -24,7 +24,11 @@ fn main() {
         "{}",
         report::render_table(
             &format!("§5.2 — error in estimating n (G(n,m), n={})", args.nodes),
-            &["injected error", "fallback pairs", "mean first-packet stretch"],
+            &[
+                "injected error",
+                "fallback pairs",
+                "mean first-packet stretch"
+            ],
             &rows
         )
     );

@@ -25,8 +25,17 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &format!("§4.4 — address dissemination over the overlay (n={})", args.nodes),
-            &["fingers", "mean hops", "max hops", "mean messages/announcement", "coverage"],
+            &format!(
+                "§4.4 — address dissemination over the overlay (n={})",
+                args.nodes
+            ),
+            &[
+                "fingers",
+                "mean hops",
+                "max hops",
+                "mean messages/announcement",
+                "coverage"
+            ],
             &rows
         )
     );

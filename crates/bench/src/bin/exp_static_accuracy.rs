@@ -8,8 +8,20 @@ use disco_metrics::experiment::static_accuracy_experiment;
 fn main() {
     let args = CommonArgs::parse(1024);
     let out = static_accuracy_experiment(&args.params());
-    println!("# §5.2 — static vs discrete-event simulation (G(n,m), n={})", args.nodes);
-    println!("static simulator mean later-packet stretch: {:.4}", out.static_mean_stretch);
-    println!("event-driven protocol mean later-packet stretch: {:.4}", out.event_mean_stretch);
-    println!("relative difference: {:.3}%", out.relative_difference * 100.0);
+    println!(
+        "# §5.2 — static vs discrete-event simulation (G(n,m), n={})",
+        args.nodes
+    );
+    println!(
+        "static simulator mean later-packet stretch: {:.4}",
+        out.static_mean_stretch
+    );
+    println!(
+        "event-driven protocol mean later-packet stretch: {:.4}",
+        out.event_mean_stretch
+    );
+    println!(
+        "relative difference: {:.3}%",
+        out.relative_difference * 100.0
+    );
 }

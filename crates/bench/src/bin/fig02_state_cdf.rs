@@ -11,7 +11,11 @@ use disco_metrics::{report, Topology};
 
 fn main() {
     let args = CommonArgs::parse(8192);
-    for topology in [Topology::Geometric, Topology::AsLevel, Topology::RouterLevel] {
+    for topology in [
+        Topology::Geometric,
+        Topology::AsLevel,
+        Topology::RouterLevel,
+    ] {
         let params = ExperimentParams::for_nodes(args.nodes, args.seed);
         let cmp = state_comparison(topology, &params, false);
         let disco = cmp.disco.cdf();
@@ -25,6 +29,9 @@ fn main() {
                 &series
             )
         );
-        println!("{}", report::render_cdf_series("CDF over nodes", &series, args.points));
+        println!(
+            "{}",
+            report::render_cdf_series("CDF over nodes", &series, args.points)
+        );
     }
 }

@@ -7,7 +7,11 @@ use disco_metrics::{report, Topology};
 
 fn main() {
     let args = CommonArgs::parse(8192);
-    for topology in [Topology::Geometric, Topology::AsLevel, Topology::RouterLevel] {
+    for topology in [
+        Topology::Geometric,
+        Topology::AsLevel,
+        Topology::RouterLevel,
+    ] {
         let cmp = stretch_comparison(topology, &args.params(), false);
         let df = cmp.disco.first_cdf();
         let dl = cmp.disco.later_cdf();
@@ -26,6 +30,9 @@ fn main() {
                 &series
             )
         );
-        println!("{}", report::render_cdf_series("CDF over src-dest pairs", &series, args.points));
+        println!(
+            "{}",
+            report::render_cdf_series("CDF over src-dest pairs", &series, args.points)
+        );
     }
 }

@@ -52,7 +52,12 @@ fn main() {
         "{}",
         report::render_summary(
             "Fig. 5 (right) — congestion (paths per edge)",
-            &[("Disco", &dc), ("Path-vector", &pc), ("S4", &sc), ("VRR", &vc)]
+            &[
+                ("Disco", &dc),
+                ("Path-vector", &pc),
+                ("S4", &sc),
+                ("VRR", &vc)
+            ]
         )
     );
 }

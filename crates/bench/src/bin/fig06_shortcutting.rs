@@ -34,7 +34,10 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &format!("Fig. 6 — mean stretch per shortcutting heuristic (n={})", args.nodes),
+            &format!(
+                "Fig. 6 — mean stretch per shortcutting heuristic (n={})",
+                args.nodes
+            ),
             &headers,
             &rows
         )

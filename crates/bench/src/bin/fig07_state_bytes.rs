@@ -25,7 +25,10 @@ fn main() {
     println!(
         "{}",
         report::render_table(
-            &format!("Fig. 7 — state at a node, router-level topology, n={}", args.nodes),
+            &format!(
+                "Fig. 7 — state at a node, router-level topology, n={}",
+                args.nodes
+            ),
             &[
                 "Protocol",
                 "Entries mean",

@@ -33,7 +33,14 @@ fn main() {
         "{}",
         report::render_table(
             "Fig. 8 — mean messages per node until convergence (G(n,m))",
-            &["nodes", "Path-vector", "S4", "ND-Disco", "Disco-1-Finger", "Disco-3-Finger"],
+            &[
+                "nodes",
+                "Path-vector",
+                "S4",
+                "ND-Disco",
+                "Disco-1-Finger",
+                "Disco-3-Finger"
+            ],
             &rows
         )
     );

@@ -33,7 +33,13 @@ fn main() {
         "{}",
         report::render_table(
             "Fig. 9 (left) — mean path stretch vs n (geometric graphs)",
-            &["nodes", "Disco First", "Disco Later", "S4 First", "S4 Later"],
+            &[
+                "nodes",
+                "Disco First",
+                "Disco Later",
+                "S4 First",
+                "S4 Later"
+            ],
             &stretch_rows
         )
     );

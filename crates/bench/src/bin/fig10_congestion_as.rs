@@ -15,11 +15,17 @@ fn main() {
     println!(
         "{}",
         report::render_summary(
-            &format!("Fig. 10 — congestion on the AS-level topology, n={}", cg.nodes),
+            &format!(
+                "Fig. 10 — congestion on the AS-level topology, n={}",
+                cg.nodes
+            ),
             &series
         )
     );
-    println!("{}", report::render_cdf_series("CDF over edges", &series, args.points));
+    println!(
+        "{}",
+        report::render_cdf_series("CDF over edges", &series, args.points)
+    );
     println!(
         "# fraction of edges loaded more than 4x the shortest-path maximum: Disco {:.5}, S4 {:.5}",
         cg.disco.fraction_above(cg.path_vector.max() * 4),

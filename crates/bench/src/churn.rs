@@ -1,0 +1,261 @@
+//! The steady-state churn experiment behind `exp_churn`.
+//!
+//! Extends the paper's Fig. 8 methodology (messages until convergence on a
+//! static graph) to dynamics: run the full distributed Disco protocol to
+//! convergence, inject a seeded Poisson churn schedule, and measure route
+//! availability, stretch-under-churn and repair traffic at fixed probe
+//! times. Every number is a pure function of `(nodes, seed)`, so the
+//! summary is byte-identical across runs — the property the determinism
+//! test locks in.
+
+use disco_core::config::DiscoConfig;
+use disco_core::landmark::select_landmarks;
+use disco_core::protocol::{DiscoProtocol, PhaseTimers};
+use disco_dynamics::models::PoissonChurn;
+use disco_dynamics::probe::{disco_first_packet_route, probe, sample_live_pairs};
+use disco_graph::{generators, NodeId};
+use disco_sim::Engine;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Parameters of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnParams {
+    /// Network size.
+    pub nodes: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Per-node leave rate during the churn window.
+    pub leave_rate_per_node: f64,
+    /// Mean downtime before rejoin.
+    pub mean_downtime: f64,
+    /// Length of the churn window (simulation time).
+    pub horizon: f64,
+    /// Number of availability probes spread over the window.
+    pub probes: usize,
+    /// Sampled (source, destination) pairs per probe.
+    pub pairs_per_probe: usize,
+}
+
+impl ChurnParams {
+    /// Paper-appropriate defaults at the given size.
+    pub fn sized(nodes: usize, seed: u64) -> Self {
+        ChurnParams {
+            nodes,
+            seed,
+            leave_rate_per_node: 0.0002,
+            mean_downtime: 150.0,
+            horizon: 2000.0,
+            probes: 8,
+            pairs_per_probe: 128,
+        }
+    }
+}
+
+/// One probe row of the churn experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnProbe {
+    /// Probe time.
+    pub time: f64,
+    /// Live-node count at probe time.
+    pub live: usize,
+    /// Routable (connected) sampled pairs.
+    pub routable: usize,
+    /// Delivered pairs.
+    pub delivered: usize,
+    /// Mean first-packet stretch over delivered pairs.
+    pub mean_stretch: f64,
+}
+
+/// Aggregate outcome of the churn experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOutcome {
+    /// Per-probe rows (during churn plus one final post-repair probe).
+    pub timeline: Vec<ChurnProbe>,
+    /// Availability aggregated over every in-churn probe.
+    pub availability: f64,
+    /// Availability of the final probe after the network quiesced.
+    pub final_availability: f64,
+    /// Topology events applied.
+    pub topology_events: u64,
+    /// Messages lost to failed links / departed nodes.
+    pub messages_dropped: u64,
+    /// Control messages per node spent on initial convergence.
+    pub convergence_msgs_per_node: f64,
+    /// Control messages per node spent on repair during the churn window
+    /// (the Fig. 8 quantity, extended to steady-state churn).
+    pub repair_msgs_per_node: f64,
+    /// Whether the simulation reached quiescence after the churn window.
+    pub quiesced: bool,
+}
+
+impl ChurnOutcome {
+    /// Render the deterministic summary printed by `exp_churn`.
+    pub fn summary(&self, params: &ChurnParams) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "exp_churn: n={} seed={} leave_rate={} mean_downtime={} horizon={}",
+            params.nodes,
+            params.seed,
+            params.leave_rate_per_node,
+            params.mean_downtime,
+            params.horizon
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>6} {:>9} {:>10} {:>13}",
+            "time", "live", "routable", "delivered", "mean_stretch"
+        );
+        for p in &self.timeline {
+            let _ = writeln!(
+                out,
+                "{:>10.1} {:>6} {:>9} {:>10} {:>13.4}",
+                p.time, p.live, p.routable, p.delivered, p.mean_stretch
+            );
+        }
+        let _ = writeln!(
+            out,
+            "availability under churn: {:.4}   after repair: {:.4}",
+            self.availability, self.final_availability
+        );
+        let _ = writeln!(
+            out,
+            "topology events: {}   in-flight messages lost: {}",
+            self.topology_events, self.messages_dropped
+        );
+        let _ = writeln!(
+            out,
+            "control msgs/node: {:.1} (convergence) + {:.1} (repair)   quiesced: {}",
+            self.convergence_msgs_per_node, self.repair_msgs_per_node, self.quiesced
+        );
+        out
+    }
+}
+
+/// Run the churn experiment.
+pub fn churn_experiment(params: &ChurnParams) -> ChurnOutcome {
+    let n = params.nodes;
+    let graph = generators::gnm_average_degree(n, 8.0, params.seed);
+    let cfg = DiscoConfig::seeded(params.seed);
+    let landmarks = select_landmarks(n, &cfg);
+    let lm_set: HashSet<NodeId> = landmarks.iter().copied().collect();
+
+    let mut engine = Engine::new(&graph, |v| {
+        DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
+    });
+    let report = engine.run();
+    assert!(report.converged, "initial convergence failed");
+    let convergence_msgs = engine.stats().total_sent();
+
+    // Compile and inject the churn schedule relative to "now".
+    let model = PoissonChurn {
+        leave_rate_per_node: params.leave_rate_per_node,
+        mean_downtime: params.mean_downtime,
+        horizon: params.horizon,
+        ..PoissonChurn::default()
+    };
+    let schedule = model.compile(&graph, params.seed);
+    let start = engine.now();
+    schedule.apply_to(&mut engine);
+
+    // Probe at fixed times through the churn window.
+    let mut timeline = Vec::with_capacity(params.probes + 1);
+    let mut routable_total = 0usize;
+    let mut delivered_total = 0usize;
+    for i in 1..=params.probes {
+        let t = start + params.horizon * i as f64 / params.probes as f64;
+        engine.run_to(t);
+        let pairs = sample_live_pairs(&engine, params.pairs_per_probe, params.seed ^ i as u64);
+        let p = probe(&engine, &pairs, disco_first_packet_route);
+        routable_total += p.routable;
+        delivered_total += p.delivered;
+        timeline.push(ChurnProbe {
+            time: p.time - start,
+            live: engine.active_count(),
+            routable: p.routable,
+            delivered: p.delivered,
+            mean_stretch: p.mean_stretch(),
+        });
+    }
+    let availability = if routable_total == 0 {
+        1.0
+    } else {
+        delivered_total as f64 / routable_total as f64
+    };
+
+    // Let the network fully quiesce, then probe once more.
+    let quiesced = engine.run_until(|_| false);
+    let pairs = sample_live_pairs(&engine, params.pairs_per_probe, params.seed ^ 0xf17a1);
+    let p = probe(&engine, &pairs, disco_first_packet_route);
+    let final_availability = p.availability();
+    timeline.push(ChurnProbe {
+        time: engine.now() - start,
+        live: engine.active_count(),
+        routable: p.routable,
+        delivered: p.delivered,
+        mean_stretch: p.mean_stretch(),
+    });
+
+    ChurnOutcome {
+        timeline,
+        availability,
+        final_availability,
+        topology_events: engine.topology_events(),
+        messages_dropped: engine.messages_dropped(),
+        convergence_msgs_per_node: convergence_msgs as f64 / n as f64,
+        repair_msgs_per_node: (engine.stats().total_sent() - convergence_msgs) as f64 / n as f64,
+        quiesced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PR's acceptance run, at reduced scale so the suite stays fast:
+    /// deterministic summary, ≥ 90% availability under churn, full
+    /// availability after repair, bounded repair traffic. The full 512-node
+    /// run is `churn_512_acceptance` (ignored by default; run with
+    /// `cargo test -p disco-bench -- --ignored`) and the `exp_churn` binary.
+    #[test]
+    fn churn_small_acceptance() {
+        let params = ChurnParams::sized(192, 7);
+        let a = churn_experiment(&params);
+        let b = churn_experiment(&params);
+        assert_eq!(
+            a.summary(&params),
+            b.summary(&params),
+            "same seed must reproduce a byte-identical summary"
+        );
+        assert!(a.quiesced, "churn repair must reach quiescence");
+        assert!(
+            a.availability >= 0.90,
+            "availability under churn {:.4} < 0.90",
+            a.availability
+        );
+        assert!(
+            a.final_availability >= 0.99,
+            "post-repair availability {:.4} < 0.99",
+            a.final_availability
+        );
+        assert!(a.topology_events > 20, "expected real churn");
+        assert!(
+            a.repair_msgs_per_node < 50.0 * a.convergence_msgs_per_node,
+            "repair traffic unbounded: {} msgs/node vs convergence {}",
+            a.repair_msgs_per_node,
+            a.convergence_msgs_per_node
+        );
+    }
+
+    #[test]
+    #[ignore = "full-scale acceptance run (~release-mode minutes in debug); exp_churn runs the same thing"]
+    fn churn_512_acceptance() {
+        let params = ChurnParams::sized(512, 1);
+        let a = churn_experiment(&params);
+        let b = churn_experiment(&params);
+        assert_eq!(a.summary(&params), b.summary(&params));
+        assert!(a.quiesced);
+        assert!(a.availability >= 0.90, "availability {:.4}", a.availability);
+    }
+}

@@ -101,7 +101,8 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let a = CommonArgs::parse_from(v(&["--nodes", "256", "--seed", "9", "--points", "5"]), 1024);
+        let a =
+            CommonArgs::parse_from(v(&["--nodes", "256", "--seed", "9", "--points", "5"]), 1024);
         assert_eq!(a.nodes, 256);
         assert_eq!(a.seed, 9);
         assert_eq!(a.points, 5);

@@ -8,6 +8,7 @@
 //! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 //! recorded paper-vs-measured comparison.
 
+pub mod churn;
 pub mod cli;
 
 pub use cli::CommonArgs;

@@ -1,0 +1,165 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: the [`proptest!`] macro with `arg in integer_range` strategies,
+//! [`ProptestConfig`] with a `cases` count, and the `prop_assert*` macros.
+//!
+//! Instead of shrinking random failures, the stand-in deterministically
+//! samples `cases` points per test from a fixed seed, so failures reproduce
+//! bit-for-bit on every run. See `crates/compat/README.md`.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; the stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default (256) is sized for microsecond-scale properties;
+        // the properties here build whole routing states, so keep it small.
+        ProptestConfig {
+            cases: 8,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// One splitmix64 step, used to derive per-case deterministic sample seeds.
+#[doc(hidden)]
+#[inline]
+pub fn next_seed(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod strategy {
+    /// A deterministic value source (stand-in for proptest strategies).
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+        /// The value for sample seed `seed`.
+        fn sample(&self, seed: u64) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, seed: u64) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (super::next_seed(seed) % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, seed: u64) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi - lo) as u64;
+                    lo + (super::next_seed(seed) % (span.saturating_add(1))) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u64, usize, u32, i64);
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Assert inside a property (plain `assert!` here; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Deterministic property-test runner mirroring proptest's macro shape.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
+/// that evaluates the body for `cases` deterministically sampled argument
+/// tuples.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: no items left.
+    (@run($cfg:expr)) => {};
+    // Internal: one property fn, then the rest. Leading attributes
+    // (doc comments and the conventional `#[test]`) are consumed and
+    // replaced by this macro's own `#[test]`.
+    (@run($cfg:expr)
+     $(#[$_meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut case_seed: u64 = 0x5eed_0f_cafe;
+            for _case in 0..cfg.cases {
+                case_seed = $crate::next_seed(case_seed);
+                let mut arg_seed = case_seed;
+                $(
+                    arg_seed = $crate::next_seed(arg_seed);
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), arg_seed);
+                )*
+                $body
+            }
+        }
+        $crate::proptest! { @run($cfg) $($rest)* }
+    };
+    // Entry with a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run($cfg) $($rest)* }
+    };
+    // Entry without a config header.
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Sampled values stay inside their strategy ranges.
+        #[test]
+        fn samples_in_range(a in 10u64..20, b in 3usize..=7) {
+            prop_assert!((10..20).contains(&a));
+            prop_assert!((3..=7).contains(&b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        assert_eq!(s.sample(123), s.sample(123));
+    }
+}

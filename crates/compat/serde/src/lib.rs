@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: marker traits plus the no-op derives from
+//! the sibling `serde_derive` stand-in. See `crates/compat/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; nothing in the
+/// workspace serializes yet).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}

@@ -50,7 +50,11 @@ impl Address {
     /// Build the address of `node` given the shortest path from its closest
     /// landmark (`path` must run landmark → node).
     pub fn from_landmark_path(g: &Graph, node: NodeId, path: &Path) -> Self {
-        assert_eq!(path.destination(), node, "address path must end at the node");
+        assert_eq!(
+            path.destination(),
+            node,
+            "address path must end at the node"
+        );
         Address {
             node,
             landmark: path.source(),

@@ -131,7 +131,7 @@ mod tests {
         // ratio should be near sqrt(4 * ln(4096)/ln(1024)) ≈ 2.19
         let ratio = v4k as f64 / v1k as f64;
         assert!(ratio > 1.8 && ratio < 2.6, "ratio {ratio}");
-        assert!(v1k >= 80 && v1k <= 130, "v1k {v1k}");
+        assert!((80..=130).contains(&v1k), "v1k {v1k}");
     }
 
     #[test]

@@ -79,7 +79,11 @@ enum Direction {
 /// overlay neighbors the forwarder considers members of its own group, and
 /// only in the announcement's direction of travel. The origin itself sends
 /// in both directions.
-pub fn disseminate(overlay: &Overlay, grouping: &SloppyGrouping, origin: NodeId) -> DisseminationOutcome {
+pub fn disseminate(
+    overlay: &Overlay,
+    grouping: &SloppyGrouping,
+    origin: NodeId,
+) -> DisseminationOutcome {
     let mut hops: HashMap<NodeId, u32> = HashMap::new();
     let mut messages: u64 = 0;
     // A node forwards at most once per direction; track which directions it
@@ -223,8 +227,7 @@ mod tests {
         let out = disseminate(&overlay, &grouping, origin);
         for node in out.reached() {
             assert!(
-                grouping.considers_member(node, origin)
-                    || grouping.considers_member(origin, node),
+                grouping.considers_member(node, origin) || grouping.considers_member(origin, node),
                 "{node} received an announcement from a foreign group"
             );
         }

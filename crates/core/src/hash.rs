@@ -80,7 +80,8 @@ impl NameHash {
             // Full circle.
             return true;
         }
-        from.clockwise_distance(self) != 0 && from.clockwise_distance(self) <= from.clockwise_distance(to)
+        from.clockwise_distance(self) != 0
+            && from.clockwise_distance(self) <= from.clockwise_distance(to)
     }
 }
 
@@ -152,7 +153,10 @@ mod tests {
     fn hashing_deterministic_and_salt_dependent() {
         let n = FlatName::from("alice");
         assert_eq!(h().hash_name(&n), h().hash_name(&n));
-        assert_ne!(NameHasher::new(1).hash_name(&n), NameHasher::new(2).hash_name(&n));
+        assert_ne!(
+            NameHasher::new(1).hash_name(&n),
+            NameHasher::new(2).hash_name(&n)
+        );
     }
 
     #[test]

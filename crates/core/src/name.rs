@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn names_compare_bytewise() {
-        assert_eq!(FlatName::from("alice"), FlatName::from_bytes(b"alice".to_vec()));
+        assert_eq!(
+            FlatName::from("alice"),
+            FlatName::from_bytes(b"alice".to_vec())
+        );
         assert_ne!(FlatName::from("alice"), FlatName::from("bob"));
     }
 

@@ -69,8 +69,7 @@ impl Overlay {
         let hash_index: BTreeMap<u64, NodeId> = by_hash.iter().copied().collect();
 
         let mut links = Vec::with_capacity(n);
-        for v in 0..n {
-            let pos = ring_pos[v];
+        for (v, &pos) in ring_pos.iter().enumerate() {
             let successor = by_hash[(pos + 1) % n].1;
             let predecessor = by_hash[(pos + n - 1) % n].1;
             let fingers = select_fingers(NodeId(v), grouping, cfg, &hash_index);
@@ -83,8 +82,7 @@ impl Overlay {
 
         // Undirected adjacency.
         let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for v in 0..n {
-            let l = &links[v];
+        for (v, l) in links.iter().enumerate() {
             let mut add = |a: usize, b: NodeId| {
                 if a != b.0 {
                     adjacency[a].push(b);
@@ -167,8 +165,16 @@ fn select_fingers(
     }
     let gid = grouping.group_of(v);
     let bits = gid.bits;
-    let arc_size: u128 = if bits == 0 { 1u128 << 64 } else { 1u128 << (64 - bits) };
-    let arc_lo: u64 = if bits == 0 { 0 } else { (gid.prefix << (64 - bits)) as u64 };
+    let arc_size: u128 = if bits == 0 {
+        1u128 << 64
+    } else {
+        1u128 << (64 - bits)
+    };
+    let arc_lo: u64 = if bits == 0 {
+        0
+    } else {
+        gid.prefix << (64 - bits)
+    };
     let h_v = grouping.hash_of(v).value();
 
     let mut rng = rng_for(cfg.seed, FINGER_STREAM, v.0 as u64);

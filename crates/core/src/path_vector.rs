@@ -22,6 +22,21 @@
 //! Each route announcement forwarded to one neighbor counts as one message;
 //! the per-node totals until quiescence are the quantity plotted in the
 //! paper's Fig. 8.
+//!
+//! ## Dynamics
+//!
+//! Since the dynamics subsystem landed, the node is a *repairing* path
+//! vector: it keeps one candidate route per (neighbor, destination) — a
+//! per-neighbor Adj-RIB-In, exactly like BGP — and its routing table is
+//! always the deterministic best selection over those candidates filtered
+//! through the table limit. Any change to the candidate set (a better
+//! announcement, an explicit withdrawal, a neighbor link going down) makes
+//! the node re-select and export the *difference*: fresh announcements for
+//! routes that changed, withdrawals ([`Announcement::withdrawn`]) for
+//! routes that disappeared. This is what lets routes heal after the engine
+//! applies churn, failure or mobility events — the original seed
+//! implementation propagated only monotone improvements and could never
+//! un-learn a dead route.
 
 use disco_graph::{NodeId, Weight};
 use disco_sim::{Context, Protocol};
@@ -44,7 +59,8 @@ pub enum TableLimit {
     Cluster,
 }
 
-/// One route announcement: "I can reach `dest` over `path` at cost `dist`".
+/// One route announcement: "I can reach `dest` over `path` at cost `dist`"
+/// — or, when `withdrawn` is set, "I no longer export a route to `dest`".
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Announcement {
     /// The destination the route leads to.
@@ -58,10 +74,13 @@ pub struct Announcement {
     /// The destination's current distance to its own closest landmark
     /// (`∞` until it has one); needed by the S4 cluster rule.
     pub dest_landmark_dist: Weight,
+    /// Withdrawal flag: the announcer no longer exports a route to `dest`
+    /// (the fields above describe the last exported route).
+    pub withdrawn: bool,
 }
 
 /// A converged routing-table entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RouteEntry {
     /// Distance to the destination.
     pub dist: Weight,
@@ -76,6 +95,18 @@ pub struct RouteEntry {
     pub dest_landmark_dist: Weight,
 }
 
+/// Deterministic route preference: smaller distance, then shorter path,
+/// then lexicographically smaller path.
+fn preferred(a: &RouteEntry, b: &RouteEntry) -> bool {
+    if a.dist + 1e-12 < b.dist {
+        return true;
+    }
+    if b.dist + 1e-12 < a.dist {
+        return false;
+    }
+    (a.path.len(), &a.path) < (b.path.len(), &b.path)
+}
+
 /// A path-vector node with a configurable acceptance rule.
 #[derive(Debug, Clone)]
 pub struct PathVectorNode {
@@ -83,16 +114,42 @@ pub struct PathVectorNode {
     is_landmark: bool,
     limit: TableLimit,
     /// Data-plane routing table: only destinations accepted by the table
-    /// limit (plus the self entry).
+    /// limit (plus the self entry). This is exactly what the node exports.
     pub table: HashMap<NodeId, RouteEntry>,
-    /// Control-plane knowledge: the best route heard for every destination
-    /// any neighbor ever advertised (what the paper calls the full set of
-    /// received announcements; forgetful routing would prune this).
-    knowledge: HashMap<NodeId, RouteEntry>,
-    /// Distance to this node's own closest landmark; re-announced when it
-    /// improves (needed for the cluster rule).
+    /// Per-neighbor candidate routes (Adj-RIB-In): the last usable route
+    /// each neighbor announced for each destination, with `dist` already
+    /// including the link weight and `path` starting at this node.
+    rib_in: HashMap<NodeId, HashMap<NodeId, RouteEntry>>,
+    /// Best candidate per destination (Loc-RIB), maintained incrementally
+    /// from `rib_in` so a message costs O(degree), not O(all candidates).
+    best: HashMap<NodeId, RouteEntry>,
+    /// Distance to this node's own closest landmark (0 for landmarks, `∞`
+    /// while none is reachable); re-announced whenever it changes since the
+    /// cluster rule keys on it.
     own_landmark_dist: Weight,
+    /// Destinations whose exported state changed since the last flush
+    /// (flushed by the batch timer, BGP-MRAI style — see `BATCH_TIMER`).
+    pending: std::collections::BTreeSet<NodeId>,
+    /// Bumped whenever a landmark-flagged table entry is added, removed or
+    /// updated. Composite protocols watch this to notice that the landmark
+    /// set (consistent-hashing ownership of resolution shards) or this
+    /// node's own address (closest landmark + path) may have changed,
+    /// without recomputing either per message.
+    landmark_version: u64,
+    /// Whether a batch flush timer is armed.
+    batch_armed: bool,
+    /// Minimum interval between export floods. Batching is what keeps
+    /// withdrawal cascades polynomial: without it, path hunting explores
+    /// exponentially many stale alternatives one message at a time; with
+    /// it, each node exports at most one coalesced update per destination
+    /// per round, so a cascade dies within max-path-length rounds.
+    pub batch_delay: f64,
 }
+
+/// Timer token used by the path-vector batch flush. Composite protocols
+/// embedding a [`PathVectorNode`] must deliver timers with this token back
+/// to [`Protocol::on_timer`] (see `DiscoProtocol::run_pv`).
+pub const BATCH_TIMER: u64 = 0x7076_0001; // "pv"
 
 impl PathVectorNode {
     /// Create the node. `is_landmark` is this node's own (locally decided)
@@ -103,9 +160,20 @@ impl PathVectorNode {
             is_landmark,
             limit,
             table: HashMap::new(),
-            knowledge: HashMap::new(),
+            rib_in: HashMap::new(),
+            best: HashMap::new(),
             own_landmark_dist: if is_landmark { 0.0 } else { Weight::INFINITY },
+            pending: std::collections::BTreeSet::new(),
+            landmark_version: 0,
+            batch_armed: false,
+            batch_delay: 2.0,
         }
+    }
+
+    /// Version counter of this node's view of the landmark set (bumped when
+    /// a landmark appears in or disappears from the table).
+    pub fn landmark_version(&self) -> u64 {
+        self.landmark_version
     }
 
     /// This node's id.
@@ -146,163 +214,330 @@ impl PathVectorNode {
             .filter(move |(&d, e)| !e.dest_is_landmark && d != self.id)
     }
 
-    /// The announcement describing this node's own (zero-length) route.
-    fn self_announcement(&self) -> Announcement {
-        Announcement {
-            dest: self.id,
+    /// Number of candidate routes held across all neighbors (control-plane
+    /// memory, analogous to the old `knowledge` map).
+    pub fn knowledge_size(&self) -> usize {
+        self.rib_in.values().map(HashMap::len).sum()
+    }
+
+    /// Promote this node to a landmark at runtime (emergency self-election
+    /// when connectivity to every landmark is lost under churn). Returns
+    /// the announcements to flood.
+    pub fn promote_to_landmark(&mut self) -> Vec<Announcement> {
+        if self.is_landmark {
+            return Vec::new();
+        }
+        self.is_landmark = true;
+        self.own_landmark_dist = 0.0;
+        self.table.insert(self.id, self.self_entry());
+        vec![Self::export(self.id, &self.table[&self.id], false)]
+    }
+
+    /// This node's own (zero-length) route entry.
+    fn self_entry(&self) -> RouteEntry {
+        RouteEntry {
             dist: 0.0,
+            next_hop: self.id,
             path: vec![self.id],
             dest_is_landmark: self.is_landmark,
             dest_landmark_dist: self.own_landmark_dist,
         }
     }
 
-    /// Whether an announcement for a non-landmark destination at distance
-    /// `dist` (whose own closest-landmark distance is `dest_landmark_dist`)
-    /// would currently be accepted, and which entry it would evict (for the
-    /// vicinity cap).
-    fn accepts_non_landmark(
-        &self,
-        dest: NodeId,
-        dist: Weight,
-        dest_landmark_dist: Weight,
-    ) -> (bool, Option<NodeId>) {
-        match self.limit {
-            TableLimit::Unlimited => (true, None),
-            // S4 cluster rule: keep w iff d(v, w) < d(w, ℓ_w).
-            TableLimit::Cluster => (dist + 1e-12 < dest_landmark_dist, None),
-            TableLimit::VicinityCap { size } => {
-                let mut non_landmark: Vec<(NodeId, Weight)> = self
-                    .table
-                    .iter()
-                    .filter(|(&d, e)| !e.dest_is_landmark && d != self.id && d != dest)
-                    .map(|(&d, e)| (d, e.dist))
-                    .collect();
-                if non_landmark.len() < size {
-                    return (true, None);
-                }
-                // Find the farthest current entry (ties by larger id so the
-                // result is deterministic).
-                non_landmark.sort_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .unwrap()
-                        .then_with(|| a.0.cmp(&b.0))
-                });
-                let &(worst_id, worst_dist) = non_landmark.last().unwrap();
-                if dist < worst_dist || (dist == worst_dist && dest < worst_id) {
-                    (true, Some(worst_id))
-                } else {
-                    (false, None)
-                }
-            }
+    /// The announcement exporting table entry `e` for `dest`.
+    fn export(dest: NodeId, e: &RouteEntry, withdrawn: bool) -> Announcement {
+        Announcement {
+            dest,
+            dist: e.dist,
+            path: e.path.clone(),
+            dest_is_landmark: e.dest_is_landmark,
+            dest_landmark_dist: e.dest_landmark_dist,
+            withdrawn,
         }
     }
 
-    /// Process one incoming announcement; returns the announcements this
-    /// node must propagate as a result (about the destination, and possibly
-    /// about itself if its own landmark distance improved).
-    ///
-    /// Propagation fires only when the announcement strictly improved either
-    /// the known distance to the destination or the destination's reported
-    /// landmark distance (both monotonically decreasing), so the protocol
-    /// terminates; and only for destinations the node accepts (or has just
-    /// evicted, which acts as the update that lets downstream nodes evict
-    /// too).
-    fn process(&mut self, from: NodeId, link_weight: Weight, ann: &Announcement) -> Vec<Announcement> {
-        let mut out = Vec::new();
-        if ann.dest == self.id || ann.path.contains(&self.id) {
-            return out; // loop prevention
+    /// Record one incoming announcement in the candidate set; returns the
+    /// destination whose candidates changed.
+    fn absorb(&mut self, from: NodeId, link_weight: Weight, ann: &Announcement) -> NodeId {
+        let slot = self.rib_in.entry(from).or_default();
+        // Withdrawals and routes through this node (loop prevention) make
+        // the neighbor unusable for that destination.
+        if ann.withdrawn || ann.dest == self.id || ann.path.contains(&self.id) {
+            slot.remove(&ann.dest);
+            return ann.dest;
         }
-        let dist = ann.dist + link_weight;
-
-        // Merge into control-plane knowledge; bail out if nothing improved.
-        let (improved_dist, improved_dld) = match self.knowledge.get(&ann.dest) {
-            None => (true, true),
-            Some(k) => (
-                dist + 1e-12 < k.dist,
-                ann.dest_landmark_dist + 1e-12 < k.dest_landmark_dist,
-            ),
-        };
-        if !improved_dist && !improved_dld {
-            return out;
-        }
-        let mut new_path = vec![self.id];
-        new_path.extend_from_slice(&ann.path);
-        let merged = match self.knowledge.get(&ann.dest) {
-            None => RouteEntry {
-                dist,
+        let mut path = Vec::with_capacity(ann.path.len() + 1);
+        path.push(self.id);
+        path.extend_from_slice(&ann.path);
+        slot.insert(
+            ann.dest,
+            RouteEntry {
+                dist: ann.dist + link_weight,
                 next_hop: from,
-                path: new_path,
+                path,
                 dest_is_landmark: ann.dest_is_landmark,
                 dest_landmark_dist: ann.dest_landmark_dist,
             },
-            Some(k) => {
-                let mut m = k.clone();
-                if improved_dist {
-                    m.dist = dist;
-                    m.next_hop = from;
-                    m.path = new_path;
-                }
-                if improved_dld {
-                    m.dest_landmark_dist = ann.dest_landmark_dist;
-                }
-                m.dest_is_landmark |= ann.dest_is_landmark;
-                m
-            }
-        };
-        self.knowledge.insert(ann.dest, merged.clone());
-
-        // Track our own closest-landmark distance; if it improved,
-        // re-announce ourselves so nodes applying the cluster rule to *us*
-        // can re-evaluate.
-        if merged.dest_is_landmark && merged.dist + 1e-12 < self.own_landmark_dist {
-            self.own_landmark_dist = merged.dist;
-            if let Some(e) = self.table.get_mut(&self.id) {
-                e.dest_landmark_dist = self.own_landmark_dist;
-            }
-            out.push(self.self_announcement());
-        }
-
-        // Decide data-plane acceptance for this destination with the merged
-        // knowledge.
-        let was_in_table = self.table.contains_key(&ann.dest);
-        let accept = if merged.dest_is_landmark {
-            true
-        } else {
-            let (ok, evict) =
-                self.accepts_non_landmark(ann.dest, merged.dist, merged.dest_landmark_dist);
-            if ok {
-                if let Some(victim) = evict {
-                    self.table.remove(&victim);
-                }
-            }
-            ok
-        };
-
-        if accept {
-            self.table.insert(ann.dest, merged.clone());
-        } else if was_in_table {
-            // A fresher landmark distance invalidated an accepted entry.
-            self.table.remove(&ann.dest);
-        }
-
-        // Propagate when we use the route, or when we just evicted it (the
-        // update doubles as the withdrawal that lets downstream re-check).
-        if accept || was_in_table {
-            out.push(Announcement {
-                dest: ann.dest,
-                dist: merged.dist,
-                path: merged.path,
-                dest_is_landmark: merged.dest_is_landmark,
-                dest_landmark_dist: merged.dest_landmark_dist,
-            });
-        }
-        out
+        );
+        ann.dest
     }
 
-    /// Number of control-plane (knowledge) entries, excluding self.
-    pub fn knowledge_size(&self) -> usize {
-        self.knowledge.len().saturating_sub(usize::from(self.knowledge.contains_key(&self.id)))
+    /// Recompute the Loc-RIB best route for `d` from the per-neighbor
+    /// candidates (O(degree)), then update the table, marking every export
+    /// change in `pending` for the next batch flush. Deterministic:
+    /// selection is a pure function of the candidate set, so equal-seed
+    /// runs reselect identically.
+    fn update_dest(&mut self, d: NodeId) {
+        if d == self.id {
+            return;
+        }
+        // Best candidate over neighbors. The landmark flag is OR-merged:
+        // it is intrinsic to the destination, and candidates disagree only
+        // transiently while a promotion floods.
+        let mut nb_best: Option<RouteEntry> = None;
+        let mut is_lm = false;
+        for routes in self.rib_in.values() {
+            if let Some(r) = routes.get(&d) {
+                is_lm |= r.dest_is_landmark;
+                if nb_best.as_ref().is_none_or(|cur| preferred(r, cur)) {
+                    nb_best = Some(r.clone());
+                }
+            }
+        }
+        match nb_best {
+            None => {
+                self.best.remove(&d);
+            }
+            Some(mut b) => {
+                b.dest_is_landmark = is_lm;
+                self.best.insert(d, b);
+            }
+        }
+        self.apply_selection(d);
+    }
+
+    /// Whether `e` qualifies for the table under the Cluster rule
+    /// (landmarks always; others iff d(v, w) < d(w, ℓ_w)).
+    fn cluster_accepts(e: &RouteEntry) -> bool {
+        e.dest_is_landmark || e.dist + 1e-12 < e.dest_landmark_dist
+    }
+
+    /// Vicinity ordering for cap admission: smaller distance first, ties by
+    /// smaller id.
+    fn cap_key(d: NodeId, e: &RouteEntry) -> (Weight, NodeId) {
+        (e.dist, d)
+    }
+
+    fn cap_less(a: (Weight, NodeId), b: (Weight, NodeId)) -> bool {
+        a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)) == std::cmp::Ordering::Less
+    }
+
+    /// The best candidate not currently in the table (the cap's waiting
+    /// list), if any. O(|best|); only consulted when a table slot frees up.
+    fn best_waiting(&self) -> Option<NodeId> {
+        let mut out: Option<(Weight, NodeId)> = None;
+        for (&d, e) in &self.best {
+            if e.dest_is_landmark || self.table.contains_key(&d) {
+                continue;
+            }
+            let key = Self::cap_key(d, e);
+            if out.is_none_or(|cur| Self::cap_less(key, cur)) {
+                out = Some(key);
+            }
+        }
+        out.map(|(_, d)| d)
+    }
+
+    /// The worst non-landmark table entry (the cap's eviction candidate).
+    fn worst_local(&self) -> Option<NodeId> {
+        let mut out: Option<(Weight, NodeId)> = None;
+        for (&d, e) in &self.table {
+            if d == self.id || e.dest_is_landmark {
+                continue;
+            }
+            let key = Self::cap_key(d, e);
+            if out.is_none_or(|cur| Self::cap_less(cur, key)) {
+                out = Some(key);
+            }
+        }
+        out.map(|(_, d)| d)
+    }
+
+    /// Number of non-landmark, non-self table entries.
+    fn local_count(&self) -> usize {
+        self.table
+            .iter()
+            .filter(|(&d, e)| d != self.id && !e.dest_is_landmark)
+            .count()
+    }
+
+    /// Re-derive the table membership of `d` after its best route changed,
+    /// recording export changes in `pending`. Handles the single admission
+    /// / eviction the change can cause under [`TableLimit::VicinityCap`],
+    /// and keeps `own_landmark_dist` (exported on the self entry) current.
+    fn apply_selection(&mut self, d: NodeId) {
+        let was_landmark_entry = self.table.get(&d).is_some_and(|e| e.dest_is_landmark);
+        let desired: Option<RouteEntry> = match (self.best.get(&d), self.limit) {
+            (None, _) => None,
+            (Some(e), TableLimit::Unlimited) => Some(e.clone()),
+            (Some(e), TableLimit::Cluster) => Self::cluster_accepts(e).then(|| e.clone()),
+            (Some(e), TableLimit::VicinityCap { size }) => {
+                if e.dest_is_landmark {
+                    Some(e.clone())
+                } else if self.table.contains_key(&d) && !was_landmark_entry {
+                    // Already a local: keep unless the update worsened it
+                    // below the best waiting candidate (checked after the
+                    // entry is updated, below).
+                    Some(e.clone())
+                } else {
+                    // Admission test against the cap.
+                    let fits = self.local_count() < size;
+                    let beats_worst = self.worst_local().is_some_and(|w| {
+                        Self::cap_less(Self::cap_key(d, e), Self::cap_key(w, &self.table[&w]))
+                    });
+                    (fits || beats_worst).then(|| e.clone())
+                }
+            }
+        };
+
+        let landmark_involved = was_landmark_entry
+            || desired.as_ref().is_some_and(|e| e.dest_is_landmark)
+            || self.best.get(&d).is_some_and(|e| e.dest_is_landmark);
+
+        match desired {
+            None => {
+                if let Some(old) = self.table.remove(&d) {
+                    self.pending.insert(d);
+                    // A freed cap slot admits the best waiting candidate.
+                    if matches!(self.limit, TableLimit::VicinityCap { .. }) && !old.dest_is_landmark
+                    {
+                        if let Some(w) = self.best_waiting() {
+                            let e = self.best[&w].clone();
+                            self.pending.insert(w);
+                            self.table.insert(w, e);
+                        }
+                    }
+                }
+            }
+            Some(entry) => {
+                let changed = self.table.get(&d) != Some(&entry);
+                if changed {
+                    self.pending.insert(d);
+                    let evicted_slot = self.table.insert(d, entry.clone());
+                    if let TableLimit::VicinityCap { size } = self.limit {
+                        if !entry.dest_is_landmark {
+                            if self.local_count() > size {
+                                // Admission pushed the cap over: evict the
+                                // worst local (possibly d itself on a tie).
+                                if let Some(w) = self.worst_local() {
+                                    self.table.remove(&w);
+                                    self.pending.insert(w);
+                                }
+                            } else if evicted_slot.is_some() {
+                                // d's route worsened in place: the best
+                                // waiting candidate may now beat it.
+                                if let Some(w) = self.best_waiting() {
+                                    let wk = Self::cap_key(w, &self.best[&w]);
+                                    let dk = Self::cap_key(d, &self.table[&d]);
+                                    if Self::cap_less(wk, dk) {
+                                        self.table.remove(&d);
+                                        let e = self.best[&w].clone();
+                                        self.pending.insert(w);
+                                        self.table.insert(w, e);
+                                    }
+                                }
+                            }
+                        } else if evicted_slot.is_some_and(|p| !p.dest_is_landmark) {
+                            // A local was re-classified as a landmark,
+                            // freeing a cap slot.
+                            if let Some(w) = self.best_waiting() {
+                                let e = self.best[&w].clone();
+                                self.pending.insert(w);
+                                self.table.insert(w, e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Track changes to landmark routes: membership changes reshuffle
+        // consistent-hashing ownership, and any landmark-entry update can
+        // move this node's own address. `pending` membership approximates
+        // "d's export changed" (it can linger from an earlier un-flushed
+        // change; the occasional spurious bump only costs a debounced
+        // repair pass).
+        let is_landmark_entry = self.table.get(&d).is_some_and(|e| e.dest_is_landmark);
+        if is_landmark_entry != was_landmark_entry
+            || (is_landmark_entry && self.pending.contains(&d))
+        {
+            self.landmark_version += 1;
+        }
+
+        // Keep the exported own-landmark distance current; the cluster rule
+        // at *other* nodes keys on it.
+        if landmark_involved && !self.is_landmark {
+            let new_old = self
+                .best
+                .values()
+                .filter(|r| r.dest_is_landmark)
+                .map(|r| r.dist)
+                .fold(Weight::INFINITY, Weight::min);
+            if new_old != self.own_landmark_dist {
+                self.own_landmark_dist = new_old;
+                if self.table.contains_key(&self.id) {
+                    // (Absent only before on_start: nothing exported yet.)
+                    self.table.insert(self.id, self.self_entry());
+                    self.pending.insert(self.id);
+                }
+            }
+        }
+    }
+
+    /// Arm the batch flush timer if there are unexported changes.
+    fn arm_batch(&mut self, ctx: &mut Context<'_, Announcement>) {
+        if !self.pending.is_empty() && !self.batch_armed {
+            self.batch_armed = true;
+            ctx.set_timer(self.batch_delay, BATCH_TIMER);
+        }
+    }
+
+    /// Export the coalesced state of every pending destination to all
+    /// neighbors: the current table entry, or a withdrawal if the
+    /// destination dropped out of the table since the last flush.
+    fn flush(&mut self, ctx: &mut Context<'_, Announcement>) {
+        self.batch_armed = false;
+        let pending = std::mem::take(&mut self.pending);
+        let neighbors = ctx.neighbors();
+        for d in pending {
+            let ann = match self.table.get(&d) {
+                Some(e) => Self::export(d, e, false),
+                None => Announcement {
+                    dest: d,
+                    dist: Weight::INFINITY,
+                    path: vec![self.id, d],
+                    dest_is_landmark: false,
+                    dest_landmark_dist: Weight::INFINITY,
+                    withdrawn: true,
+                },
+            };
+            let size = announcement_bytes(&ann);
+            for &nb in &neighbors {
+                ctx.send_sized(nb, ann.clone(), size);
+            }
+        }
+    }
+
+    /// Send this node's entire table (the paper's "the entire routing table
+    /// is then exported") to one neighbor, in deterministic order.
+    fn send_table_to(&self, peer: NodeId, ctx: &mut Context<'_, Announcement>) {
+        let mut dests: Vec<&NodeId> = self.table.keys().collect();
+        dests.sort_unstable();
+        for d in dests {
+            let ann = Self::export(*d, &self.table[d], false);
+            let size = announcement_bytes(&ann);
+            ctx.send_sized(peer, ann, size);
+        }
     }
 }
 
@@ -311,24 +546,15 @@ impl Protocol for PathVectorNode {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Announcement>) {
         // Install the self route.
-        self.table.insert(
-            self.id,
-            RouteEntry {
-                dist: 0.0,
-                next_hop: self.id,
-                path: vec![self.id],
-                dest_is_landmark: self.is_landmark,
-                dest_landmark_dist: self.own_landmark_dist,
-            },
-        );
+        self.table.insert(self.id, self.self_entry());
         // Announce ourselves. Under the S4 cluster rule a non-landmark node
-        // waits until it knows its own landmark distance (which `process`
-        // re-announces as soon as the first landmark route arrives);
-        // otherwise the initial announcement carries an infinite landmark
-        // distance and would flood the whole network like plain path
-        // vector, which is not how S4 behaves after its landmark phase.
+        // waits until it knows its own landmark distance (the reselection
+        // re-announces the self entry as soon as the first landmark route
+        // arrives); otherwise the initial announcement carries an infinite
+        // landmark distance and would flood the whole network like plain
+        // path vector, which is not how S4 behaves after its landmark phase.
         if self.is_landmark || !matches!(self.limit, TableLimit::Cluster) {
-            let ann = self.self_announcement();
+            let ann = Self::export(self.id, &self.table[&self.id], false);
             let size = announcement_bytes(&ann);
             for nb in ctx.neighbors() {
                 ctx.send_sized(nb, ann.clone(), size);
@@ -337,21 +563,46 @@ impl Protocol for PathVectorNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: Announcement, ctx: &mut Context<'_, Announcement>) {
-        let w = ctx
-            .link_weight(from)
-            .expect("messages only arrive from neighbors");
-        let to_propagate = self.process(from, w, &msg);
-        for ann in to_propagate {
-            let size = announcement_bytes(&ann);
-            for nb in ctx.neighbors() {
-                ctx.send_sized(nb, ann.clone(), size);
-            }
+        let Some(w) = ctx.link_weight(from) else {
+            return; // link died between send and delivery
+        };
+        let d = self.absorb(from, w, &msg);
+        self.update_dest(d);
+        self.arm_batch(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, Announcement>) {
+        if token == BATCH_TIMER {
+            self.flush(ctx);
         }
+    }
+
+    fn on_neighbor_up(&mut self, peer: NodeId, ctx: &mut Context<'_, Announcement>) {
+        // Full exchange over the new link: the peer does the same, so both
+        // sides learn everything the other exports. (Under the cluster rule
+        // the self entry still carries our current landmark distance, which
+        // is what the peer needs to apply S4's test.)
+        self.send_table_to(peer, ctx);
+    }
+
+    fn on_neighbor_down(&mut self, peer: NodeId, ctx: &mut Context<'_, Announcement>) {
+        // Every candidate learned from that neighbor is gone; re-derive each
+        // affected destination and let the difference (withdrawals
+        // included) propagate on the next flush.
+        let Some(lost) = self.rib_in.remove(&peer) else {
+            return;
+        };
+        let mut dests: Vec<NodeId> = lost.into_keys().collect();
+        dests.sort_unstable(); // deterministic processing order
+        for d in dests {
+            self.update_dest(d);
+        }
+        self.arm_batch(ctx);
     }
 }
 
 /// Wire size estimate for an announcement: destination id, distance, flags
-/// plus 4 bytes per path element.
+/// (landmark + withdrawn) plus 4 bytes per path element.
 pub fn announcement_bytes(ann: &Announcement) -> usize {
     4 + 8 + 2 + 4 * ann.path.len()
 }
@@ -361,8 +612,8 @@ mod tests {
     use super::*;
     use crate::config::DiscoConfig;
     use crate::landmark::select_landmarks;
-    use disco_graph::{dijkstra, generators, Graph};
-    use disco_sim::Engine;
+    use disco_graph::{dijkstra, generators, Graph, NodeId};
+    use disco_sim::{Engine, TopologyEvent};
 
     fn run(
         g: &Graph,
@@ -370,7 +621,9 @@ mod tests {
         limit_for: impl Fn(NodeId) -> TableLimit,
     ) -> (Vec<PathVectorNode>, disco_sim::MessageStats) {
         let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
-        let mut engine = Engine::new(g, |v| PathVectorNode::new(v, lm_set.contains(&v), limit_for(v)));
+        let mut engine = Engine::new(g, |v| {
+            PathVectorNode::new(v, lm_set.contains(&v), limit_for(v))
+        });
         let report = engine.run();
         assert!(report.converged, "path vector did not converge");
         (engine.nodes().to_vec(), report.stats)
@@ -397,16 +650,17 @@ mod tests {
         let cfg = DiscoConfig::seeded(5);
         let landmarks = select_landmarks(128, &cfg);
         let (nodes, _) = run(&g, &landmarks, |_| TableLimit::VicinityCap { size: 20 });
+        let lm_trees: Vec<_> = landmarks.iter().map(|&lm| dijkstra(&g, lm)).collect();
         for v in g.nodes() {
-            for &lm in &landmarks {
+            for (i, &lm) in landmarks.iter().enumerate() {
                 let got = nodes[v.0].distance_to(lm).unwrap();
-                let want = dijkstra(&g, lm).distance(v).unwrap();
+                let want = lm_trees[i].distance(v).unwrap();
                 assert!((got - want).abs() < 1e-9);
             }
             // Own landmark distance matches the closest landmark.
-            let want_own = landmarks
+            let want_own = lm_trees
                 .iter()
-                .map(|&lm| dijkstra(&g, lm).distance(v).unwrap())
+                .map(|t| t.distance(v).unwrap())
                 .fold(f64::INFINITY, f64::min);
             assert!((nodes[v.0].own_landmark_distance() - want_own).abs() < 1e-9);
         }
@@ -437,11 +691,11 @@ mod tests {
             .collect();
         true_dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let kth = true_dists[cap - 1];
-        let worst_kept = locals
-            .iter()
-            .map(|(_, e)| e.dist)
-            .fold(0.0f64, f64::max);
-        assert!(worst_kept <= kth + 1e-9, "kept {worst_kept} vs true kth {kth}");
+        let worst_kept = locals.iter().map(|(_, e)| e.dist).fold(0.0f64, f64::max);
+        assert!(
+            worst_kept <= kth + 1e-9,
+            "kept {worst_kept} vs true kth {kth}"
+        );
     }
 
     #[test]
@@ -500,9 +754,202 @@ mod tests {
             path: vec![NodeId(0), NodeId(1)],
             dest_is_landmark: false,
             dest_landmark_dist: f64::INFINITY,
+            withdrawn: false,
         };
         let mut b = a.clone();
         b.path.push(NodeId(2));
         assert!(announcement_bytes(&b) > announcement_bytes(&a));
+    }
+
+    // ---- dynamics: repair behavior ----
+
+    /// Run to quiescence, apply `events` at staggered times, run to
+    /// quiescence again; return the engine.
+    fn run_with_events<'g>(
+        g: &'g Graph,
+        landmarks: &[NodeId],
+        limit: TableLimit,
+        events: Vec<TopologyEvent>,
+    ) -> Engine<'g, PathVectorNode> {
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let mut engine = Engine::new(g, move |v| {
+            PathVectorNode::new(v, lm_set.contains(&v), limit)
+        });
+        let report = engine.run();
+        assert!(report.converged, "initial convergence failed");
+        let t0 = engine.now() + 10.0;
+        for (i, ev) in events.into_iter().enumerate() {
+            engine.schedule_topology(t0 + i as f64, ev);
+        }
+        let converged = engine.run_until(|_| false);
+        assert!(converged, "repair did not quiesce");
+        engine
+    }
+
+    #[test]
+    fn link_failure_reroutes_to_alternate_path() {
+        // Square 0-1-2-3-0: cutting 0-1 forces 0→1 traffic the long way.
+        let g = generators::ring(4);
+        let engine = run_with_events(
+            &g,
+            &[NodeId(0)],
+            TableLimit::Unlimited,
+            vec![TopologyEvent::LinkDown {
+                u: NodeId(0),
+                v: NodeId(1),
+            }],
+        );
+        let e = engine.nodes()[0]
+            .table
+            .get(&NodeId(1))
+            .expect("repaired route");
+        assert_eq!(e.path, vec![NodeId(0), NodeId(3), NodeId(2), NodeId(1)]);
+        assert!((e.dist - 3.0).abs() < 1e-9);
+        // And the reverse direction healed too.
+        let r = engine.nodes()[1]
+            .table
+            .get(&NodeId(0))
+            .expect("reverse route");
+        assert!((r.dist - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_leave_withdraws_routes_everywhere() {
+        let g = generators::gnm_connected(48, 144, 13);
+        let victim = NodeId(17);
+        let engine = run_with_events(
+            &g,
+            &[NodeId(0)],
+            TableLimit::Unlimited,
+            vec![TopologyEvent::NodeLeave { node: victim }],
+        );
+        // After the withdrawal cascade no live node still routes to or
+        // through the departed node.
+        for v in g.nodes() {
+            if v == victim || !engine.is_active(v) {
+                continue;
+            }
+            let node = &engine.nodes()[v.0];
+            assert!(
+                !node.table.contains_key(&victim),
+                "{v} still has a table entry for departed {victim}"
+            );
+            for (d, e) in &node.table {
+                assert!(
+                    !e.path.contains(&victim),
+                    "{v}'s route to {d} still goes through departed {victim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routes_track_current_graph_after_churn() {
+        // After a batch of failures and recoveries, every table distance
+        // must equal the true shortest path on the *current* graph.
+        let g = generators::gnm_connected(40, 160, 21);
+        let engine = run_with_events(
+            &g,
+            &[NodeId(0)],
+            TableLimit::Unlimited,
+            vec![
+                TopologyEvent::LinkDown {
+                    u: NodeId(0),
+                    v: g.neighbors(NodeId(0))[0].node,
+                },
+                TopologyEvent::NodeLeave { node: NodeId(30) },
+                TopologyEvent::LinkDown {
+                    u: NodeId(5),
+                    v: g.neighbors(NodeId(5))[0].node,
+                },
+                TopologyEvent::NodeJoin {
+                    node: NodeId(30),
+                    links: vec![(NodeId(1), 1.0), (NodeId(2), 1.0)],
+                },
+            ],
+        );
+        let current = engine.graph();
+        for v in [NodeId(0), NodeId(5), NodeId(30), NodeId(39)] {
+            let truth = dijkstra(current, v);
+            let node = &engine.nodes()[v.0];
+            for (d, e) in &node.table {
+                let want = truth.distance(*d).expect("reachable");
+                assert!(
+                    (e.dist - want).abs() < 1e-9,
+                    "{v}→{d}: table {} vs dijkstra {want}",
+                    e.dist
+                );
+            }
+            // Unlimited tables must cover every reachable destination.
+            let reachable = current
+                .nodes()
+                .filter(|&w| engine.is_active(w) && truth.distance(w).is_some())
+                .count();
+            assert_eq!(node.table.len(), reachable, "{v} table incomplete");
+        }
+    }
+
+    #[test]
+    fn joining_node_learns_vicinity_and_landmarks() {
+        let g = generators::gnm_connected(64, 256, 31);
+        let cfg = DiscoConfig::seeded(31);
+        let landmarks = select_landmarks(64, &cfg);
+        let joiner = NodeId(64);
+        let engine = run_with_events(
+            &g,
+            &landmarks,
+            TableLimit::VicinityCap { size: 12 },
+            vec![TopologyEvent::NodeJoin {
+                node: joiner,
+                links: vec![(NodeId(3), 1.0), (NodeId(9), 1.0)],
+            }],
+        );
+        let node = &engine.nodes()[joiner.0];
+        // The joiner learned a route to every landmark…
+        for &lm in &landmarks {
+            let got = node.distance_to(lm).expect("landmark route");
+            let want = dijkstra(engine.graph(), joiner).distance(lm).unwrap();
+            assert!((got - want).abs() < 1e-9);
+        }
+        // …and filled its vicinity cap with correct distances.
+        let truth = dijkstra(engine.graph(), joiner);
+        let locals: Vec<_> = node.local_entries().collect();
+        assert_eq!(locals.len(), 12);
+        for (&d, e) in locals {
+            assert!((e.dist - truth.distance(d).unwrap()).abs() < 1e-9);
+        }
+        // Existing nodes adopted the joiner into nearby vicinities.
+        let have_joiner = g
+            .nodes()
+            .filter(|v| engine.nodes()[v.0].table.contains_key(&joiner))
+            .count();
+        assert!(have_joiner > 0, "no vicinity adopted the joiner");
+    }
+
+    #[test]
+    fn promotion_floods_new_landmark() {
+        let g = generators::ring(8);
+        let lm_set: std::collections::HashSet<NodeId> = [NodeId(0)].into_iter().collect();
+        let mut engine = Engine::new(&g, |v| {
+            PathVectorNode::new(v, lm_set.contains(&v), TableLimit::VicinityCap { size: 2 })
+        });
+        assert!(engine.run().converged);
+        // Promote node 4 out of band and let it flood.
+        let anns = engine.nodes_mut()[4].promote_to_landmark();
+        assert!(!anns.is_empty());
+        for ann in anns {
+            for nb in [NodeId(3), NodeId(5)] {
+                engine.inject_message(NodeId(4), nb, ann.clone(), 0.1);
+            }
+        }
+        assert!(engine.run_until(|_| false));
+        for v in g.nodes() {
+            assert!(
+                engine.nodes()[v.0]
+                    .landmark_entries()
+                    .any(|(&lm, _)| lm == NodeId(4)),
+                "{v} did not learn the promoted landmark"
+            );
+        }
     }
 }

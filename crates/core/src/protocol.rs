@@ -49,6 +49,7 @@ use std::collections::HashMap;
 const TIMER_INSERT: u64 = 1;
 const TIMER_LOOKUP: u64 = 2;
 const TIMER_DISSEMINATE: u64 = 3;
+const TIMER_REPAIR: u64 = 4;
 
 /// When (in simulation time units) each phase starts. Defaults are far
 /// beyond path-vector convergence on the evaluation topologies (unweighted
@@ -61,6 +62,11 @@ pub struct PhaseTimers {
     pub lookup_at: f64,
     /// Start of address dissemination.
     pub disseminate_at: f64,
+    /// Debounce delay between observing a neighbor change and re-running
+    /// the insert / lookup / dissemination phases to repair higher-layer
+    /// state. Long enough for the path-vector layer to re-converge first
+    /// on the evaluation topologies.
+    pub repair_delay: f64,
 }
 
 impl Default for PhaseTimers {
@@ -69,6 +75,7 @@ impl Default for PhaseTimers {
             insert_at: 50.0,
             lookup_at: 80.0,
             disseminate_at: 110.0,
+            repair_delay: 60.0,
         }
     }
 }
@@ -103,7 +110,10 @@ pub enum LookupKind {
 pub enum Payload {
     /// Store `(hash, address)` in the resolution database (handled by
     /// landmarks).
-    ResolutionInsert { hash: NameHash, address: WireAddress },
+    ResolutionInsert {
+        hash: NameHash,
+        address: WireAddress,
+    },
     /// Ask the owning landmark for a stored entry relative to `target`.
     OverlayLookup {
         target: NameHash,
@@ -136,7 +146,10 @@ pub enum DiscoMsg {
     Route(Announcement),
     /// One hop of a source-routed message; `route` is the remaining path
     /// and starts with the node currently holding the message.
-    Forward { route: Vec<NodeId>, payload: Payload },
+    Forward {
+        route: Vec<NodeId>,
+        payload: Payload,
+    },
 }
 
 /// Per-node state of the distributed Disco protocol.
@@ -159,6 +172,17 @@ pub struct DiscoProtocol {
     forwarded: HashMap<(NodeId, bool), bool>,
     /// This node's estimate of the network size.
     n_estimate: usize,
+    /// Whether a repair pass is already scheduled (debounce).
+    repair_pending: bool,
+    /// Set once the initial phases have run; address-change repair only
+    /// makes sense after there is address-derived state to repair.
+    bootstrapped: bool,
+    /// Completed repair passes (diagnostics).
+    repair_epoch: u64,
+    /// Consecutive failed emergency-election attempts while no landmark is
+    /// reachable; salts the election RNG and doubles its probability per
+    /// attempt. Reset whenever a landmark is known.
+    election_attempts: u64,
 }
 
 impl DiscoProtocol {
@@ -188,6 +212,10 @@ impl DiscoProtocol {
             group_addresses: HashMap::new(),
             forwarded: HashMap::new(),
             n_estimate,
+            repair_pending: false,
+            bootstrapped: false,
+            repair_epoch: 0,
+            election_attempts: 0,
         }
     }
 
@@ -212,15 +240,12 @@ impl DiscoProtocol {
                 path: vec![id],
             });
         }
-        let (lm, entry) = self
-            .pv
-            .landmark_entries()
-            .min_by(|a, b| {
-                a.1.dist
-                    .partial_cmp(&b.1.dist)
-                    .unwrap()
-                    .then_with(|| a.0.cmp(b.0))
-            })?;
+        let (lm, entry) = self.pv.landmark_entries().min_by(|a, b| {
+            a.1.dist
+                .partial_cmp(&b.1.dist)
+                .unwrap()
+                .then_with(|| a.0.cmp(b.0))
+        })?;
         let mut path = entry.path.clone();
         path.reverse(); // entry.path runs node → landmark
         Some(WireAddress {
@@ -232,8 +257,9 @@ impl DiscoProtocol {
 
     /// The landmark responsible for `hash` according to this node's current
     /// view of the landmark set (first landmark position clockwise of the
-    /// hash — standard consistent hashing).
-    fn owner_landmark(&self, hash: NameHash) -> Option<NodeId> {
+    /// hash — standard consistent hashing). Public for the same reason as
+    /// [`DiscoProtocol::route_to`].
+    pub fn owner_landmark(&self, hash: NameHash) -> Option<NodeId> {
         let mut best: Option<(u64, NodeId)> = None;
         for (&lm, _) in self.pv.landmark_entries() {
             let pos = self.hasher.hash_u64(lm.0 as u64);
@@ -247,8 +273,14 @@ impl DiscoProtocol {
     }
 
     /// Full path from this node to `target` using learned routes: a table
-    /// route if present, otherwise through the target's address.
-    fn route_to(&self, target: NodeId, target_addr: Option<&WireAddress>) -> Option<Vec<NodeId>> {
+    /// route if present, otherwise through the target's address. Public so
+    /// `disco-dynamics` probes can measure routability under churn exactly
+    /// as the protocol itself would forward.
+    pub fn route_to(
+        &self,
+        target: NodeId,
+        target_addr: Option<&WireAddress>,
+    ) -> Option<Vec<NodeId>> {
         if target == self.pv.id() {
             return Some(vec![self.pv.id()]);
         }
@@ -273,7 +305,14 @@ impl DiscoProtocol {
         }
         let remaining = route[1..].to_vec();
         let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
-        ctx.send_sized(next, DiscoMsg::Forward { route: remaining, payload }, size);
+        ctx.send_sized(
+            next,
+            DiscoMsg::Forward {
+                route: remaining,
+                payload,
+            },
+            size,
+        );
     }
 
     /// Answer an overlay lookup from this node's resolution store.
@@ -319,7 +358,11 @@ impl DiscoProtocol {
                     );
                 }
             }
-            Payload::OverlayReply { slot, hash, address } => {
+            Payload::OverlayReply {
+                slot,
+                hash,
+                address,
+            } => {
                 if address.node != self.pv.id() {
                     self.overlay_neighbors.insert(slot, (hash, address));
                 }
@@ -425,7 +468,8 @@ impl DiscoProtocol {
         ];
         for f in 0..self.cfg.fingers {
             let u: f64 = rng.gen();
-            let d = (((arc_size as f64).ln() * u).exp() as u128).clamp(1, arc_size.saturating_sub(1).max(1));
+            let d = (((arc_size as f64).ln() * u).exp() as u128)
+                .clamp(1, arc_size.saturating_sub(1).max(1));
             let up: bool = rng.gen();
             let raw = if up {
                 self.my_hash.value().wrapping_add(d as u64)
@@ -472,23 +516,90 @@ impl DiscoProtocol {
         }
     }
 
-    /// Run the embedded path-vector handler and re-wrap its outgoing
-    /// announcements as [`DiscoMsg::Route`].
-    fn run_pv(&mut self, from: Option<NodeId>, ann: Option<Announcement>, ctx: &mut Context<'_, DiscoMsg>) {
+    /// Run one upcall of the embedded path-vector machinery and re-wrap its
+    /// outgoing announcements as [`DiscoMsg::Route`].
+    fn run_pv(
+        &mut self,
+        upcall: impl FnOnce(&mut PathVectorNode, &mut Context<'_, Announcement>),
+        ctx: &mut Context<'_, DiscoMsg>,
+    ) {
         let mut inner: Context<'_, Announcement> =
             Context::new(ctx.node_id(), ctx.now(), ctx.graph(), 64);
-        match (from, ann) {
-            (Some(f), Some(a)) => self.pv.on_message(f, a, &mut inner),
-            _ => self.pv.on_start(&mut inner),
-        }
+        upcall(&mut self.pv, &mut inner);
         for action in inner.take_actions() {
             match action {
-                Action::Send { to, msg, size_bytes } => {
+                Action::Send {
+                    to,
+                    msg,
+                    size_bytes,
+                } => {
                     ctx.send_sized(to, DiscoMsg::Route(msg), size_bytes);
                 }
-                Action::Timer { .. } => {}
+                // Path-vector timers (the export batch flush) ride on this
+                // protocol's timer space; `on_timer` routes unknown tokens
+                // back into the embedded node.
+                Action::Timer { delay, token } => ctx.set_timer(delay, token),
             }
         }
+    }
+
+    /// Debounce a repair pass: the first neighbor change arms one timer;
+    /// further changes before it fires are coalesced into the same pass.
+    fn schedule_repair(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
+        if !self.repair_pending {
+            self.repair_pending = true;
+            ctx.set_timer(self.timers.repair_delay, TIMER_REPAIR);
+        }
+    }
+
+    /// Re-run the higher-layer phases after the path-vector layer had time
+    /// to re-converge: landmark re-election if every landmark was lost,
+    /// then resolution re-insert, overlay re-lookup and sloppy-group
+    /// re-dissemination (the address may have changed with the topology).
+    fn do_repair(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
+        self.repair_pending = false;
+        self.repair_epoch += 1;
+
+        // Emergency landmark re-election (§4.2 keeps election local and
+        // random; under churn a partition can lose connectivity to every
+        // landmark). Each *consecutive failed election attempt* doubles the
+        // probability, so an island elects a replacement within O(log 1/p)
+        // passes; the counter resets whenever a landmark is reachable, so a
+        // node that merely churned a lot is not pre-boosted and the
+        // expected landmark density stays at the paper's √(ln n / n).
+        if !self.pv.is_landmark() && self.pv.landmark_entries().next().is_none() {
+            self.election_attempts += 1;
+            let me = self.pv.id();
+            let mut rng = rng_for(
+                self.cfg.seed,
+                0x1e7,
+                (me.0 as u64) ^ (self.election_attempts << 32),
+            );
+            let p: f64 = rng.gen();
+            let boost = f64::powi(2.0, (self.election_attempts - 1).min(60) as i32);
+            if p < (self.cfg.landmark_probability(self.n_estimate) * boost).min(1.0) {
+                let anns = self.pv.promote_to_landmark();
+                for ann in anns {
+                    let size = crate::path_vector::announcement_bytes(&ann);
+                    for nb in ctx.neighbors() {
+                        ctx.send_sized(nb, DiscoMsg::Route(ann.clone()), size);
+                    }
+                }
+            } else {
+                // Keep trying until some node in the partition elects
+                // itself (or a landmark becomes reachable again).
+                self.schedule_repair(ctx);
+            }
+        } else {
+            self.election_attempts = 0;
+        }
+
+        // Vicinity re-learning already happened in the path-vector layer;
+        // rebuild everything derived from addresses on top of it.
+        self.forwarded.clear();
+        self.do_insert(ctx);
+        self.do_lookups(ctx);
+        self.do_disseminate(ctx);
     }
 }
 
@@ -505,7 +616,7 @@ impl Protocol for DiscoProtocol {
     type Message = DiscoMsg;
 
     fn on_start(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
-        self.run_pv(None, None, ctx);
+        self.run_pv(|pv, c| pv.on_start(c), ctx);
         ctx.set_timer(self.timers.insert_at, TIMER_INSERT);
         ctx.set_timer(self.timers.lookup_at, TIMER_LOOKUP);
         ctx.set_timer(self.timers.disseminate_at, TIMER_DISSEMINATE);
@@ -513,7 +624,22 @@ impl Protocol for DiscoProtocol {
 
     fn on_message(&mut self, from: NodeId, msg: DiscoMsg, ctx: &mut Context<'_, DiscoMsg>) {
         match msg {
-            DiscoMsg::Route(ann) => self.run_pv(Some(from), Some(ann), ctx),
+            DiscoMsg::Route(ann) => {
+                // A route update can change this node's *address* (closest
+                // landmark or the path to it) without any local adjacency
+                // change — e.g. a remote link failure rerouting the
+                // landmark path — and a landmark-set change reshuffles
+                // consistent-hashing ownership under everyone. Either way
+                // the resolution database and overlay hold stale state, so
+                // treat it like a neighbor event and schedule a (debounced)
+                // repair pass. The path-vector's landmark version covers
+                // both causes and costs one integer compare per message.
+                let before = self.bootstrapped.then(|| self.pv.landmark_version());
+                self.run_pv(|pv, c| pv.on_message(from, ann, c), ctx);
+                if before.is_some_and(|v| self.pv.landmark_version() != v) {
+                    self.schedule_repair(ctx);
+                }
+            }
             DiscoMsg::Forward { route, payload } => {
                 if route.len() <= 1 {
                     self.deliver(payload, ctx);
@@ -524,7 +650,14 @@ impl Protocol for DiscoProtocol {
                     }
                     let remaining = route[1..].to_vec();
                     let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
-                    ctx.send_sized(next, DiscoMsg::Forward { route: remaining, payload }, size);
+                    ctx.send_sized(
+                        next,
+                        DiscoMsg::Forward {
+                            route: remaining,
+                            payload,
+                        },
+                        size,
+                    );
                 }
             }
         }
@@ -534,9 +667,25 @@ impl Protocol for DiscoProtocol {
         match token {
             TIMER_INSERT => self.do_insert(ctx),
             TIMER_LOOKUP => self.do_lookups(ctx),
-            TIMER_DISSEMINATE => self.do_disseminate(ctx),
-            _ => {}
+            TIMER_DISSEMINATE => {
+                self.do_disseminate(ctx);
+                self.bootstrapped = true;
+            }
+            TIMER_REPAIR => self.do_repair(ctx),
+            // Everything else (e.g. the path-vector batch flush) belongs to
+            // the embedded path-vector node.
+            other => self.run_pv(|pv, c| pv.on_timer(other, c), ctx),
         }
+    }
+
+    fn on_neighbor_up(&mut self, peer: NodeId, ctx: &mut Context<'_, DiscoMsg>) {
+        self.run_pv(|pv, c| pv.on_neighbor_up(peer, c), ctx);
+        self.schedule_repair(ctx);
+    }
+
+    fn on_neighbor_down(&mut self, peer: NodeId, ctx: &mut Context<'_, DiscoMsg>) {
+        self.run_pv(|pv, c| pv.on_neighbor_down(peer, c), ctx);
+        self.schedule_repair(ctx);
     }
 }
 
@@ -547,7 +696,11 @@ mod tests {
     use disco_graph::generators;
     use disco_sim::Engine;
 
-    fn run_disco(n: usize, seed: u64, fingers: usize) -> (disco_sim::RunReport, Vec<usize>, usize, usize) {
+    fn run_disco(
+        n: usize,
+        seed: u64,
+        fingers: usize,
+    ) -> (disco_sim::RunReport, Vec<usize>, usize, usize) {
         let g = generators::gnm_average_degree(n, 8.0, seed);
         let cfg = DiscoConfig::seeded(seed).with_fingers(fingers);
         let landmarks = select_landmarks(n, &cfg);
@@ -586,7 +739,10 @@ mod tests {
             "resolution database holds only {resolution_total} entries"
         );
         // Most nodes found at least one overlay neighbor.
-        assert!(with_overlay > n * 3 / 4, "only {with_overlay} nodes have overlay links");
+        assert!(
+            with_overlay > n * 3 / 4,
+            "only {with_overlay} nodes have overlay links"
+        );
         // Dissemination delivered group addresses to a majority of nodes.
         let with_group_state = group_counts.iter().filter(|&&c| c > 0).count();
         assert!(

@@ -107,11 +107,7 @@ pub struct ResolutionDatabase {
 impl ResolutionDatabase {
     /// Build the converged database: every node's address inserted at its
     /// owner landmark.
-    pub fn build(
-        ring: &ResolutionRing,
-        names: &[FlatName],
-        addresses: &[Address],
-    ) -> Self {
+    pub fn build(ring: &ResolutionRing, names: &[FlatName], addresses: &[Address]) -> Self {
         assert_eq!(names.len(), addresses.len());
         let mut per_landmark: HashMap<NodeId, HashMap<FlatName, Address>> = HashMap::new();
         for (name, addr) in names.iter().zip(addresses) {
@@ -143,7 +139,11 @@ impl ResolutionDatabase {
 
     /// Largest number of entries at any landmark.
     pub fn max_entries(&self) -> usize {
-        self.per_landmark.values().map(|m| m.len()).max().unwrap_or(0)
+        self.per_landmark
+            .values()
+            .map(|m| m.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -417,7 +417,12 @@ impl<'a> DiscoRouter<'a> {
     }
 
     /// NDDisco first packet with an explicit shortcut mode.
-    pub fn nddisco_first_packet_with(&self, s: NodeId, t: NodeId, mode: ShortcutMode) -> RouteOutcome {
+    pub fn nddisco_first_packet_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        mode: ShortcutMode,
+    ) -> RouteOutcome {
         if let Some(direct) = self.try_direct(s, t) {
             return direct;
         }
@@ -436,7 +441,12 @@ impl<'a> DiscoRouter<'a> {
     }
 
     /// NDDisco later packets with an explicit shortcut mode.
-    pub fn nddisco_later_packet_with(&self, s: NodeId, t: NodeId, mode: ShortcutMode) -> RouteOutcome {
+    pub fn nddisco_later_packet_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        mode: ShortcutMode,
+    ) -> RouteOutcome {
         if let Some(direct) = self.try_direct(s, t) {
             return direct;
         }
@@ -469,7 +479,12 @@ impl<'a> DiscoRouter<'a> {
     }
 
     /// Disco first packet with an explicit shortcut mode.
-    pub fn route_first_packet_with(&self, s: NodeId, t: NodeId, mode: ShortcutMode) -> RouteOutcome {
+    pub fn route_first_packet_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        mode: ShortcutMode,
+    ) -> RouteOutcome {
         if let Some(direct) = self.try_direct(s, t) {
             return direct;
         }
@@ -522,7 +537,12 @@ impl<'a> DiscoRouter<'a> {
     }
 
     /// Disco later packets with an explicit shortcut mode.
-    pub fn route_later_packet_with(&self, s: NodeId, t: NodeId, mode: ShortcutMode) -> RouteOutcome {
+    pub fn route_later_packet_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        mode: ShortcutMode,
+    ) -> RouteOutcome {
         self.nddisco_later_packet_with(s, t, mode)
     }
 }
@@ -631,8 +651,7 @@ mod tests {
         let (g, st) = setup(256, 5);
         let router = DiscoRouter::new(&g, &st);
         for (s, t) in sample_pairs(256, 60, 5) {
-            let first =
-                router.route_first_packet_with(s, t, ShortcutMode::None);
+            let first = router.route_first_packet_with(s, t, ShortcutMode::None);
             let later = router.route_later_packet_with(s, t, ShortcutMode::None);
             assert!(later.length <= first.length + 1e-9);
         }
@@ -704,8 +723,16 @@ mod tests {
             let d = router.true_distance(s, t);
             let first = router.route_first_packet(s, t);
             let later = router.route_later_packet(s, t);
-            assert!(first.stretch(d) <= 7.0 + 1e-9, "stretch {}", first.stretch(d));
-            assert!(later.stretch(d) <= 3.0 + 1e-9, "stretch {}", later.stretch(d));
+            assert!(
+                first.stretch(d) <= 7.0 + 1e-9,
+                "stretch {}",
+                first.stretch(d)
+            );
+            assert!(
+                later.stretch(d) <= 3.0 + 1e-9,
+                "stretch {}",
+                later.stretch(d)
+            );
         }
     }
 

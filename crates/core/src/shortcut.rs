@@ -73,7 +73,10 @@ impl ShortcutMode {
     /// Whether intermediate nodes shortcut toward *any* downstream node
     /// (requires listing the route in the packet).
     pub fn uses_up_down_stream(self) -> bool {
-        matches!(self, ShortcutMode::UpDownStream | ShortcutMode::PathKnowledge)
+        matches!(
+            self,
+            ShortcutMode::UpDownStream | ShortcutMode::PathKnowledge
+        )
     }
 
     /// The paper's row label for this mode (Fig. 6).

@@ -107,8 +107,8 @@ impl SloppyGrouping {
             .collect();
         let k_max = prefix_bits.iter().copied().max().unwrap_or(0);
         let mut core_groups: HashMap<GroupId, Vec<NodeId>> = HashMap::new();
-        for v in 0..n {
-            let gid = GroupId::of(hashes[v], k_max);
+        for (v, &hash) in hashes.iter().enumerate() {
+            let gid = GroupId::of(hash, k_max);
             core_groups.entry(gid).or_default().push(NodeId(v));
         }
         for members in core_groups.values_mut() {
@@ -198,10 +198,25 @@ mod tests {
 
     #[test]
     fn group_id_split_and_parent() {
-        let g = GroupId { prefix: 0b10, bits: 2 };
+        let g = GroupId {
+            prefix: 0b10,
+            bits: 2,
+        };
         let (a, b) = g.split();
-        assert_eq!(a, GroupId { prefix: 0b100, bits: 3 });
-        assert_eq!(b, GroupId { prefix: 0b101, bits: 3 });
+        assert_eq!(
+            a,
+            GroupId {
+                prefix: 0b100,
+                bits: 3
+            }
+        );
+        assert_eq!(
+            b,
+            GroupId {
+                prefix: 0b101,
+                bits: 3
+            }
+        );
         assert_eq!(a.parent(), Some(g));
         assert_eq!(b.parent(), Some(g));
         assert_eq!(GroupId { prefix: 0, bits: 0 }.parent(), None);
@@ -216,7 +231,10 @@ mod tests {
         assert_eq!(total, n);
         // With a uniform estimate, perceived group == core group.
         for v in [0usize, 77, 2047] {
-            assert_eq!(g.perceived_group(NodeId(v)), g.core_group(NodeId(v)).to_vec());
+            assert_eq!(
+                g.perceived_group(NodeId(v)),
+                g.core_group(NodeId(v)).to_vec()
+            );
         }
     }
 
@@ -261,7 +279,7 @@ mod tests {
         let cfg = DiscoConfig::seeded(9);
         // Half the nodes underestimate by 40%, half overestimate by 60%.
         let est = |v: NodeId| {
-            if v.0 % 2 == 0 {
+            if v.0.is_multiple_of(2) {
                 (n as f64 * 0.6) as usize
             } else {
                 (n as f64 * 1.6) as usize
@@ -280,7 +298,7 @@ mod tests {
         // that all of G'(v) is in its group.
         let n = 2048;
         let cfg = DiscoConfig::seeded(21);
-        let est = |v: NodeId| if v.0 % 3 == 0 { n / 2 + 1 } else { n };
+        let est = |v: NodeId| if v.0.is_multiple_of(3) { n / 2 + 1 } else { n };
         let g = SloppyGrouping::build(n, &cfg, &names(n), est);
         for probe in [0usize, 100, 555, 2000] {
             let core = g.core_group(NodeId(probe));

@@ -90,8 +90,7 @@ impl DiscoState {
         };
 
         // Landmark election (§4.2).
-        let landmarks =
-            landmark::select_landmarks_with_estimates(n, cfg, |v| estimates.of(v));
+        let landmarks = landmark::select_landmarks_with_estimates(n, cfg, |v| estimates.of(v));
         let mut is_landmark = vec![false; n];
         for &lm in &landmarks {
             is_landmark[lm.0] = true;
@@ -108,9 +107,7 @@ impl DiscoState {
         let mut closest_landmark = vec![NodeId(0); n];
         let mut closest_landmark_dist = vec![0.0; n];
         for v in graph.nodes() {
-            closest_landmark[v.0] = closest
-                .closest_source(v)
-                .expect("graph must be connected");
+            closest_landmark[v.0] = closest.closest_source(v).expect("graph must be connected");
             closest_landmark_dist[v.0] = closest.distance(v).unwrap();
         }
 
@@ -459,10 +456,7 @@ mod tests {
         // every node.
         let (g, st) = small_state(4);
         for v in g.nodes() {
-            let has_landmark = st
-                .vicinity(v)
-                .members()
-                .any(|(w, _)| st.is_landmark(w));
+            let has_landmark = st.vicinity(v).members().any(|(w, _)| st.is_landmark(w));
             assert!(has_landmark, "vicinity of {v} contains no landmark");
         }
     }

@@ -1,0 +1,279 @@
+//! Route availability and stretch measurement under dynamics.
+//!
+//! The paper's Fig. 8 measures control traffic until convergence on a
+//! static topology. Under churn the interesting quantities are instead
+//! *route availability* — can a live source still construct a working
+//! route to a live destination right now? — and *stretch under churn*,
+//! both measured against the engine's **current** graph. The probes here
+//! are measurement-plane only: they read protocol state omnisciently but
+//! never mutate it, and sample deterministically from a seed.
+
+use disco_core::path_vector::PathVectorNode;
+use disco_core::protocol::DiscoProtocol;
+use disco_graph::{dijkstra, NodeId};
+use disco_sim::rng::rng_for;
+use disco_sim::{Engine, Protocol, SimTime};
+use rand::Rng;
+
+/// Outcome of one batch of route probes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeReport {
+    /// Simulation time of the probe.
+    pub time: SimTime,
+    /// Sampled (source, destination) pairs.
+    pub pairs: usize,
+    /// Pairs connected in the current graph (the denominator: routing can
+    /// not be blamed for a partition).
+    pub routable: usize,
+    /// Pairs for which a working route was found.
+    pub delivered: usize,
+    /// Sum of stretch over delivered pairs.
+    sum_stretch: f64,
+}
+
+impl ProbeReport {
+    /// Fraction of routable pairs that were delivered (1.0 when nothing
+    /// was routable).
+    pub fn availability(&self) -> f64 {
+        if self.routable == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.routable as f64
+        }
+    }
+
+    /// Mean stretch over delivered pairs (1.0 when nothing was delivered).
+    pub fn mean_stretch(&self) -> f64 {
+        if self.delivered == 0 {
+            1.0
+        } else {
+            self.sum_stretch / self.delivered as f64
+        }
+    }
+}
+
+/// Sample `count` ordered pairs of distinct currently-live nodes,
+/// deterministically from `seed`.
+pub fn sample_live_pairs<P: Protocol>(
+    engine: &Engine<'_, P>,
+    count: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let live: Vec<NodeId> = engine.active_nodes().collect();
+    if live.len() < 2 {
+        return Vec::new();
+    }
+    let mut rng = rng_for(seed, 0xb0, engine.topology_events());
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let s = live[rng.gen_range(0..live.len())];
+        let mut t = live[rng.gen_range(0..live.len())];
+        while t == s {
+            t = live[rng.gen_range(0..live.len())];
+        }
+        pairs.push((s, t));
+    }
+    pairs
+}
+
+/// Probe each pair: ask `route_of` for candidate routes in preference
+/// order (measurement-plane access to every protocol instance), validate
+/// each hop-by-hop against the engine's current graph, count the pair
+/// delivered if any candidate walks, and compare the first walking route's
+/// length to the true shortest path. `route_of(nodes, s, t)` returns node
+/// sequences `s..=t`.
+pub fn probe<P: Protocol>(
+    engine: &Engine<'_, P>,
+    pairs: &[(NodeId, NodeId)],
+    route_of: impl Fn(&[P], NodeId, NodeId) -> Vec<Vec<NodeId>>,
+) -> ProbeReport {
+    let graph = engine.graph();
+    let mut report = ProbeReport {
+        time: engine.now(),
+        pairs: pairs.len(),
+        routable: 0,
+        delivered: 0,
+        sum_stretch: 0.0,
+    };
+    // One shortest-path tree per distinct source.
+    let mut sources: Vec<NodeId> = pairs.iter().map(|&(s, _)| s).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let trees: std::collections::HashMap<NodeId, _> = sources
+        .into_iter()
+        .map(|s| (s, dijkstra(graph, s)))
+        .collect();
+    for &(s, t) in pairs {
+        let Some(true_dist) = trees[&s].distance(t) else {
+            continue; // partitioned: not the routing layer's fault
+        };
+        report.routable += 1;
+        let candidates = route_of(engine.nodes(), s, t);
+        let Some(len) = candidates
+            .iter()
+            .find_map(|route| walk_length(engine, route, s, t))
+        else {
+            continue; // no candidate, or all stale (broken link / dead hop)
+        };
+        report.delivered += 1;
+        report.sum_stretch += if true_dist <= 0.0 {
+            1.0
+        } else {
+            len / true_dist
+        };
+    }
+    report
+}
+
+/// Validate `route` as a walk `s..=t` over the engine's current graph with
+/// every hop active; returns its length.
+fn walk_length<P: Protocol>(
+    engine: &Engine<'_, P>,
+    route: &[NodeId],
+    s: NodeId,
+    t: NodeId,
+) -> Option<f64> {
+    if route.first() != Some(&s) || route.last() != Some(&t) {
+        return None;
+    }
+    let graph = engine.graph();
+    let mut len = 0.0;
+    for w in route.windows(2) {
+        if !engine.is_active(w[0]) || !engine.is_active(w[1]) {
+            return None;
+        }
+        len += graph.edge_weight(w[0], w[1])?;
+    }
+    Some(len)
+}
+
+/// Route oracle for plain path-vector nodes: the table route, if any.
+pub fn path_vector_route(nodes: &[PathVectorNode], s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
+    nodes[s.0]
+        .table
+        .get(&t)
+        .map(|e| e.path.clone())
+        .into_iter()
+        .collect()
+}
+
+/// Route oracle emulating Disco's first packet (§4.3), in the protocol's
+/// preference order: a vicinity route if the source has one; the address
+/// known through the source's sloppy group; and name resolution — the
+/// destination's flat-name hash resolved at the owning landmark (which the
+/// source must be able to reach and which must hold an address for the
+/// hash), followed as `s ; ℓ_t ; t`.
+pub fn disco_first_packet_route(nodes: &[DiscoProtocol], s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
+    let src = &nodes[s.0];
+    let mut candidates = Vec::new();
+    // Vicinity / landmark-table route.
+    if let Some(direct) = src.pv.table.get(&t) {
+        candidates.push(direct.path.clone());
+    }
+    // Sloppy-group proxy: the source may already know the address.
+    if let Some(addr) = src.group_addresses.get(&t) {
+        candidates.extend(src.route_to(t, Some(addr)));
+    }
+    // Name resolution: the owner landmark of H(t) must be reachable from s
+    // and must hold t's address.
+    let t_hash = nodes[t.0].my_hash();
+    if let Some(owner) = src.owner_landmark(t_hash) {
+        if src.route_to(owner, None).is_some() {
+            // The resolution request is routable; use the stored address.
+            if let Some(addr) = nodes[owner.0].resolution_store.get(&t_hash) {
+                if addr.node == t {
+                    candidates.extend(src.route_to(t, Some(addr)));
+                }
+            }
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_core::path_vector::TableLimit;
+    use disco_graph::generators;
+    use disco_sim::TopologyEvent;
+
+    fn pv_engine(n: usize, m: usize, seed: u64) -> Engine<'static, PathVectorNode> {
+        let g = generators::gnm_connected(n, m, seed);
+        let mut engine = Engine::new(&g, |v| {
+            PathVectorNode::new(v, v == NodeId(0), TableLimit::Unlimited)
+        });
+        assert!(engine.run().converged);
+        engine
+    }
+
+    #[test]
+    fn converged_network_has_full_availability_and_unit_stretch() {
+        let engine = pv_engine(48, 192, 3);
+        let pairs = sample_live_pairs(&engine, 64, 3);
+        assert_eq!(pairs.len(), 64);
+        let report = probe(&engine, &pairs, path_vector_route);
+        assert_eq!(report.routable, 64);
+        assert_eq!(report.delivered, 64);
+        assert!((report.availability() - 1.0).abs() < 1e-12);
+        assert!((report.mean_stretch() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn availability_recovers_after_churn() {
+        let mut engine = pv_engine(48, 192, 5);
+        let t0 = engine.now() + 1.0;
+        engine.schedule_topology(t0, TopologyEvent::NodeLeave { node: NodeId(7) });
+        engine.schedule_topology(
+            t0 + 1.0,
+            TopologyEvent::LinkDown {
+                u: NodeId(1),
+                v: engine.graph().neighbors(NodeId(1))[0].node,
+            },
+        );
+        assert!(engine.run_until(|_| false), "repair did not quiesce");
+        let pairs = sample_live_pairs(&engine, 64, 5);
+        let report = probe(&engine, &pairs, path_vector_route);
+        assert_eq!(report.routable, report.pairs);
+        assert_eq!(
+            report.delivered, report.routable,
+            "unlimited path vector must fully heal"
+        );
+        assert!((report.mean_stretch() - 1.0).abs() < 1e-9);
+        // Sampling never picks the departed node.
+        assert!(pairs.iter().all(|&(s, t)| s != NodeId(7) && t != NodeId(7)));
+    }
+
+    #[test]
+    fn stale_routes_fail_validation() {
+        let mut engine = pv_engine(16, 48, 9);
+        // Freeze state, then break a link WITHOUT letting repair run: routes
+        // through it must count as undelivered.
+        let (u, v) = {
+            let e = engine.nodes()[2]
+                .table
+                .iter()
+                .find(|(&d, _)| d != NodeId(2));
+            let entry = e.map(|(_, e)| e.path.clone()).unwrap();
+            (entry[0], entry[1])
+        };
+        let before = probe(&engine, &[(u, v)], path_vector_route);
+        assert_eq!(before.delivered, 1);
+        let t0 = engine.now() + 1.0;
+        engine.schedule_topology(t0, TopologyEvent::LinkDown { u, v });
+        // Advance exactly past the event; the repair traffic it triggers is
+        // still in flight, so u's direct route to v is stale.
+        engine.run_to(t0 + 1e-6);
+        let report = probe(&engine, &[(u, v)], path_vector_route);
+        if let Some(e) = engine.nodes()[u.0].table.get(&v) {
+            // If u still exports a (stale or alternate) route, the probe
+            // must only count it when it walks on the current graph.
+            let walks = e
+                .path
+                .windows(2)
+                .all(|w| engine.graph().edge_weight(w[0], w[1]).is_some());
+            assert_eq!(report.delivered == 1, walks);
+        } else {
+            assert_eq!(report.delivered, 0);
+        }
+    }
+}

@@ -96,21 +96,38 @@ impl Edge {
 
 /// An undirected weighted graph with dense node ids.
 ///
-/// Invariants maintained by [`crate::GraphBuilder`]:
+/// Invariants maintained by [`crate::GraphBuilder`] and the mutation API:
 /// * no self loops,
 /// * no parallel edges,
 /// * every weight is finite and strictly positive.
+///
+/// The graph is mutable at runtime to support dynamic-network simulation
+/// (`disco-sim` topology events, `disco-dynamics` churn schedules): nodes
+/// can be appended and edges inserted or removed. Removing an edge retires
+/// its [`EdgeId`] permanently — ids are never reused, so congestion counters
+/// and traces keyed by edge id stay unambiguous across topology changes.
+/// A node is never deleted from the id space; "leaving" the network means
+/// losing all incident edges (see [`Graph::detach_node`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Graph {
     adjacency: Vec<Vec<Neighbor>>,
     edges: Vec<Edge>,
+    /// Liveness per edge slot; `false` marks a removed (retired) edge.
+    edge_live: Vec<bool>,
+    dead_edges: usize,
 }
 
 impl Graph {
     /// Construct directly from parts. Intended for use by the builder; most
     /// callers should use [`crate::GraphBuilder`] or a generator.
     pub(crate) fn from_parts(adjacency: Vec<Vec<Neighbor>>, edges: Vec<Edge>) -> Self {
-        Graph { adjacency, edges }
+        let edge_live = vec![true; edges.len()];
+        Graph {
+            adjacency,
+            edges,
+            edge_live,
+            dead_edges: 0,
+        }
     }
 
     /// Number of nodes `n`.
@@ -119,9 +136,17 @@ impl Graph {
         self.adjacency.len()
     }
 
-    /// Number of undirected edges `m`.
+    /// Number of live undirected edges `m`.
     #[inline]
     pub fn edge_count(&self) -> usize {
+        self.edges.len() - self.dead_edges
+    }
+
+    /// Number of edge-id slots ever allocated (`max(EdgeId) + 1`). Arrays
+    /// indexed by [`EdgeId`] must be sized by this, not [`Graph::edge_count`],
+    /// once edges have been removed.
+    #[inline]
+    pub fn edge_slots(&self) -> usize {
         self.edges.len()
     }
 
@@ -130,15 +155,97 @@ impl Graph {
         (0..self.node_count()).map(NodeId)
     }
 
-    /// Iterator over all undirected edges.
+    /// Iterator over all live undirected edges.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.edge_live[i])
+            .map(|(i, e)| (EdgeId(i), e))
     }
 
-    /// Edge record by id.
+    /// Edge record by id. Retired edges keep their record (endpoints and
+    /// weight at removal time); check [`Graph::edge_is_live`] when it matters.
     #[inline]
     pub fn edge(&self, id: EdgeId) -> &Edge {
         &self.edges[id.0]
+    }
+
+    /// Whether the edge slot `id` is currently part of the graph.
+    #[inline]
+    pub fn edge_is_live(&self, id: EdgeId) -> bool {
+        self.edge_live[id.0]
+    }
+
+    /// Append a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        NodeId(self.adjacency.len() - 1)
+    }
+
+    /// Insert an undirected edge `{u, v}` with the given weight.
+    ///
+    /// Returns the new edge's id, or `None` if the edge is a self loop or
+    /// already exists. Panics if an endpoint is out of range or the weight
+    /// is not finite and positive — same contract as
+    /// [`crate::GraphBuilder::add_edge`].
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Option<EdgeId> {
+        let n = self.node_count();
+        assert!(
+            u.0 < n && v.0 < n,
+            "edge endpoint out of range: {u} or {v} >= {n}"
+        );
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "edge weight must be finite and positive, got {weight}"
+        );
+        if u == v || self.has_edge(u, v) {
+            return None;
+        }
+        let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { u: a, v: b, weight });
+        self.edge_live.push(true);
+        for (from, to) in [(a, b), (b, a)] {
+            let list = &mut self.adjacency[from.0];
+            // Keep adjacency sorted by neighbor id (the builder's invariant,
+            // which explicit-route interface indices depend on).
+            let pos = list.partition_point(|nb| nb.node.0 < to.0);
+            list.insert(
+                pos,
+                Neighbor {
+                    node: to,
+                    edge: id,
+                    weight,
+                },
+            );
+        }
+        Some(id)
+    }
+
+    /// Remove the undirected edge `{u, v}`, retiring its id. Returns the
+    /// retired id, or `None` if no such edge exists.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let id = self.find_edge(u, v)?;
+        for x in [u, v] {
+            self.adjacency[x.0].retain(|nb| nb.edge != id);
+        }
+        self.edge_live[id.0] = false;
+        self.dead_edges += 1;
+        Some(id)
+    }
+
+    /// Remove every edge incident to `v` (a node leaving the network),
+    /// returning its former neighbors with the lost link weights.
+    pub fn detach_node(&mut self, v: NodeId) -> Vec<(NodeId, Weight)> {
+        let former: Vec<(NodeId, Weight)> = self.adjacency[v.0]
+            .iter()
+            .map(|nb| (nb.node, nb.weight))
+            .collect();
+        for &(peer, _) in &former {
+            self.remove_edge(v, peer);
+        }
+        former
     }
 
     /// Neighbors of `v` (the node's adjacency list).
@@ -269,5 +376,53 @@ mod tests {
     fn display_formats() {
         assert_eq!(NodeId(7).to_string(), "n7");
         assert_eq!(EdgeId(3).to_string(), "e3");
+    }
+
+    #[test]
+    fn insert_edge_keeps_adjacency_sorted() {
+        let mut g = triangle();
+        let d = g.add_node();
+        assert_eq!(d, NodeId(3));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.degree(d), 0);
+        let id = g.insert_edge(d, NodeId(0), 2.5).unwrap();
+        assert!(g.edge_is_live(id));
+        assert_eq!(g.edge_weight(NodeId(0), d), Some(2.5));
+        let ids: Vec<usize> = g.neighbors(NodeId(0)).iter().map(|nb| nb.node.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Self loops and duplicates are rejected without panicking.
+        assert_eq!(g.insert_edge(d, d, 1.0), None);
+        assert_eq!(g.insert_edge(NodeId(0), d, 9.0), None);
+        assert_eq!(g.edge_weight(NodeId(0), d), Some(2.5));
+    }
+
+    #[test]
+    fn remove_edge_retires_id() {
+        let mut g = triangle();
+        let id = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.remove_edge(NodeId(1), NodeId(0)), Some(id));
+        assert!(!g.edge_is_live(id));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_slots(), 3);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.remove_edge(NodeId(0), NodeId(1)), None);
+        assert!(g.edges().all(|(eid, _)| eid != id));
+        // Re-inserting the same endpoints allocates a fresh id.
+        let id2 = g.insert_edge(NodeId(0), NodeId(1), 4.0).unwrap();
+        assert_ne!(id, id2);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(4.0));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge_slots(), 4);
+    }
+
+    #[test]
+    fn detach_node_drops_all_links() {
+        let mut g = triangle();
+        let former = g.detach_node(NodeId(2));
+        assert_eq!(former, vec![(NodeId(0), 3.0), (NodeId(1), 2.0)]);
+        assert_eq!(g.degree(NodeId(2)), 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.detach_node(NodeId(2)).is_empty());
     }
 }

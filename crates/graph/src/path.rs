@@ -46,9 +46,7 @@ impl Path {
     /// Whether every consecutive pair of nodes is connected by an edge in
     /// `g`. Used by tests and the simulators' sanity checks.
     pub fn is_valid(&self, g: &Graph) -> bool {
-        self.nodes
-            .windows(2)
-            .all(|w| g.has_edge(w[0], w[1]))
+        self.nodes.windows(2).all(|w| g.has_edge(w[0], w[1]))
     }
 
     /// Total weight of the path in `g`. Panics if the path is not valid.

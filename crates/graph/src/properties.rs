@@ -63,9 +63,7 @@ pub fn estimate_diameter(g: &Graph) -> Weight {
         .map(|(v, _)| v)
         .unwrap_or(NodeId(0));
     let t2 = dijkstra(g, far);
-    t2.iter()
-        .map(|(_, d)| d)
-        .fold(0.0, f64::max)
+    t2.iter().map(|(_, d)| d).fold(0.0, f64::max)
 }
 
 /// Mean shortest-path distance over a sample of `samples` random-ish source

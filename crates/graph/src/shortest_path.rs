@@ -163,7 +163,11 @@ fn dijkstra_core(
             }
             let nd = d + nb.weight;
             let improve = match best.get(&nb.node) {
-                Some(&old) => nd < old || (nd == old && v.0 < parent.get(&nb.node).map(|p| p.0).unwrap_or(usize::MAX)),
+                Some(&old) => {
+                    nd < old
+                        || (nd == old
+                            && v.0 < parent.get(&nb.node).map(|p| p.0).unwrap_or(usize::MAX))
+                }
                 None => true,
             };
             if improve {
@@ -237,7 +241,7 @@ fn dijkstra_core_bounded(g: &Graph, source: NodeId, bound: Weight) -> ShortestPa
             if nd >= bound {
                 continue;
             }
-            let improve = best.get(&nb.node).map_or(true, |&old| nd < old);
+            let improve = best.get(&nb.node).is_none_or(|&old| nd < old);
             if improve {
                 best.insert(nb.node, nd);
                 parent.insert(nb.node, v);
@@ -258,7 +262,11 @@ fn dijkstra_core_bounded(g: &Graph, source: NodeId, bound: Weight) -> ShortestPa
 
 /// Dijkstra that stops as soon as every node in `targets` has been settled
 /// (or the graph component is exhausted).
-pub fn dijkstra_to_targets(g: &Graph, source: NodeId, targets: &HashSet<NodeId>) -> ShortestPathTree {
+pub fn dijkstra_to_targets(
+    g: &Graph,
+    source: NodeId,
+    targets: &HashSet<NodeId>,
+) -> ShortestPathTree {
     dijkstra_core(g, source, usize::MAX, Some(targets))
 }
 
@@ -321,9 +329,7 @@ pub fn multi_source_dijkstra(g: &Graph, sources: &[NodeId]) -> MultiSourceResult
             }
             let nd = d + nb.weight;
             let improve = match best.get(&nb.node) {
-                Some(&(old, old_owner)) => {
-                    nd < old || (nd == old && owner.0 < old_owner.0)
-                }
+                Some(&(old, old_owner)) => nd < old || (nd == old && owner.0 < old_owner.0),
                 None => true,
             };
             if improve {
@@ -478,7 +484,11 @@ mod tests {
         let t = dijkstra_bounded(&g, NodeId(7), bound);
         for v in g.nodes() {
             let within = full.distance(v).unwrap() < bound;
-            assert_eq!(t.reached(v) && t.settled_order().contains(&v), within, "node {v}");
+            assert_eq!(
+                t.reached(v) && t.settled_order().contains(&v),
+                within,
+                "node {v}"
+            );
             if within {
                 assert_eq!(t.distance(v), full.distance(v));
             }
@@ -496,11 +506,11 @@ mod tests {
     fn all_pairs_symmetric() {
         let g = generators::gnm_connected(40, 120, 5);
         let d = all_pairs_distances(&g);
-        for i in 0..40 {
-            for j in 0..40 {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, d[j][i]);
             }
-            assert_eq!(d[i][i], Some(0.0));
+            assert_eq!(row[i], Some(0.0));
         }
     }
 }

@@ -54,7 +54,9 @@ pub fn measure<F>(graph: &Graph, pairs: &[(NodeId, NodeId)], mut route_nodes: F)
 where
     F: FnMut(NodeId, NodeId) -> Vec<NodeId>,
 {
-    let mut edge_usage = vec![0u64; graph.edge_count()];
+    // Sized by edge *slots*: after runtime edge removals, live edge ids
+    // can exceed the live-edge count.
+    let mut edge_usage = vec![0u64; graph.edge_slots()];
     for &(s, t) in pairs {
         let nodes = route_nodes(s, t);
         for w in nodes.windows(2) {

@@ -9,7 +9,9 @@ use crate::sampling::{one_destination_per_node, sample_nodes, sample_pairs_group
 use crate::state::{self, StateReport};
 use crate::stretch::{self, StretchReport};
 use crate::topology::Topology;
-use disco_baselines::{S4Router, S4State, ShortestPathRouter, ShortestPathState, VrrRouter, VrrState};
+use disco_baselines::{
+    S4Router, S4State, ShortestPathRouter, ShortestPathState, VrrRouter, VrrState,
+};
 use disco_core::address::IdentifierSize;
 use disco_core::config::DiscoConfig;
 use disco_core::dissemination;
@@ -95,9 +97,8 @@ pub fn state_comparison(
         let v = VrrState::build(&graph, &cfg);
         state::vrr_entries(&v, &nodes)
     });
-    let path_vector = include_vrr.then(|| {
-        state::path_vector_entries(&ShortestPathState::build(&graph), &nodes)
-    });
+    let path_vector =
+        include_vrr.then(|| state::path_vector_entries(&ShortestPathState::build(&graph), &nodes));
 
     StateComparison {
         topology,
@@ -189,12 +190,14 @@ pub fn shortcut_sweep(topology: Topology, params: &ExperimentParams) -> Shortcut
     );
     let means = ShortcutMode::ALL
         .iter()
-        .map(|&mode| (mode, stretch::disco_mean_stretch_with_mode(&router, &pairs, mode)))
+        .map(|&mode| {
+            (
+                mode,
+                stretch::disco_mean_stretch_with_mode(&router, &pairs, mode),
+            )
+        })
         .collect();
-    ShortcutRow {
-        topology,
-        means,
-    }
+    ShortcutRow { topology, means }
 }
 
 // ---------------------------------------------------------------------
@@ -305,7 +308,9 @@ pub fn messaging_point(n: usize, seed: u64) -> MessagingPoint {
     let vicinity = cfg.vicinity_size(n);
 
     let run_pv = |limit: TableLimit| -> f64 {
-        let mut engine = Engine::new(&graph, |v| PathVectorNode::new(v, lm_set.contains(&v), limit));
+        let mut engine = Engine::new(&graph, |v| {
+            PathVectorNode::new(v, lm_set.contains(&v), limit)
+        });
         let report = engine.run();
         assert!(report.converged, "path vector variant did not converge");
         report.stats.mean_sent_per_node()
@@ -556,7 +561,11 @@ pub fn static_accuracy_experiment(params: &ExperimentParams) -> StaticAccuracyOu
     let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
     let vicinity = cfg.vicinity_size(n);
     let mut engine = Engine::new(&graph, |v| {
-        PathVectorNode::new(v, lm_set.contains(&v), TableLimit::VicinityCap { size: vicinity })
+        PathVectorNode::new(
+            v,
+            lm_set.contains(&v),
+            TableLimit::VicinityCap { size: vicinity },
+        )
     });
     let report = engine.run();
     assert!(report.converged);
@@ -580,12 +589,7 @@ pub fn static_accuracy_experiment(params: &ExperimentParams) -> StaticAccuracyOu
 
 /// Later-packet route length using the distributed protocol's converged
 /// tables (handshake included), mirroring `DiscoRouter::route_later_packet`.
-fn event_later_packet_length(
-    graph: &Graph,
-    nodes: &[PathVectorNode],
-    s: NodeId,
-    t: NodeId,
-) -> f64 {
+fn event_later_packet_length(graph: &Graph, nodes: &[PathVectorNode], s: NodeId, t: NodeId) -> f64 {
     let path_len = |path: &[NodeId]| -> f64 {
         path.windows(2)
             .map(|w| graph.edge_weight(w[0], w[1]).expect("table path edge"))
@@ -729,7 +733,12 @@ mod tests {
     #[test]
     fn messaging_point_orders_protocols() {
         let p = messaging_point(96, 5);
-        assert!(p.path_vector > p.nddisco, "pv {} nd {}", p.path_vector, p.nddisco);
+        assert!(
+            p.path_vector > p.nddisco,
+            "pv {} nd {}",
+            p.path_vector,
+            p.nddisco
+        );
         assert!(p.disco_1_finger > p.nddisco);
         assert!(p.disco_3_finger >= p.disco_1_finger);
         assert!(p.s4 > 0.0);
@@ -778,7 +787,14 @@ mod tests {
 
     #[test]
     fn static_accuracy_is_close() {
-        let params = small_params(200, 10);
+        // More sampled pairs than the other smoke tests: the 5% agreement
+        // tolerance is tight enough that 8×6 pairs is dominated by sampling
+        // noise rather than the static/event gap being measured.
+        let params = ExperimentParams {
+            stretch_sources: 12,
+            stretch_dests_per_source: 12,
+            ..small_params(200, 10)
+        };
         let out = static_accuracy_experiment(&params);
         assert!(
             out.relative_difference < 0.05,

@@ -161,7 +161,11 @@ pub fn disco_bytes(
             // Resolution entries stored at landmarks: exact per-address cost.
             if state.is_landmark(v) {
                 for (w, addr) in state.addresses().iter().enumerate() {
-                    if state.resolution_ring().owner_of_name(state.name_of(NodeId(w))) == v {
+                    if state
+                        .resolution_ring()
+                        .owner_of_name(state.name_of(NodeId(w)))
+                        == v
+                    {
                         total += 2.0 * id + addr.route_bytes(graph) as f64;
                     }
                 }

@@ -67,8 +67,12 @@ pub fn disco_stretch(router: &DiscoRouter<'_>, pairs: &[(NodeId, NodeId)]) -> St
     let mut report = StretchReport::default();
     for &(s, t) in pairs {
         let d = router.true_distance(s, t);
-        report.first.push(router.route_first_packet(s, t).stretch(d));
-        report.later.push(router.route_later_packet(s, t).stretch(d));
+        report
+            .first
+            .push(router.route_first_packet(s, t).stretch(d));
+        report
+            .later
+            .push(router.route_later_packet(s, t).stretch(d));
     }
     report
 }

@@ -1,13 +1,19 @@
 //! The discrete-event simulation engine.
+//!
+//! Since the dynamics subsystem landed, the engine *owns* its graph (a clone
+//! of the one passed to [`Engine::new`]) and can mutate it at runtime by
+//! processing [`TopologyEvent`]s: node churn, link failure/recovery and
+//! mobility re-attachment. Protocols observe adjacency changes through the
+//! [`Protocol::on_neighbor_up`] / [`Protocol::on_neighbor_down`] upcalls.
 
 use crate::context::{Action, Context};
-use crate::event::{EventKind, EventQueue, SimTime};
+use crate::event::{EventKind, EventQueue, SimTime, TopologyEvent};
 use crate::stats::MessageStats;
 use crate::Protocol;
 use disco_graph::{Graph, NodeId};
 
 /// Summary of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Whether the simulation reached quiescence (no events left) before
     /// hitting the event or time limit.
@@ -16,19 +22,39 @@ pub struct RunReport {
     pub end_time: SimTime,
     /// Number of events processed.
     pub events_processed: u64,
+    /// Topology-mutation events applied.
+    pub topology_events: u64,
+    /// Messages lost in flight (link failed or receiver left before
+    /// delivery) plus stale-incarnation timers discarded.
+    pub messages_dropped: u64,
     /// Message statistics collected during the run.
     pub stats: MessageStats,
 }
 
 /// Discrete-event simulator running one [`Protocol`] instance per node of a
 /// graph.
-pub struct Engine<'g, P: Protocol> {
-    graph: &'g Graph,
+///
+/// The engine clones the construction graph and owns it for the lifetime of
+/// the run so that topology events can mutate it; [`Engine::graph`] exposes
+/// the *current* topology. The `'f` lifetime bounds the node factory, which
+/// is retained to build fresh protocol instances for nodes that join (or
+/// rejoin) at runtime.
+pub struct Engine<'f, P: Protocol> {
+    graph: Graph,
     nodes: Vec<P>,
+    factory: Box<dyn FnMut(NodeId) -> P + 'f>,
+    /// Whether each node is currently part of the network.
+    active: Vec<bool>,
+    /// Incarnation counter per node; bumped on rejoin so stale timers from a
+    /// previous life are discarded.
+    epoch: Vec<u32>,
     queue: EventQueue<P::Message>,
     stats: MessageStats,
     now: SimTime,
+    started: bool,
     events_processed: u64,
+    topology_events: u64,
+    messages_dropped: u64,
     /// Safety valve: stop after this many events (default 200 million).
     pub max_events: u64,
     /// Safety valve: stop once simulation time exceeds this (default ∞).
@@ -40,18 +66,27 @@ pub struct Engine<'g, P: Protocol> {
     pub processing_delay: SimTime,
 }
 
-impl<'g, P: Protocol> Engine<'g, P> {
-    /// Create an engine over `graph`, building each node's protocol
-    /// instance with `factory`.
-    pub fn new(graph: &'g Graph, mut factory: impl FnMut(NodeId) -> P) -> Self {
+impl<'f, P: Protocol> Engine<'f, P> {
+    /// Create an engine over a clone of `graph`, building each node's
+    /// protocol instance with `factory`. The factory is kept for the
+    /// engine's lifetime so joining nodes can be instantiated later.
+    pub fn new(graph: &Graph, factory: impl FnMut(NodeId) -> P + 'f) -> Self {
+        let mut factory: Box<dyn FnMut(NodeId) -> P + 'f> = Box::new(factory);
         let nodes: Vec<P> = graph.nodes().map(&mut factory).collect();
+        let n = graph.node_count();
         Engine {
-            graph,
+            graph: graph.clone(),
             nodes,
+            factory,
+            active: vec![true; n],
+            epoch: vec![0; n],
             queue: EventQueue::new(),
-            stats: MessageStats::new(graph.node_count()),
+            stats: MessageStats::new(n),
             now: 0.0,
+            started: false,
             events_processed: 0,
+            topology_events: 0,
+            messages_dropped: 0,
             max_events: 200_000_000,
             max_time: f64::INFINITY,
             default_msg_size: 64,
@@ -60,7 +95,8 @@ impl<'g, P: Protocol> Engine<'g, P> {
     }
 
     /// Immutable access to the per-node protocol instances (indexed by node
-    /// id) — used to inspect converged state after a run.
+    /// id) — used to inspect converged state after a run. Instances of
+    /// departed nodes retain their state at departure.
     pub fn nodes(&self) -> &[P] {
         &self.nodes
     }
@@ -70,9 +106,30 @@ impl<'g, P: Protocol> Engine<'g, P> {
         &mut self.nodes
     }
 
-    /// The simulated graph.
+    /// The simulated graph in its *current* state (reflects all topology
+    /// events applied so far).
     pub fn graph(&self) -> &Graph {
-        self.graph
+        &self.graph
+    }
+
+    /// Whether `v` is currently part of the network. Nodes beyond the
+    /// original graph that have not joined yet report `false`.
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.active.get(v.0).copied().unwrap_or(false)
+    }
+
+    /// Ids of the currently active nodes.
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Number of currently active nodes.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
     }
 
     /// Message statistics so far.
@@ -85,6 +142,27 @@ impl<'g, P: Protocol> Engine<'g, P> {
         self.now
     }
 
+    /// Messages (and stale timers) dropped so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Topology events applied so far.
+    pub fn topology_events(&self) -> u64 {
+        self.topology_events
+    }
+
+    /// Schedule a topology mutation at absolute simulation time `at`
+    /// (must not be in the past).
+    pub fn schedule_topology(&mut self, at: SimTime, event: TopologyEvent) {
+        assert!(
+            at >= self.now,
+            "topology event scheduled in the past ({at} < {})",
+            self.now
+        );
+        self.queue.push(at, EventKind::Topology(event));
+    }
+
     fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P::Message>>) {
         for a in actions {
             match a {
@@ -93,23 +171,118 @@ impl<'g, P: Protocol> Engine<'g, P> {
                     msg,
                     size_bytes,
                 } => {
-                    let weight = self
+                    let nb = *self
                         .graph
-                        .edge_weight(node, to)
+                        .neighbors(node)
+                        .iter()
+                        .find(|nb| nb.node == to)
                         .expect("context already validated neighbor");
                     self.stats.record_send(node, size_bytes);
                     self.queue.push(
-                        self.now + weight + self.processing_delay,
+                        self.now + nb.weight + self.processing_delay,
                         EventKind::Deliver {
                             from: node,
                             to,
+                            edge: nb.edge,
                             msg,
                         },
                     );
                 }
                 Action::Timer { delay, token } => {
-                    self.queue
-                        .push(self.now + delay, EventKind::Timer { node, token });
+                    self.queue.push(
+                        self.now + delay,
+                        EventKind::Timer {
+                            node,
+                            token,
+                            epoch: self.epoch[node.0],
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Run `upcall` on node `v` with a fresh context and apply the actions
+    /// it records.
+    fn upcall(&mut self, v: NodeId, upcall: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
+        let mut ctx = Context::new(v, self.now, &self.graph, self.default_msg_size);
+        upcall(&mut self.nodes[v.0], &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        self.apply_actions(v, actions);
+    }
+
+    /// Apply one topology mutation and deliver the resulting neighbor
+    /// up/down upcalls.
+    fn apply_topology(&mut self, event: TopologyEvent) {
+        self.topology_events += 1;
+        match event {
+            TopologyEvent::LinkUp { u, v, weight } => {
+                if !self.is_active(u) || !self.is_active(v) {
+                    return;
+                }
+                if self.graph.insert_edge(u, v, weight).is_some() {
+                    self.upcall(u, |p, ctx| p.on_neighbor_up(v, ctx));
+                    self.upcall(v, |p, ctx| p.on_neighbor_up(u, ctx));
+                }
+            }
+            TopologyEvent::LinkDown { u, v } => {
+                if self.graph.remove_edge(u, v).is_some() {
+                    if self.is_active(u) {
+                        self.upcall(u, |p, ctx| p.on_neighbor_down(v, ctx));
+                    }
+                    if self.is_active(v) {
+                        self.upcall(v, |p, ctx| p.on_neighbor_down(u, ctx));
+                    }
+                }
+            }
+            TopologyEvent::NodeLeave { node } => {
+                if !self.is_active(node) {
+                    return;
+                }
+                self.active[node.0] = false;
+                let former = self.graph.detach_node(node);
+                for (peer, _) in former {
+                    if self.is_active(peer) {
+                        self.upcall(peer, |p, ctx| p.on_neighbor_down(node, ctx));
+                    }
+                }
+            }
+            TopologyEvent::NodeJoin { node, links } => {
+                // Grow the id space if the joiner is brand new.
+                while node.0 >= self.graph.node_count() {
+                    let id = self.graph.add_node();
+                    self.nodes.push((self.factory)(id));
+                    self.active.push(false);
+                    self.epoch.push(0);
+                }
+                self.stats.grow_to(self.graph.node_count());
+                if self.active[node.0] {
+                    return; // already present; treat as no-op
+                }
+                if self.graph.degree(node) > 0 {
+                    // A departed node keeps no links; a fresh id starts with
+                    // none. Anything else is an engine invariant violation.
+                    panic!("joining node {node} already has edges");
+                }
+                // Rejoining: fresh protocol state, new incarnation.
+                self.epoch[node.0] += 1;
+                self.nodes[node.0] = (self.factory)(node);
+                self.active[node.0] = true;
+                let mut attached = Vec::new();
+                for (peer, weight) in links {
+                    if peer.0 < self.graph.node_count()
+                        && self.active[peer.0]
+                        && self.graph.insert_edge(node, peer, weight).is_some()
+                    {
+                        attached.push(peer);
+                    }
+                }
+                // The joiner boots first (it sees its links in the context),
+                // then both sides observe the new adjacency.
+                self.upcall(node, |p, ctx| p.on_start(ctx));
+                for peer in attached {
+                    self.upcall(node, |p, ctx| p.on_neighbor_up(peer, ctx));
+                    self.upcall(peer, |p, ctx| p.on_neighbor_up(node, ctx));
                 }
             }
         }
@@ -117,59 +290,107 @@ impl<'g, P: Protocol> Engine<'g, P> {
 
     /// Deliver `on_start` to every node (in id order) at time 0. Called
     /// automatically by [`Engine::run`]; exposed separately so callers can
-    /// interleave manual event injection.
+    /// interleave manual event injection (runs like [`Engine::run_until`]
+    /// skip it, preserving full control over the initial events).
     pub fn start(&mut self) {
+        self.started = true;
         for id in 0..self.nodes.len() {
             let node = NodeId(id);
-            let mut ctx = Context::new(node, self.now, self.graph, self.default_msg_size);
-            self.nodes[id].on_start(&mut ctx);
-            let actions = std::mem::take(&mut ctx.actions);
-            self.apply_actions(node, actions);
+            if self.active[id] {
+                self.upcall(node, |p, ctx| p.on_start(ctx));
+            }
         }
     }
 
     /// Process events until quiescence or a safety limit; returns the run
-    /// report. Calls [`Engine::start`] first if no event has been processed
-    /// yet and the queue is empty.
+    /// report. Calls [`Engine::start`] first unless it already ran (so
+    /// pre-scheduled topology events don't suppress the boot); call
+    /// [`Engine::start`] and [`Engine::run_until`] yourself for full
+    /// control over the initial events.
     pub fn run(&mut self) -> RunReport {
-        if self.events_processed == 0 && self.queue.is_empty() {
+        if !self.started && self.events_processed == 0 {
             self.start();
         }
         let converged = self.run_until(|_| false);
+        self.report(converged)
+    }
+
+    /// The report for the run so far.
+    pub fn report(&self, converged: bool) -> RunReport {
         RunReport {
             converged,
             end_time: self.now,
             events_processed: self.events_processed,
+            topology_events: self.topology_events,
+            messages_dropped: self.messages_dropped,
             stats: self.stats.clone(),
         }
+    }
+
+    /// Process all events with timestamps `<= t`, then advance the clock to
+    /// `t`. Returns true if the queue is empty afterwards. Useful for
+    /// interleaving probes with a running simulation at fixed times.
+    pub fn run_to(&mut self, t: SimTime) -> bool {
+        if !self.started && self.events_processed == 0 {
+            self.start();
+        }
+        while self.queue.peek_time().is_some_and(|pt| pt <= t) {
+            if !self.step() {
+                break;
+            }
+        }
+        self.now = self.now.max(t);
+        self.queue.is_empty()
+    }
+
+    /// Process a single event. Returns false if the queue was empty or a
+    /// safety limit tripped.
+    fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.now = ev.time;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver {
+                from,
+                to,
+                edge,
+                msg,
+            } => {
+                // In-flight messages are lost if the link failed or the
+                // receiver departed while they were on the wire. Comparing
+                // the edge *id* (not mere existence) also drops messages
+                // whose link failed and was re-established mid-flight, and
+                // pre-leave messages to a node that rejoined on the same
+                // anchor — both get fresh edge ids.
+                if !self.is_active(to) || self.graph.find_edge(from, to) != Some(edge) {
+                    self.messages_dropped += 1;
+                } else {
+                    self.stats.record_receive(to);
+                    self.upcall(to, |p, ctx| p.on_message(from, msg, ctx));
+                }
+            }
+            EventKind::Timer { node, token, epoch } => {
+                // Timers of departed nodes and of previous incarnations are
+                // discarded.
+                if !self.is_active(node) || self.epoch[node.0] != epoch {
+                    self.messages_dropped += 1;
+                } else {
+                    self.upcall(node, |p, ctx| p.on_timer(token, ctx));
+                }
+            }
+            EventKind::Topology(event) => self.apply_topology(event),
+        }
+        self.events_processed < self.max_events && self.now <= self.max_time
     }
 
     /// Process events until quiescence, a safety limit, or `stop` returns
     /// true for the engine's current state (checked after each event).
     /// Returns true if the queue drained (quiescence).
     pub fn run_until(&mut self, mut stop: impl FnMut(&Self) -> bool) -> bool {
-        while let Some(ev) = self.queue.pop() {
-            self.now = ev.time;
-            self.events_processed += 1;
-            match ev.kind {
-                EventKind::Deliver { from, to, msg } => {
-                    self.stats.record_receive(to);
-                    let mut ctx = Context::new(to, self.now, self.graph, self.default_msg_size);
-                    self.nodes[to.0].on_message(from, msg, &mut ctx);
-                    let actions = std::mem::take(&mut ctx.actions);
-                    self.apply_actions(to, actions);
-                }
-                EventKind::Timer { node, token } => {
-                    let mut ctx = Context::new(node, self.now, self.graph, self.default_msg_size);
-                    self.nodes[node.0].on_timer(token, &mut ctx);
-                    let actions = std::mem::take(&mut ctx.actions);
-                    self.apply_actions(node, actions);
-                }
-            }
-            if self.events_processed >= self.max_events || self.now > self.max_time {
-                return false;
-            }
-            if stop(self) {
+        while !self.queue.is_empty() {
+            if !self.step() || stop(self) {
                 return false;
             }
         }
@@ -177,10 +398,23 @@ impl<'g, P: Protocol> Engine<'g, P> {
     }
 
     /// Inject a message delivery from outside the protocol (e.g. a test
-    /// injecting the first data packet); `from` must be a neighbor of `to`.
+    /// injecting the first data packet); `from` must currently be a
+    /// neighbor of `to` (the message rides the current link and is lost if
+    /// that link fails before delivery).
     pub fn inject_message(&mut self, from: NodeId, to: NodeId, msg: P::Message, delay: SimTime) {
-        self.queue
-            .push(self.now + delay, EventKind::Deliver { from, to, msg });
+        let edge = self
+            .graph
+            .find_edge(from, to)
+            .expect("inject_message requires an existing link");
+        self.queue.push(
+            self.now + delay,
+            EventKind::Deliver {
+                from,
+                to,
+                edge,
+                msg,
+            },
+        );
     }
 }
 
@@ -336,5 +570,192 @@ mod tests {
         let converged = e.run_until(|_| false);
         assert!(converged);
         assert_eq!(e.nodes()[0].pings_received, 1);
+    }
+
+    /// A protocol that records every neighbor-up/down observation.
+    #[derive(Default)]
+    struct AdjacencyWatcher {
+        ups: Vec<NodeId>,
+        downs: Vec<NodeId>,
+        started: u32,
+    }
+
+    impl Protocol for AdjacencyWatcher {
+        type Message = ();
+        fn on_start(&mut self, _ctx: &mut Context<'_, ()>) {
+            self.started += 1;
+        }
+        fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {}
+        fn on_neighbor_up(&mut self, peer: NodeId, _ctx: &mut Context<'_, ()>) {
+            self.ups.push(peer);
+        }
+        fn on_neighbor_down(&mut self, peer: NodeId, _ctx: &mut Context<'_, ()>) {
+            self.downs.push(peer);
+        }
+    }
+
+    #[test]
+    fn link_down_and_up_notify_both_endpoints() {
+        let g = generators::ring(4);
+        let mut e = Engine::new(&g, |_| AdjacencyWatcher::default());
+        e.schedule_topology(
+            1.0,
+            TopologyEvent::LinkDown {
+                u: NodeId(0),
+                v: NodeId(1),
+            },
+        );
+        e.schedule_topology(
+            2.0,
+            TopologyEvent::LinkUp {
+                u: NodeId(0),
+                v: NodeId(1),
+                weight: 2.0,
+            },
+        );
+        let report = e.run();
+        assert!(report.converged);
+        assert_eq!(report.topology_events, 2);
+        assert_eq!(e.nodes()[0].downs, vec![NodeId(1)]);
+        assert_eq!(e.nodes()[1].downs, vec![NodeId(0)]);
+        assert_eq!(e.nodes()[0].ups, vec![NodeId(1)]);
+        assert_eq!(e.nodes()[1].ups, vec![NodeId(0)]);
+        assert_eq!(e.graph().edge_weight(NodeId(0), NodeId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn node_leave_detaches_and_notifies_neighbors() {
+        let g = generators::star(5); // hub 0, leaves 1..4
+        let mut e = Engine::new(&g, |_| AdjacencyWatcher::default());
+        e.schedule_topology(1.0, TopologyEvent::NodeLeave { node: NodeId(0) });
+        let report = e.run();
+        assert!(report.converged);
+        assert!(!e.is_active(NodeId(0)));
+        assert_eq!(e.active_count(), 4);
+        assert_eq!(e.graph().edge_count(), 0);
+        for leaf in 1..5 {
+            assert_eq!(e.nodes()[leaf].downs, vec![NodeId(0)]);
+        }
+        // The departed node itself received no upcall.
+        assert!(e.nodes()[0].downs.is_empty());
+    }
+
+    #[test]
+    fn rejoin_resets_protocol_state_and_discards_stale_timers() {
+        struct Rejoiner {
+            fired: u32,
+            started: u32,
+        }
+        impl Protocol for Rejoiner {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                self.started += 1;
+                ctx.set_timer(10.0, 1); // will outlive the first incarnation
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {}
+            fn on_timer(&mut self, _t: u64, _ctx: &mut Context<'_, ()>) {
+                self.fired += 1;
+            }
+        }
+        let g = generators::line(3);
+        let mut e = Engine::new(&g, |_| Rejoiner {
+            fired: 0,
+            started: 0,
+        });
+        e.schedule_topology(1.0, TopologyEvent::NodeLeave { node: NodeId(2) });
+        e.schedule_topology(
+            5.0,
+            TopologyEvent::NodeJoin {
+                node: NodeId(2),
+                links: vec![(NodeId(0), 1.0)],
+            },
+        );
+        let report = e.run();
+        assert!(report.converged);
+        // Fresh instance: started once in the new life.
+        assert_eq!(e.nodes()[2].started, 1);
+        // The timer set at t=0 (old incarnation) was discarded; only the one
+        // set on rejoin fired.
+        assert_eq!(e.nodes()[2].fired, 1);
+        assert!(report.messages_dropped >= 1);
+        // Mobility: the node re-attached elsewhere.
+        assert!(e.graph().has_edge(NodeId(0), NodeId(2)));
+        assert!(!e.graph().has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn join_grows_network_with_new_node() {
+        let g = generators::line(2);
+        let mut e = Engine::new(&g, |_| AdjacencyWatcher::default());
+        e.schedule_topology(
+            1.0,
+            TopologyEvent::NodeJoin {
+                node: NodeId(2),
+                links: vec![(NodeId(0), 1.0), (NodeId(1), 2.0)],
+            },
+        );
+        let report = e.run();
+        assert!(report.converged);
+        assert_eq!(e.graph().node_count(), 3);
+        assert_eq!(e.active_count(), 3);
+        assert_eq!(e.nodes()[2].started, 1);
+        assert_eq!(e.nodes()[2].ups, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(e.nodes()[0].ups, vec![NodeId(2)]);
+        assert_eq!(e.nodes()[1].ups, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn in_flight_messages_lost_on_link_failure() {
+        // Node 0 sends to 1 over a slow link; the link fails while the
+        // message is in flight.
+        use disco_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 10.0);
+        let g = b.build();
+
+        struct Sender;
+        impl Protocol for Sender {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.node_id() == NodeId(0) {
+                    ctx.send(NodeId(1), ());
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {
+                panic!("message should have been lost with the link");
+            }
+        }
+        let mut e = Engine::new(&g, |_| Sender);
+        e.schedule_topology(
+            1.0,
+            TopologyEvent::LinkDown {
+                u: NodeId(0),
+                v: NodeId(1),
+            },
+        );
+        let report = e.run();
+        assert!(report.converged);
+        assert_eq!(report.messages_dropped, 1);
+        assert_eq!(report.stats.total_sent(), 1);
+        assert_eq!(report.stats.received_by(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn run_to_advances_clock_between_events() {
+        let g = generators::line(2);
+        let mut e = Engine::new(&g, |_| AdjacencyWatcher::default());
+        e.schedule_topology(
+            5.0,
+            TopologyEvent::LinkDown {
+                u: NodeId(0),
+                v: NodeId(1),
+            },
+        );
+        e.run_to(2.0);
+        assert!((e.now() - 2.0).abs() < 1e-12);
+        assert_eq!(e.graph().edge_count(), 1);
+        e.run_to(6.0);
+        assert_eq!(e.graph().edge_count(), 0);
+        assert!((e.now() - 6.0).abs() < 1e-12);
     }
 }

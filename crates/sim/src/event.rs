@@ -1,6 +1,6 @@
 //! Event queue of the discrete-event engine.
 
-use disco_graph::NodeId;
+use disco_graph::{EdgeId, NodeId, Weight};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -8,13 +8,74 @@ use std::collections::BinaryHeap;
 /// latencies; for unweighted graphs a hop costs 1.0).
 pub type SimTime = f64;
 
+/// A runtime change to the simulated topology (churn, failures, mobility).
+///
+/// Topology events are scheduled like any other event (through
+/// [`crate::Engine::schedule_topology`] or a `disco-dynamics` schedule) and
+/// applied by the engine when their timestamp fires: the engine mutates its
+/// graph, then notifies the affected protocol instances through
+/// [`crate::Protocol::on_neighbor_up`] / [`crate::Protocol::on_neighbor_down`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyEvent {
+    /// `node` (re)joins the network, attaching to the given neighbors.
+    /// Joining a brand-new id grows the graph; rejoining a departed id
+    /// resets that node's protocol state to a fresh instance. Links whose
+    /// peer is absent at fire time are skipped.
+    NodeJoin {
+        /// The joining node.
+        node: NodeId,
+        /// Attachment links `(peer, weight)`.
+        links: Vec<(NodeId, Weight)>,
+    },
+    /// `node` leaves abruptly (fail-stop): all its links drop and its
+    /// pending timers and in-flight messages are discarded. Neighbors
+    /// observe the loss; the departed node itself gets no upcall.
+    NodeLeave {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// A link between two present nodes comes up (new or recovered).
+    LinkUp {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// Link weight (propagation delay).
+        weight: Weight,
+    },
+    /// The link `{u, v}` fails. Messages already in flight on it are lost.
+    LinkDown {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
 /// What happens when an event fires.
 #[derive(Debug, Clone)]
 pub enum EventKind<M> {
-    /// Deliver a message to `to`, sent by `from`.
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    /// Fire a timer at `node` with the caller-chosen `token`.
-    Timer { node: NodeId, token: u64 },
+    /// Deliver a message to `to`, sent by `from` over the link that was
+    /// `edge` at send time. Edge ids are retired on removal and freshly
+    /// minted on (re-)insertion, so an id mismatch at delivery time means
+    /// the link the message was riding failed while it was in flight —
+    /// even if a link between the same endpoints has since come back.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        edge: EdgeId,
+        msg: M,
+    },
+    /// Fire a timer at `node` with the caller-chosen `token`. `epoch` is the
+    /// node's incarnation when the timer was set; timers from a previous
+    /// incarnation (before a leave/rejoin) are discarded on delivery.
+    Timer {
+        node: NodeId,
+        token: u64,
+        epoch: u32,
+    },
+    /// Apply a topology mutation.
+    Topology(TopologyEvent),
 }
 
 /// An event scheduled to fire at `time`. The sequence number makes ordering
@@ -83,6 +144,11 @@ impl<M> EventQueue<M> {
         self.heap.pop()
     }
 
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -106,6 +172,7 @@ mod tests {
             EventKind::Timer {
                 node: NodeId(0),
                 token: 3,
+                epoch: 0,
             },
         );
         q.push(
@@ -113,6 +180,7 @@ mod tests {
             EventKind::Timer {
                 node: NodeId(0),
                 token: 1,
+                epoch: 0,
             },
         );
         q.push(
@@ -120,6 +188,7 @@ mod tests {
             EventKind::Timer {
                 node: NodeId(0),
                 token: 2,
+                epoch: 0,
             },
         );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
@@ -140,6 +209,7 @@ mod tests {
                 EventKind::Timer {
                     node: NodeId(0),
                     token,
+                    epoch: 0,
                 },
             );
         }
@@ -161,6 +231,7 @@ mod tests {
             EventKind::Timer {
                 node: NodeId(1),
                 token: 0,
+                epoch: 0,
             },
         );
         assert_eq!(q.len(), 1);

@@ -68,7 +68,7 @@ pub mod stats;
 
 pub use context::Context;
 pub use engine::{Engine, RunReport};
-pub use event::SimTime;
+pub use event::{SimTime, TopologyEvent};
 pub use rng::seed_for;
 pub use stats::MessageStats;
 
@@ -99,4 +99,15 @@ pub trait Protocol {
     /// Called when a timer previously scheduled through
     /// [`Context::set_timer`] fires. `token` is the caller-chosen value.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Context<'_, Self::Message>) {}
+
+    /// Called when a link to `peer` comes up: a new link, a recovered link,
+    /// or a (re)joining neighbor. The context already reflects the new
+    /// adjacency. Default: ignore (static protocols need no change).
+    fn on_neighbor_up(&mut self, _peer: NodeId, _ctx: &mut Context<'_, Self::Message>) {}
+
+    /// Called when the link to `peer` goes down — link failure or the
+    /// neighbor leaving the network (the two are indistinguishable locally,
+    /// as in a real fail-stop network). The context already reflects the
+    /// reduced adjacency. Default: ignore.
+    fn on_neighbor_down(&mut self, _peer: NodeId, _ctx: &mut Context<'_, Self::Message>) {}
 }

@@ -9,7 +9,7 @@ use disco_graph::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// Per-run message statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MessageStats {
     sent: Vec<u64>,
     received: Vec<u64>,
@@ -23,6 +23,16 @@ impl MessageStats {
             sent: vec![0; n],
             received: vec![0; n],
             bytes_sent: vec![0; n],
+        }
+    }
+
+    /// Extend the per-node counters to cover `n` nodes (newly joined nodes
+    /// start at zero). Counters never shrink.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.sent.len() {
+            self.sent.resize(n, 0);
+            self.received.resize(n, 0);
+            self.bytes_sent.resize(n, 0);
         }
     }
 

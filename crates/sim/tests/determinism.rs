@@ -1,0 +1,219 @@
+//! Engine determinism and quiescence guarantees: a run is a pure function
+//! of `(graph, protocol, seed)`, equal-timestamp events are delivered in
+//! scheduling order, and topology mutations replay identically.
+
+use disco_graph::{generators, GraphBuilder, NodeId};
+use disco_sim::rng::rng_for;
+use disco_sim::{Context, Engine, Protocol, RunReport, TopologyEvent};
+use rand::Rng;
+
+/// A protocol with plenty of internal nondeterminism *sources* (hash maps,
+/// rng) that must still produce identical runs from the same seed: each
+/// node gossips random tokens to random neighbors for a few rounds.
+struct Gossip {
+    seed: u64,
+    rounds: u32,
+    received: Vec<(NodeId, u64)>,
+}
+
+impl Gossip {
+    fn new(id: NodeId, seed: u64) -> Self {
+        Gossip {
+            seed: disco_sim::seed_for(seed, 0x90, id.0 as u64),
+            rounds: 0,
+            received: Vec::new(),
+        }
+    }
+
+    fn spray(&mut self, ctx: &mut Context<'_, u64>) {
+        let mut rng = rng_for(self.seed, u64::from(self.rounds), 0);
+        let neighbors = ctx.neighbors();
+        if neighbors.is_empty() {
+            return;
+        }
+        for _ in 0..3 {
+            let to = neighbors[rng.gen_range(0..neighbors.len())];
+            ctx.send(to, rng.gen());
+        }
+    }
+}
+
+impl Protocol for Gossip {
+    type Message = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        self.spray(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+        self.received.push((from, msg));
+        if self.rounds < 4 {
+            self.rounds += 1;
+            self.spray(ctx);
+        }
+    }
+}
+
+fn gossip_run(seed: u64, events: &[(f64, TopologyEvent)]) -> (RunReport, Vec<Vec<(NodeId, u64)>>) {
+    let g = generators::gnm_connected(48, 192, seed);
+    let mut e = Engine::new(&g, move |v| Gossip::new(v, seed));
+    for (t, ev) in events {
+        e.schedule_topology(*t, ev.clone());
+    }
+    let report = e.run();
+    let logs = e.nodes().iter().map(|n| n.received.clone()).collect();
+    (report, logs)
+}
+
+#[test]
+fn identical_run_reports_for_same_seed() {
+    let (ra, la) = gossip_run(3, &[]);
+    let (rb, lb) = gossip_run(3, &[]);
+    assert!(ra.converged);
+    // The whole report — event counts, end time, per-node message stats —
+    // must be identical, and so must every node's full receive log.
+    assert_eq!(ra, rb);
+    assert_eq!(la, lb);
+    // A different seed must actually change the run.
+    let (rc, lc) = gossip_run(4, &[]);
+    assert!(ra.stats != rc.stats || la != lc);
+}
+
+#[test]
+fn identical_runs_under_topology_events() {
+    let events = vec![
+        (5.0, TopologyEvent::NodeLeave { node: NodeId(7) }),
+        (
+            9.0,
+            TopologyEvent::LinkDown {
+                u: NodeId(1),
+                v: NodeId(2),
+            },
+        ),
+        (
+            15.0,
+            TopologyEvent::NodeJoin {
+                node: NodeId(7),
+                links: vec![(NodeId(3), 1.0), (NodeId(11), 2.0)],
+            },
+        ),
+    ];
+    let (ra, la) = gossip_run(9, &events);
+    let (rb, lb) = gossip_run(9, &events);
+    assert!(ra.converged);
+    assert_eq!(ra.topology_events, 3);
+    assert_eq!(ra, rb);
+    assert_eq!(la, lb);
+}
+
+/// Equal-timestamp events must be delivered in the order they were
+/// scheduled, end to end through the engine (not just inside the queue).
+#[test]
+fn equal_timestamp_events_deliver_in_scheduling_order() {
+    struct Collector {
+        tokens: Vec<u64>,
+    }
+    impl Protocol for Collector {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.node_id() == NodeId(0) {
+                // All timers at the same instant, scheduled 5..0.
+                for token in (0..6).rev() {
+                    ctx.set_timer(1.0, token);
+                }
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, _m: u64, _c: &mut Context<'_, u64>) {}
+        fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, u64>) {
+            self.tokens.push(token);
+        }
+    }
+    let g = generators::line(2);
+    let mut e = Engine::new(&g, |_| Collector { tokens: vec![] });
+    let report = e.run();
+    assert!(report.converged);
+    assert_eq!(e.nodes()[0].tokens, vec![5, 4, 3, 2, 1, 0]);
+}
+
+/// Messages sent in one upcall to the same neighbor arrive in FIFO order.
+#[test]
+fn per_link_fifo_order() {
+    struct Fifo {
+        got: Vec<u64>,
+    }
+    impl Protocol for Fifo {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.node_id() == NodeId(0) {
+                for k in 0..10 {
+                    ctx.send(NodeId(1), k);
+                }
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, m: u64, _c: &mut Context<'_, u64>) {
+            self.got.push(m);
+        }
+    }
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(NodeId(0), NodeId(1), 2.5);
+    let g = b.build();
+    let mut e = Engine::new(&g, |_| Fifo { got: vec![] });
+    assert!(e.run().converged);
+    assert_eq!(e.nodes()[1].got, (0..10).collect::<Vec<_>>());
+}
+
+/// Quiescence detection: the report says converged exactly when the queue
+/// drained, and the end time is the time of the last processed event.
+#[test]
+fn quiescence_and_end_time() {
+    struct Chain;
+    impl Protocol for Chain {
+        type Message = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.node_id() == NodeId(0) {
+                ctx.send(NodeId(1), 3);
+            }
+        }
+        fn on_message(&mut self, from: NodeId, hops: u32, ctx: &mut Context<'_, u32>) {
+            if hops > 0 {
+                ctx.send(from, hops - 1); // bounce back and forth
+            }
+        }
+    }
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(NodeId(0), NodeId(1), 1.0);
+    let g = b.build();
+    let mut e = Engine::new(&g, |_| Chain);
+    let report = e.run();
+    assert!(report.converged);
+    // 4 deliveries, 1.01 apart (weight + processing delay).
+    assert_eq!(report.events_processed, 4);
+    assert!((report.end_time - 4.04).abs() < 1e-9);
+    assert_eq!(report.messages_dropped, 0);
+    assert_eq!(report.topology_events, 0);
+}
+
+/// A topology event alone (no protocol traffic) still counts as activity
+/// and leaves the engine quiescent afterwards.
+#[test]
+fn topology_only_run_quiesces() {
+    struct Mute;
+    impl Protocol for Mute {
+        type Message = ();
+        fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {}
+    }
+    let g = generators::ring(5);
+    let mut e = Engine::new(&g, |_| Mute);
+    e.schedule_topology(
+        2.0,
+        TopologyEvent::LinkDown {
+            u: NodeId(0),
+            v: NodeId(1),
+        },
+    );
+    let report = e.run();
+    assert!(report.converged);
+    assert_eq!(report.topology_events, 1);
+    assert_eq!(report.events_processed, 1);
+    assert_eq!(e.graph().edge_count(), 4);
+}

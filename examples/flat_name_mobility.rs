@@ -12,7 +12,7 @@
 //! Run with: `cargo run --release --example flat_name_mobility`
 
 use disco::core::prelude::*;
-use disco::graph::{GraphBuilder, NodeId, generators};
+use disco::graph::{generators, GraphBuilder, NodeId};
 
 /// Rebuild the geometric topology with the mobile node attached to a given
 /// set of anchors (simulating re-attachment after movement).
@@ -41,7 +41,10 @@ fn main() {
 
     for (phase, anchors) in [
         ("initial attachment", vec![NodeId(10), NodeId(11)]),
-        ("after moving across the network", vec![NodeId(390), NodeId(391)]),
+        (
+            "after moving across the network",
+            vec![NodeId(390), NodeId(391)],
+        ),
     ] {
         let graph = topology_with_attachment(&anchors, seed);
         let state = DiscoState::build_with_names(&graph, &config, names.clone());

@@ -33,21 +33,53 @@ fn main() {
     let nd_entries = disco::metrics::state::nddisco_entries(&graph, &disco_state, &nodes);
     let s4_entries = disco::metrics::state::s4_entries(&s4_state, &nodes);
     println!("\nstate (entries per node):      mean      max");
-    println!("  Disco                    {:>8.1} {:>8}", disco_entries.mean(), disco_entries.max());
-    println!("  ND-Disco                 {:>8.1} {:>8}", nd_entries.mean(), nd_entries.max());
-    println!("  S4                       {:>8.1} {:>8}", s4_entries.mean(), s4_entries.max());
+    println!(
+        "  Disco                    {:>8.1} {:>8}",
+        disco_entries.mean(),
+        disco_entries.max()
+    );
+    println!(
+        "  ND-Disco                 {:>8.1} {:>8}",
+        nd_entries.mean(),
+        nd_entries.max()
+    );
+    println!(
+        "  S4                       {:>8.1} {:>8}",
+        s4_entries.mean(),
+        s4_entries.max()
+    );
 
     // Stretch comparison (Fig. 3 flavour).
     let params = ExperimentParams::for_nodes(n, seed);
-    let pairs = disco::metrics::sample_pairs(n, params.stretch_sources * params.stretch_dests_per_source, seed);
+    let pairs = disco::metrics::sample_pairs(
+        n,
+        params.stretch_sources * params.stretch_dests_per_source,
+        seed,
+    );
     let d_router = DiscoRouter::new(&graph, &disco_state);
     let s_router = S4Router::new(&graph, &s4_state);
     let d = disco::metrics::stretch::disco_stretch(&d_router, &pairs);
     let s = disco::metrics::stretch::s4_stretch(&s_router, &pairs);
     println!("\nstretch (mean / max):");
-    println!("  Disco first   {:.3} / {:.3}", d.mean_first(), d.max_first());
-    println!("  Disco later   {:.3} / {:.3}", d.mean_later(), d.max_later());
-    println!("  S4 first      {:.3} / {:.3}", s.mean_first(), s.max_first());
-    println!("  S4 later      {:.3} / {:.3}", s.mean_later(), s.max_later());
+    println!(
+        "  Disco first   {:.3} / {:.3}",
+        d.mean_first(),
+        d.max_first()
+    );
+    println!(
+        "  Disco later   {:.3} / {:.3}",
+        d.mean_later(),
+        d.max_later()
+    );
+    println!(
+        "  S4 first      {:.3} / {:.3}",
+        s.mean_first(),
+        s.max_first()
+    );
+    println!(
+        "  S4 later      {:.3} / {:.3}",
+        s.mean_later(),
+        s.max_later()
+    );
     let _ = Topology::RouterLevel;
 }

@@ -11,7 +11,11 @@ fn main() {
     //    G(n,m) family).
     let n = 512;
     let graph = generators::gnm_average_degree(n, 8.0, 42);
-    println!("network: {} nodes, {} links", graph.node_count(), graph.edge_count());
+    println!(
+        "network: {} nodes, {} links",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // 2. Give every node a flat, location-independent name and build the
     //    converged Disco state (landmarks, vicinities, addresses, sloppy
@@ -34,11 +38,7 @@ fn main() {
     let shortest = router.true_distance(s, t);
     let first = router.route_first_packet(s, t);
     let later = router.route_later_packet(s, t);
-    println!(
-        "routing {} -> {}",
-        state.name_of(s),
-        state.name_of(t)
-    );
+    println!("routing {} -> {}", state.name_of(s), state.name_of(t));
     println!(
         "  shortest path:      {:.2} ({} hops minimum)",
         shortest,

@@ -44,7 +44,11 @@ fn main() {
         count += 1.0;
     }
     println!("first-packet (alarm) stretch over {count:.0} sensor→sink flows, latency-weighted:");
-    println!("  Disco: mean {:.3}, worst {:.3}", disco_sum / count, disco_worst);
+    println!(
+        "  Disco: mean {:.3}, worst {:.3}",
+        disco_sum / count,
+        disco_worst
+    );
     println!("  S4:    mean {:.3}, worst {:.3}", s4_sum / count, s4_worst);
     println!();
     println!(

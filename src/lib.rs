@@ -6,18 +6,23 @@
 //! Re-exports the workspace crates under stable module names:
 //!
 //! * [`graph`] — topologies, generators, shortest paths,
-//! * [`sim`] — the discrete-event simulation engine,
+//! * [`sim`] — the discrete-event simulation engine with runtime topology
+//!   mutation (churn, failures, mobility),
 //! * [`core`] — the Disco protocol itself (NDDisco, name resolution,
-//!   sloppy groups, dissemination overlay, static & distributed forms),
+//!   sloppy groups, dissemination overlay, static & distributed forms,
+//!   incremental repair under dynamics),
 //! * [`baselines`] — S4, VRR and path-vector comparison protocols,
 //! * [`metrics`] — state/stretch/congestion measurement and the experiment
-//!   runners behind every figure and table of the paper.
+//!   runners behind every figure and table of the paper,
+//! * [`dynamics`] — churn/failure/mobility schedules and the availability
+//!   probes that measure routing under them.
 //!
 //! See the repository README for a quickstart and `examples/` for runnable
 //! scenarios.
 
 pub use disco_baselines as baselines;
 pub use disco_core as core;
+pub use disco_dynamics as dynamics;
 pub use disco_graph as graph;
 pub use disco_metrics as metrics;
 pub use disco_sim as sim;

@@ -4,9 +4,7 @@
 
 use disco::core::prelude::*;
 use disco::graph::NodeId;
-use disco::metrics::experiment::{
-    self, ExperimentParams,
-};
+use disco::metrics::experiment::{self, ExperimentParams};
 use disco::metrics::Topology;
 
 fn params(n: usize, seed: u64) -> ExperimentParams {
@@ -54,7 +52,12 @@ fn fig4_style_pipeline_includes_vrr_and_path_vector() {
     let mut vrr_entries = vrr.entries.clone();
     vrr_entries.sort_unstable();
     let vrr_median = vrr_entries[vrr_entries.len() / 2];
-    assert!(vrr.max() >= 2 * vrr_median, "VRR max {} median {}", vrr.max(), vrr_median);
+    assert!(
+        vrr.max() >= 2 * vrr_median,
+        "VRR max {} median {}",
+        vrr.max(),
+        vrr_median
+    );
     assert!((st.disco.max() as f64) < 2.0 * st.disco.mean());
 
     let cg = experiment::congestion_comparison(Topology::Gnm, &p, true);
@@ -76,7 +79,10 @@ fn fig6_ordering_matches_paper() {
         assert!(m <= base + 1e-9);
         assert!(m >= 1.0 - 1e-9);
     }
-    assert!(best <= row.means[3].1 + 1e-9, "Path Knowledge must be at least as good as No Path Knowledge");
+    assert!(
+        best <= row.means[3].1 + 1e-9,
+        "Path Knowledge must be at least as good as No Path Knowledge"
+    );
 }
 
 #[test]
