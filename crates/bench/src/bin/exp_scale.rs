@@ -1,0 +1,208 @@
+//! Scale sweep for the million-node hot path: events/sec under churn,
+//! static-build wall time, and live path-arena cells (the allocation
+//! gauge), across n ∈ {1k, 4k, 16k} (+64k with `--full`).
+//!
+//! The engine workload is a fixed event budget (default 3M events) of the
+//! distributed Disco protocol booting under a Poisson churn schedule, so
+//! the measurement cost is independent of n and runs are comparable across
+//! sizes. The recorded pre-refactor baseline (BinaryHeap event queue,
+//! `Vec<NodeId>` paths, full-rescan route selection) is embedded below and
+//! written into the JSON report next to the fresh numbers.
+//!
+//! ```text
+//! --sizes 1024,4096     comma-separated sweep sizes
+//! --full                append 65536 to the sweep
+//! --seed S              experiment seed (default 1)
+//! --events N            engine event budget per size (default 3000000)
+//! --threads T           static-build worker threads (default 0 = one/CPU)
+//! --queue wheel|heap    event-queue implementation (default wheel)
+//! --json PATH           write the JSON report to PATH
+//! --smoke [BASELINE]    n=1024 regression gate: read
+//!                       `min_events_per_sec` from BASELINE (default
+//!                       BENCH_exp_scale.json) and exit non-zero if the
+//!                       measured rate falls below it
+//! ```
+//!
+//! Run with: `cargo run --release -p disco-bench --bin exp_scale`
+
+use disco_bench::scale::{run_one, ScaleConfig, ScaleResult, BASELINE_NOTE, BASELINE_RESULTS};
+use std::fmt::Write as _;
+
+struct Args {
+    sizes: Vec<usize>,
+    seed: u64,
+    events: u64,
+    threads: usize,
+    heap_queue: bool,
+    json: Option<String>,
+    smoke: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        sizes: vec![1024, 4096, 16384],
+        seed: 1,
+        events: 3_000_000,
+        threads: 0,
+        heap_queue: false,
+        json: None,
+        smoke: None,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--sizes" => {
+                out.sizes = value("--sizes")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes"))
+                    .collect();
+            }
+            "--full" => out.sizes.push(65_536),
+            "--seed" | "-s" => out.seed = value("--seed").parse().expect("--seed"),
+            "--events" => out.events = value("--events").parse().expect("--events"),
+            "--threads" => out.threads = value("--threads").parse().expect("--threads"),
+            "--queue" => {
+                out.heap_queue = match value("--queue").as_str() {
+                    "heap" => true,
+                    "wheel" => false,
+                    other => panic!("unknown queue {other} (wheel|heap)"),
+                };
+            }
+            "--json" => out.json = Some(value("--json")),
+            "--smoke" => {
+                out.sizes = vec![1024];
+                out.events = out.events.min(1_000_000);
+                out.smoke = Some("BENCH_exp_scale.json".to_string());
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --sizes a,b,c --full --seed S --events N --threads T \
+                     --queue wheel|heap --json PATH --smoke"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    out
+}
+
+fn render_json(args: &Args, results: &[ScaleResult]) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"experiment\": \"exp_scale\",");
+    let _ = writeln!(j, "  \"seed\": {},", args.seed);
+    let _ = writeln!(j, "  \"event_budget\": {},", args.events);
+    let _ = writeln!(
+        j,
+        "  \"queue\": \"{}\",",
+        if args.heap_queue { "heap" } else { "wheel" }
+    );
+    // The smoke gate: 70% of the measured 1k rate, rounded down — CI fails
+    // an exp_scale --smoke run that regresses events/sec by >30%.
+    if let Some(r1k) = results.iter().find(|r| r.n == 1024) {
+        let _ = writeln!(
+            j,
+            "  \"min_events_per_sec\": {},",
+            (r1k.events_per_sec * 0.7) as u64
+        );
+    }
+    let _ = writeln!(j, "  \"baseline_note\": \"{BASELINE_NOTE}\",");
+    let _ = writeln!(j, "  \"baseline\": [");
+    for (i, b) in BASELINE_RESULTS.iter().enumerate() {
+        let comma = if i + 1 < BASELINE_RESULTS.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            j,
+            "    {{ \"n\": {}, \"events_per_sec\": {}, \"build_secs\": {} }}{comma}",
+            b.0, b.1, b.2
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(j, "    {}{comma}", r.to_json());
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+fn main() {
+    let args = parse_args();
+    let mut results = Vec::new();
+    println!(
+        "{:>7} {:>10} {:>12} {:>13} {:>12} {:>12} {:>9}",
+        "n", "landmarks", "build_secs", "events/sec", "peak_cells", "live_cells", "speedup"
+    );
+    for &n in &args.sizes {
+        let cfg = ScaleConfig {
+            n,
+            seed: args.seed,
+            event_budget: args.events,
+            build_threads: args.threads,
+            heap_queue: args.heap_queue,
+        };
+        let r = run_one(&cfg);
+        let speedup = BASELINE_RESULTS
+            .iter()
+            .find(|b| b.0 == n)
+            .map(|b| r.events_per_sec / b.1)
+            .map_or("-".to_string(), |s| format!("{s:.2}x"));
+        println!(
+            "{:>7} {:>10} {:>12.3} {:>13.0} {:>12} {:>12} {:>9}",
+            r.n,
+            r.landmarks,
+            r.build_secs,
+            r.events_per_sec,
+            r.peak_arena_cells,
+            r.live_arena_cells,
+            speedup
+        );
+        results.push(r);
+    }
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, render_json(&args, &results)).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(baseline_path) = &args.smoke {
+        let floor = std::fs::read_to_string(baseline_path).ok().and_then(|s| {
+            s.lines()
+                .find(|l| l.contains("\"min_events_per_sec\""))
+                .and_then(|l| {
+                    l.split(':')
+                        .nth(1)?
+                        .trim()
+                        .trim_end_matches(',')
+                        .parse::<f64>()
+                        .ok()
+                })
+        });
+        match floor {
+            None => {
+                eprintln!("smoke: no min_events_per_sec in {baseline_path}; skipping gate");
+            }
+            Some(floor) => {
+                let got = results[0].events_per_sec;
+                if got < floor {
+                    eprintln!(
+                        "smoke FAIL: {got:.0} events/sec at n=1024 is below the \
+                         recorded floor {floor:.0} (>30% regression)"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("smoke OK: {got:.0} events/sec >= floor {floor:.0}");
+            }
+        }
+    }
+}

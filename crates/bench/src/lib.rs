@@ -10,5 +10,6 @@
 
 pub mod churn;
 pub mod cli;
+pub mod scale;
 
 pub use cli::CommonArgs;

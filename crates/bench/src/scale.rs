@@ -1,0 +1,201 @@
+//! The `exp_scale` workload: hot-path throughput and memory gauges at one
+//! network size.
+//!
+//! The measured leg is the distributed Disco protocol booting *under* a
+//! Poisson churn schedule, capped at a fixed event budget so the cost of a
+//! measurement is independent of `n` — what varies with `n` is the
+//! per-event cost (routing-table size, candidate-set size, queue
+//! residency), which is exactly what the events/sec number tracks. The
+//! static-build timing exercises `DiscoState::build_parallel` with the
+//! `threads` knob.
+
+use disco_core::config::DiscoConfig;
+use disco_core::landmark::select_landmarks;
+use disco_core::protocol::{DiscoProtocol, PhaseTimers};
+use disco_core::static_state::DiscoState;
+use disco_dynamics::models::PoissonChurn;
+use disco_graph::{generators, NodeId, PathArena};
+use disco_sim::{BinaryHeapQueue, Engine};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Parameters of one `exp_scale` leg.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Network size.
+    pub n: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Engine event budget for the throughput leg.
+    pub event_budget: u64,
+    /// Worker threads for the static build (0 = one per CPU).
+    pub build_threads: usize,
+    /// Use the legacy `BinaryHeap` event queue instead of the timer wheel
+    /// (for queue-only comparisons).
+    pub heap_queue: bool,
+}
+
+/// Measurements of one `exp_scale` leg.
+#[derive(Debug, Clone)]
+pub struct ScaleResult {
+    /// Network size.
+    pub n: usize,
+    /// Landmarks elected at this size.
+    pub landmarks: usize,
+    /// Wall time of `DiscoState::build_parallel`.
+    pub build_secs: f64,
+    /// Engine events processed in the throughput leg.
+    pub events: u64,
+    /// Wall time of the throughput leg.
+    pub engine_secs: f64,
+    /// The headline number.
+    pub events_per_sec: f64,
+    /// Peak live path-arena cells during the run (allocation gauge — the
+    /// RSS proxy for routing state).
+    pub peak_arena_cells: usize,
+    /// Live path-arena cells at the end of the run.
+    pub live_arena_cells: usize,
+    /// Topology events applied within the budget.
+    pub topology_events: u64,
+}
+
+impl ScaleResult {
+    /// One JSON object literal (hand-rolled; the serde stand-in does not
+    /// serialize).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"n\": {}, \"landmarks\": {}, \"build_secs\": {:.3}, \
+             \"events\": {}, \"engine_secs\": {:.3}, \"events_per_sec\": {:.0}, \
+             \"peak_arena_cells\": {}, \"live_arena_cells\": {}, \
+             \"topology_events\": {} }}",
+            self.n,
+            self.landmarks,
+            self.build_secs,
+            self.events,
+            self.engine_secs,
+            self.events_per_sec,
+            self.peak_arena_cells,
+            self.live_arena_cells,
+            self.topology_events
+        )
+    }
+}
+
+/// Pre-refactor measurements `(n, events_per_sec, build_secs)` of the exact
+/// same workload (seed 1, 3M-event budget) on the commit before the
+/// timer-wheel + interned-path + incremental-selection refactor: BinaryHeap
+/// event queue, `Vec<NodeId>` paths, O(table) cap scans. The acceptance
+/// bar for the refactor is ≥3× the n=4096 number.
+pub const BASELINE_RESULTS: &[(usize, f64, f64)] =
+    &[(1024, 306_468.0, 0.140), (4096, 127_948.0, 1.285)];
+
+/// Provenance note stored next to [`BASELINE_RESULTS`] in the JSON report.
+pub const BASELINE_NOTE: &str =
+    "pre-refactor hot path (BinaryHeap queue, Vec<NodeId> paths, rescan selection) at seed 1, 3M-event budget";
+
+/// Run one leg: static parallel build, then the budgeted churn throughput
+/// measurement. Deterministic in `(n, seed)` up to wall-clock numbers.
+pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
+    let graph = generators::gnm_average_degree(cfg.n, 8.0, cfg.seed);
+    let dcfg = DiscoConfig::seeded(cfg.seed);
+
+    let t0 = Instant::now();
+    let st = DiscoState::build_parallel(&graph, &dcfg, cfg.build_threads);
+    let build_secs = t0.elapsed().as_secs_f64();
+    let landmarks_built = st.landmarks().len();
+    drop(st);
+
+    let landmarks = select_landmarks(cfg.n, &dcfg);
+    let lm_set: HashSet<NodeId> = landmarks.iter().copied().collect();
+    let model = PoissonChurn {
+        leave_rate_per_node: 0.0002,
+        mean_downtime: 150.0,
+        horizon: 300.0,
+        ..PoissonChurn::default()
+    };
+    let schedule = model.compile(&graph, cfg.seed);
+
+    PathArena::reset_peak();
+    let factory = |v: NodeId| {
+        DiscoProtocol::new(v, lm_set.contains(&v), cfg.n, &dcfg, PhaseTimers::default())
+    };
+    let (events, engine_secs, topology_events) = if cfg.heap_queue {
+        let mut engine = Engine::with_queue(&graph, factory, BinaryHeapQueue::new());
+        engine.max_events = cfg.event_budget;
+        schedule.apply_to(&mut engine);
+        let t1 = Instant::now();
+        let report = engine.run();
+        (
+            report.events_processed,
+            t1.elapsed().as_secs_f64(),
+            report.topology_events,
+        )
+    } else {
+        let mut engine = Engine::new(&graph, factory);
+        engine.max_events = cfg.event_budget;
+        schedule.apply_to(&mut engine);
+        let t1 = Instant::now();
+        let report = engine.run();
+        (
+            report.events_processed,
+            t1.elapsed().as_secs_f64(),
+            report.topology_events,
+        )
+    };
+    let arena = PathArena::stats();
+
+    ScaleResult {
+        n: cfg.n,
+        landmarks: landmarks_built,
+        build_secs,
+        events,
+        engine_secs,
+        events_per_sec: events as f64 / engine_secs.max(1e-9),
+        peak_arena_cells: arena.peak_live_cells,
+        live_arena_cells: arena.live_cells,
+        topology_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny smoke of the scale leg itself: it runs, counts events against
+    /// the budget, and reports non-trivial arena usage.
+    #[test]
+    fn scale_leg_runs_within_budget() {
+        let r = run_one(&ScaleConfig {
+            n: 128,
+            seed: 3,
+            event_budget: 50_000,
+            build_threads: 2,
+            heap_queue: false,
+        });
+        assert_eq!(r.n, 128);
+        assert!(r.landmarks > 0);
+        assert!(r.events <= 50_000);
+        assert!(r.events > 10_000, "expected real work, got {}", r.events);
+        assert!(r.peak_arena_cells > 0);
+        assert!(r.build_secs >= 0.0 && r.engine_secs > 0.0);
+        let j = r.to_json();
+        assert!(j.contains("\"events_per_sec\""));
+    }
+
+    /// The heap-queue leg must process the identical event stream (same
+    /// event count for the same budget — determinism across queues).
+    #[test]
+    fn heap_and_wheel_legs_agree_on_event_count() {
+        let mk = |heap| ScaleConfig {
+            n: 96,
+            seed: 5,
+            event_budget: 40_000,
+            build_threads: 1,
+            heap_queue: heap,
+        };
+        let a = run_one(&mk(false));
+        let b = run_one(&mk(true));
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.topology_events, b.topology_events);
+    }
+}

@@ -1,0 +1,26 @@
+//! Cross-refactor determinism lock: the churn experiment's summary must be
+//! byte-identical to the output recorded *before* the million-node hot-path
+//! refactor (timer-wheel event queue, interned paths, incremental route
+//! selection). Any change to event ordering, RNG consumption or float
+//! arithmetic in the hot path shows up here as a diff.
+//!
+//! To regenerate after an *intentional* behavior change:
+//! `cargo run --release -p disco-bench --bin exp_churn -- --nodes 192 --seed 7`
+//! and replace `tests/golden/exp_churn_n192_s7.txt` — but byte-identity is
+//! the point, so think twice.
+
+use disco_bench::churn::{churn_experiment, ChurnParams};
+
+const GOLDEN: &str = include_str!("golden/exp_churn_n192_s7.txt");
+
+#[test]
+fn exp_churn_summary_matches_pre_refactor_golden() {
+    let params = ChurnParams::sized(192, 7);
+    let outcome = churn_experiment(&params);
+    let summary = outcome.summary(&params);
+    assert!(
+        summary == GOLDEN,
+        "exp_churn(n=192, seed=7) diverged from the pre-refactor golden.\n\
+         --- golden ---\n{GOLDEN}\n--- got ---\n{summary}"
+    );
+}

@@ -37,6 +37,13 @@ pub struct DiscoConfig {
     /// (0.0 = perfect knowledge; the paper's robustness experiment uses up
     /// to 0.6).
     pub n_estimate_error: f64,
+    /// Whether the *distributed* protocol runs synopsis-diffusion gossip
+    /// (§4.1) and re-derives its parameters from the live estimate of `n`:
+    /// vicinity capacity tracks `⌈c·√(n̂ ln n̂)⌉` and landmark status is
+    /// re-drawn under the ×2 hysteresis rule of §4.2. Off by default: the
+    /// recorded churn baselines assume nodes keep their initial estimate,
+    /// and the gossip adds control traffic.
+    pub dynamic_n_estimation: bool,
 }
 
 impl Default for DiscoConfig {
@@ -50,6 +57,7 @@ impl Default for DiscoConfig {
             forgetful_routing: true,
             resolution_hash_functions: 8,
             n_estimate_error: 0.0,
+            dynamic_n_estimation: false,
         }
     }
 }
@@ -78,6 +86,13 @@ impl DiscoConfig {
     /// Builder-style: set the injected error on the estimate of `n`.
     pub fn with_n_estimate_error(mut self, error: f64) -> Self {
         self.n_estimate_error = error;
+        self
+    }
+
+    /// Builder-style: enable live `n`-estimation in the distributed
+    /// protocol (synopsis gossip + parameter re-derivation).
+    pub fn with_dynamic_n_estimation(mut self, enabled: bool) -> Self {
+        self.dynamic_n_estimation = enabled;
         self
     }
 

@@ -79,6 +79,17 @@ impl LandmarkStatus {
         }
     }
 
+    /// Status carried over from an externally-made decision (e.g. a
+    /// landmark set selected up front by the experiment harness), anchored
+    /// at `n_estimate` for the ×2 hysteresis of future re-decisions.
+    pub fn assumed(node: NodeId, is_landmark: bool, n_estimate: usize) -> Self {
+        LandmarkStatus {
+            node,
+            is_landmark,
+            n_at_last_decision: n_estimate.max(1),
+        }
+    }
+
     /// Whether the node currently serves as a landmark.
     pub fn is_landmark(&self) -> bool {
         self.is_landmark

@@ -38,10 +38,27 @@
 //! implementation propagated only monotone improvements and could never
 //! un-learn a dead route.
 
-use disco_graph::{NodeId, Weight};
+use disco_graph::{FxHashMap, InternedPath, NodeId, Weight};
 use disco_sim::{Context, Protocol};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
+
+/// Finite weight with a total order, usable as a BTreeSet key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdW(Weight);
+impl Eq for OrdW {}
+impl PartialOrd for OrdW {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdW {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("route weights are finite")
+    }
+}
 
 /// Acceptance rule for destinations other than landmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,6 +78,10 @@ pub enum TableLimit {
 
 /// One route announcement: "I can reach `dest` over `path` at cost `dist`"
 /// — or, when `withdrawn` is set, "I no longer export a route to `dest`".
+///
+/// The path is interned ([`InternedPath`]): cloning an announcement for
+/// each neighbor is a reference-count bump, not a `Vec` copy — the
+/// dominant allocation of churn runs before interning landed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Announcement {
     /// The destination the route leads to.
@@ -68,7 +89,7 @@ pub struct Announcement {
     /// Distance from the announcing node to `dest`.
     pub dist: Weight,
     /// Path from the announcing node to `dest` (announcer first).
-    pub path: Vec<NodeId>,
+    pub path: InternedPath,
     /// Whether the destination is a landmark.
     pub dest_is_landmark: bool,
     /// The destination's current distance to its own closest landmark
@@ -86,8 +107,8 @@ pub struct RouteEntry {
     pub dist: Weight,
     /// Next hop toward the destination.
     pub next_hop: NodeId,
-    /// Full path (this node first, destination last).
-    pub path: Vec<NodeId>,
+    /// Full path (this node first, destination last), interned.
+    pub path: InternedPath,
     /// Whether the destination is a landmark.
     pub dest_is_landmark: bool,
     /// Destination's distance to its own closest landmark (used by the
@@ -97,14 +118,43 @@ pub struct RouteEntry {
 
 /// Deterministic route preference: smaller distance, then shorter path,
 /// then lexicographically smaller path.
-fn preferred(a: &RouteEntry, b: &RouteEntry) -> bool {
-    if a.dist + 1e-12 < b.dist {
+fn preferred_parts(
+    a_dist: Weight,
+    a_path: &InternedPath,
+    b_dist: Weight,
+    b_path: &InternedPath,
+) -> bool {
+    if a_dist + 1e-12 < b_dist {
         return true;
     }
-    if b.dist + 1e-12 < a.dist {
+    if b_dist + 1e-12 < a_dist {
         return false;
     }
-    (a.path.len(), &a.path) < (b.path.len(), &b.path)
+    a_path.cmp_route(b_path) == std::cmp::Ordering::Less
+}
+
+/// A candidate route as held in the per-neighbor Adj-RIB-In. Identical to
+/// [`RouteEntry`] minus the next hop (implied by which neighbor's slot the
+/// candidate sits in) — candidate maps dominate control-plane memory, so
+/// every byte here is multiplied by `degree × dests × n`.
+#[derive(Debug, Clone)]
+struct Candidate {
+    dist: Weight,
+    path: InternedPath,
+    dest_is_landmark: bool,
+    dest_landmark_dist: Weight,
+}
+
+impl Candidate {
+    fn to_entry(&self, next_hop: NodeId) -> RouteEntry {
+        RouteEntry {
+            dist: self.dist,
+            next_hop,
+            path: self.path.clone(),
+            dest_is_landmark: self.dest_is_landmark,
+            dest_landmark_dist: self.dest_landmark_dist,
+        }
+    }
 }
 
 /// A path-vector node with a configurable acceptance rule.
@@ -115,14 +165,32 @@ pub struct PathVectorNode {
     limit: TableLimit,
     /// Data-plane routing table: only destinations accepted by the table
     /// limit (plus the self entry). This is exactly what the node exports.
-    pub table: HashMap<NodeId, RouteEntry>,
+    /// Mutate only through [`Self::tbl_insert`] / [`Self::tbl_remove`],
+    /// which keep the ordered mirrors below consistent.
+    pub table: FxHashMap<NodeId, RouteEntry>,
     /// Per-neighbor candidate routes (Adj-RIB-In): the last usable route
     /// each neighbor announced for each destination, with `dist` already
     /// including the link weight and `path` starting at this node.
-    rib_in: HashMap<NodeId, HashMap<NodeId, RouteEntry>>,
+    rib_in: FxHashMap<NodeId, FxHashMap<NodeId, Candidate>>,
     /// Best candidate per destination (Loc-RIB), maintained incrementally
     /// from `rib_in` so a message costs O(degree), not O(all candidates).
-    best: HashMap<NodeId, RouteEntry>,
+    /// Mutate only through [`Self::set_best`].
+    best: FxHashMap<NodeId, RouteEntry>,
+    /// Ordered mirrors that turn the per-message O(table) / O(best) scans
+    /// of cap admission into O(log) lookups — the difference between
+    /// per-event cost growing with √n and staying flat:
+    /// non-landmark, non-self *table* entries by `(dist, id)`
+    /// (max = the cap's eviction candidate).
+    locals: BTreeSet<(OrdW, NodeId)>,
+    /// Non-landmark *best* entries not currently in the table, by
+    /// `(dist, id)` (min = the cap's best waiting candidate).
+    waiting: BTreeSet<(OrdW, NodeId)>,
+    /// Landmark-flagged *best* entries by `(dist, id)` (min = this node's
+    /// own landmark distance).
+    lm_best: BTreeSet<(OrdW, NodeId)>,
+    /// Per-destination count of landmark-flagged candidates across all
+    /// neighbors (incremental OR-merge of the landmark flag; absent = 0).
+    cand_lm: FxHashMap<NodeId, u32>,
     /// Distance to this node's own closest landmark (0 for landmarks, `∞`
     /// while none is reachable); re-announced whenever it changes since the
     /// cluster rule keys on it.
@@ -136,6 +204,12 @@ pub struct PathVectorNode {
     /// node's own address (closest landmark + path) may have changed,
     /// without recomputing either per message.
     landmark_version: u64,
+    /// Whether the landmark flag of a table entry follows the *selected*
+    /// route (origin-authoritative, see
+    /// [`Self::set_origin_landmark_flags`]) instead of the legacy OR-merge
+    /// over all candidates. Off by default: only needed once landmarks can
+    /// step down (dynamic `n`-estimation).
+    origin_landmark_flags: bool,
     /// Whether a batch flush timer is armed.
     batch_armed: bool,
     /// Minimum interval between export floods. Batching is what keeps
@@ -159,9 +233,14 @@ impl PathVectorNode {
             id,
             is_landmark,
             limit,
-            table: HashMap::new(),
-            rib_in: HashMap::new(),
-            best: HashMap::new(),
+            table: FxHashMap::default(),
+            rib_in: FxHashMap::default(),
+            best: FxHashMap::default(),
+            locals: BTreeSet::new(),
+            waiting: BTreeSet::new(),
+            lm_best: BTreeSet::new(),
+            cand_lm: FxHashMap::default(),
+            origin_landmark_flags: false,
             own_landmark_dist: if is_landmark { 0.0 } else { Weight::INFINITY },
             pending: std::collections::BTreeSet::new(),
             landmark_version: 0,
@@ -217,7 +296,73 @@ impl PathVectorNode {
     /// Number of candidate routes held across all neighbors (control-plane
     /// memory, analogous to the old `knowledge` map).
     pub fn knowledge_size(&self) -> usize {
-        self.rib_in.values().map(HashMap::len).sum()
+        self.rib_in.values().map(FxHashMap::len).sum()
+    }
+
+    /// Insert a table entry, keeping the `locals` / `waiting` mirrors
+    /// consistent. Returns the replaced entry, like `HashMap::insert`.
+    fn tbl_insert(&mut self, d: NodeId, e: RouteEntry) -> Option<RouteEntry> {
+        let is_local = d != self.id && !e.dest_is_landmark;
+        let new_key = (OrdW(e.dist), d);
+        let old = self.table.insert(d, e);
+        if let Some(o) = &old {
+            if d != self.id && !o.dest_is_landmark {
+                self.locals.remove(&(OrdW(o.dist), d));
+            }
+        }
+        if is_local {
+            self.locals.insert(new_key);
+        }
+        // A destination in the table is never waiting.
+        if let Some(b) = self.best.get(&d) {
+            if !b.dest_is_landmark {
+                self.waiting.remove(&(OrdW(b.dist), d));
+            }
+        }
+        old
+    }
+
+    /// Remove a table entry, keeping the mirrors consistent.
+    fn tbl_remove(&mut self, d: NodeId) -> Option<RouteEntry> {
+        let old = self.table.remove(&d)?;
+        if d != self.id && !old.dest_is_landmark {
+            self.locals.remove(&(OrdW(old.dist), d));
+        }
+        // A non-landmark best candidate no longer in the table waits for a
+        // cap slot again.
+        if let Some(b) = self.best.get(&d) {
+            if !b.dest_is_landmark {
+                self.waiting.insert((OrdW(b.dist), d));
+            }
+        }
+        Some(old)
+    }
+
+    /// Replace the Loc-RIB best entry for `d`, keeping the `waiting` /
+    /// `lm_best` mirrors consistent.
+    fn set_best(&mut self, d: NodeId, nb: Option<RouteEntry>) {
+        if let Some(o) = self.best.get(&d) {
+            let k = (OrdW(o.dist), d);
+            if o.dest_is_landmark {
+                self.lm_best.remove(&k);
+            } else {
+                self.waiting.remove(&k);
+            }
+        }
+        match nb {
+            None => {
+                self.best.remove(&d);
+            }
+            Some(b) => {
+                let k = (OrdW(b.dist), d);
+                if b.dest_is_landmark {
+                    self.lm_best.insert(k);
+                } else if !self.table.contains_key(&d) {
+                    self.waiting.insert(k);
+                }
+                self.best.insert(d, b);
+            }
+        }
     }
 
     /// Promote this node to a landmark at runtime (emergency self-election
@@ -229,8 +374,76 @@ impl PathVectorNode {
         }
         self.is_landmark = true;
         self.own_landmark_dist = 0.0;
-        self.table.insert(self.id, self.self_entry());
+        let entry = self.self_entry();
+        self.tbl_insert(self.id, entry);
         vec![Self::export(self.id, &self.table[&self.id], false)]
+    }
+
+    /// Make the landmark flag an attribute of the *selected* route: a
+    /// table entry carries the flag its best candidate carries, exactly
+    /// like the distance. Since every route to `d` is rooted at `d`'s own
+    /// self-announcement, the origin's word — including a revocation —
+    /// propagates along the export tree and converges like any other
+    /// attribute. The legacy default instead OR-merges the flag over all
+    /// candidates, which spreads a promotion faster but is *monotone*: a
+    /// demotion could never propagate past one hop, because each node
+    /// keeps its neighbors' stale flags alive. Enabled by the dynamic
+    /// `n`-estimation mode, the only mode in which landmarks step down.
+    pub fn set_origin_landmark_flags(&mut self, enabled: bool) {
+        self.origin_landmark_flags = enabled;
+    }
+
+    /// Step down from landmark duty (the ×2 hysteresis re-election of §4.2
+    /// decided against this node under a fresh estimate of `n`). The self
+    /// entry is re-exported without the landmark flag on the next batch
+    /// flush, which is what tells the rest of the network.
+    pub fn demote_from_landmark(&mut self) {
+        if !self.is_landmark {
+            return;
+        }
+        self.is_landmark = false;
+        // As a regular node, the own-landmark distance comes from the best
+        // landmark route again.
+        self.own_landmark_dist = self
+            .lm_best
+            .first()
+            .map_or(Weight::INFINITY, |&(OrdW(w), _)| w);
+        let e = self.self_entry();
+        self.tbl_insert(self.id, e);
+        self.pending.insert(self.id);
+        self.landmark_version += 1;
+    }
+
+    /// Current table limit (vicinity capacity for Disco nodes).
+    pub fn table_limit(&self) -> TableLimit {
+        self.limit
+    }
+
+    /// Re-size the vicinity capacity to `size` (the live estimate of `n`
+    /// changed). Shrinking evicts the farthest locals; growing admits the
+    /// closest waiting candidates; every change is exported on the next
+    /// flush. No-op unless the node runs [`TableLimit::VicinityCap`].
+    pub fn set_vicinity_cap(&mut self, size: usize) {
+        let TableLimit::VicinityCap { size: old } = self.limit else {
+            return;
+        };
+        if old == size {
+            return;
+        }
+        self.limit = TableLimit::VicinityCap { size };
+        while self.locals.len() > size {
+            let w = self.worst_local().expect("locals non-empty");
+            self.tbl_remove(w);
+            self.pending.insert(w);
+        }
+        while self.locals.len() < size {
+            let Some(w) = self.best_waiting() else {
+                break;
+            };
+            let e = self.best[&w].clone();
+            self.tbl_insert(w, e);
+            self.pending.insert(w);
+        }
     }
 
     /// This node's own (zero-length) route entry.
@@ -238,7 +451,7 @@ impl PathVectorNode {
         RouteEntry {
             dist: 0.0,
             next_hop: self.id,
-            path: vec![self.id],
+            path: InternedPath::single(self.id),
             dest_is_landmark: self.is_landmark,
             dest_landmark_dist: self.own_landmark_dist,
         }
@@ -256,62 +469,145 @@ impl PathVectorNode {
         }
     }
 
+    /// Bump / drop the per-destination count of landmark-flagged
+    /// candidates (the OR-merge of the landmark flag, maintained
+    /// incrementally).
+    fn cand_lm_adjust(&mut self, d: NodeId, was: bool, now: bool) {
+        match (was, now) {
+            (false, true) => *self.cand_lm.entry(d).or_insert(0) += 1,
+            (true, false) => {
+                let c = self.cand_lm.get_mut(&d).expect("flag counter underflow");
+                *c -= 1;
+                if *c == 0 {
+                    self.cand_lm.remove(&d);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether any candidate for `d` carries the landmark flag.
+    fn cand_is_lm(&self, d: NodeId) -> bool {
+        self.cand_lm.contains_key(&d)
+    }
+
     /// Record one incoming announcement in the candidate set; returns the
-    /// destination whose candidates changed.
-    fn absorb(&mut self, from: NodeId, link_weight: Weight, ann: &Announcement) -> NodeId {
+    /// destination whose candidates changed and the new candidate (`None`
+    /// for a removal), so the selection step never re-probes the map.
+    fn absorb(
+        &mut self,
+        from: NodeId,
+        link_weight: Weight,
+        ann: &Announcement,
+    ) -> (NodeId, Option<Candidate>) {
+        let d = ann.dest;
         let slot = self.rib_in.entry(from).or_default();
         // Withdrawals and routes through this node (loop prevention) make
         // the neighbor unusable for that destination.
-        if ann.withdrawn || ann.dest == self.id || ann.path.contains(&self.id) {
-            slot.remove(&ann.dest);
-            return ann.dest;
+        if ann.withdrawn || d == self.id || ann.path.contains(self.id) {
+            let was = slot.remove(&d);
+            if was.is_some_and(|w| w.dest_is_landmark) {
+                self.cand_lm_adjust(d, true, false);
+            }
+            return (d, None);
         }
-        let mut path = Vec::with_capacity(ann.path.len() + 1);
-        path.push(self.id);
-        path.extend_from_slice(&ann.path);
-        slot.insert(
-            ann.dest,
-            RouteEntry {
-                dist: ann.dist + link_weight,
-                next_hop: from,
-                path,
-                dest_is_landmark: ann.dest_is_landmark,
-                dest_landmark_dist: ann.dest_landmark_dist,
-            },
-        );
-        ann.dest
+        let cand = Candidate {
+            dist: ann.dist + link_weight,
+            // O(1): shares the announced path, prefixed with this node.
+            path: ann.path.prepend(self.id),
+            dest_is_landmark: ann.dest_is_landmark,
+            dest_landmark_dist: ann.dest_landmark_dist,
+        };
+        let old = slot.insert(d, cand.clone());
+        let was_lm = old.is_some_and(|o| o.dest_is_landmark);
+        self.cand_lm_adjust(d, was_lm, ann.dest_is_landmark);
+        (d, Some(cand))
     }
 
-    /// Recompute the Loc-RIB best route for `d` from the per-neighbor
-    /// candidates (O(degree)), then update the table, marking every export
-    /// change in `pending` for the next batch flush. Deterministic:
-    /// selection is a pure function of the candidate set, so equal-seed
-    /// runs reselect identically.
-    fn update_dest(&mut self, d: NodeId) {
-        if d == self.id {
-            return;
-        }
-        // Best candidate over neighbors. The landmark flag is OR-merged:
-        // it is intrinsic to the destination, and candidates disagree only
-        // transiently while a promotion floods.
-        let mut nb_best: Option<RouteEntry> = None;
-        let mut is_lm = false;
-        for routes in self.rib_in.values() {
+    /// Recompute the Loc-RIB best route for `d` by scanning every
+    /// neighbor's candidate — the slow path, needed only when the current
+    /// best neighbor's own candidate worsened or disappeared. Selection is
+    /// a pure function of the candidate set (the preference order is
+    /// total), so equal-seed runs reselect identically.
+    fn rescan_best(&mut self, d: NodeId) {
+        // Best candidate over neighbors. The landmark flag is OR-merged
+        // (via the incremental counter): it is intrinsic to the
+        // destination, and candidates disagree only transiently while a
+        // promotion floods.
+        let mut nb_best: Option<(NodeId, &Candidate)> = None;
+        for (&nbr, routes) in &self.rib_in {
             if let Some(r) = routes.get(&d) {
-                is_lm |= r.dest_is_landmark;
-                if nb_best.as_ref().is_none_or(|cur| preferred(r, cur)) {
-                    nb_best = Some(r.clone());
+                if nb_best
+                    .is_none_or(|(_, cur)| preferred_parts(r.dist, &r.path, cur.dist, &cur.path))
+                {
+                    nb_best = Some((nbr, r));
                 }
             }
         }
-        match nb_best {
-            None => {
-                self.best.remove(&d);
-            }
+        match nb_best.map(|(nbr, c)| c.to_entry(nbr)) {
+            None => self.set_best(d, None),
             Some(mut b) => {
-                b.dest_is_landmark = is_lm;
-                self.best.insert(d, b);
+                if !self.origin_landmark_flags {
+                    b.dest_is_landmark = self.cand_is_lm(d);
+                }
+                self.set_best(d, Some(b));
             }
+        }
+    }
+
+    /// Re-write the best entry's landmark flag if the OR over candidates
+    /// changed (the route itself is untouched). Under origin-authoritative
+    /// flags this is a no-op: the flag belongs to the selected candidate,
+    /// and a non-selected neighbor's word cannot change it.
+    fn refresh_best_flag(&mut self, d: NodeId) {
+        if self.origin_landmark_flags {
+            return;
+        }
+        let is_lm = self.cand_is_lm(d);
+        if let Some(cur) = self.best.get(&d) {
+            if cur.dest_is_landmark != is_lm {
+                let mut b = cur.clone();
+                b.dest_is_landmark = is_lm;
+                self.set_best(d, Some(b));
+            }
+        }
+    }
+
+    /// Update the Loc-RIB best route for `d` after the candidate from
+    /// neighbor `from` changed (`removed` = the candidate disappeared),
+    /// then re-derive table membership. Incremental: the full O(degree)
+    /// rescan — a cache miss per neighbor on large tables — runs only when
+    /// the previously-best neighbor's candidate worsened or vanished;
+    /// every other case is O(1). The outcome is identical to rescanning:
+    /// the preference order is total, so the minimum moves only when a
+    /// better candidate arrives (it becomes the minimum) or the minimum
+    /// itself degrades (rescan).
+    fn update_dest(&mut self, d: NodeId, from: NodeId, new: Option<Candidate>) {
+        if d == self.id {
+            return;
+        }
+        let cur_hop = self.best.get(&d).map(|e| e.next_hop);
+        if let Some(cand) = new {
+            let promote = match self.best.get(&d) {
+                None => true,
+                Some(cur) => preferred_parts(cand.dist, &cand.path, cur.dist, &cur.path),
+            };
+            if promote {
+                let mut b = cand.to_entry(from);
+                if !self.origin_landmark_flags {
+                    b.dest_is_landmark = self.cand_is_lm(d);
+                }
+                self.set_best(d, Some(b));
+                self.apply_selection(d);
+                return;
+            }
+        }
+        if cur_hop == Some(from) {
+            self.rescan_best(d);
+        } else {
+            // The best route is untouched; only the OR-merged landmark
+            // flag can have changed.
+            self.refresh_best_flag(d);
         }
         self.apply_selection(d);
     }
@@ -333,42 +629,20 @@ impl PathVectorNode {
     }
 
     /// The best candidate not currently in the table (the cap's waiting
-    /// list), if any. O(|best|); only consulted when a table slot frees up.
+    /// list), if any. O(log) via the `waiting` mirror.
     fn best_waiting(&self) -> Option<NodeId> {
-        let mut out: Option<(Weight, NodeId)> = None;
-        for (&d, e) in &self.best {
-            if e.dest_is_landmark || self.table.contains_key(&d) {
-                continue;
-            }
-            let key = Self::cap_key(d, e);
-            if out.is_none_or(|cur| Self::cap_less(key, cur)) {
-                out = Some(key);
-            }
-        }
-        out.map(|(_, d)| d)
+        self.waiting.first().map(|&(_, d)| d)
     }
 
     /// The worst non-landmark table entry (the cap's eviction candidate).
+    /// O(log) via the `locals` mirror.
     fn worst_local(&self) -> Option<NodeId> {
-        let mut out: Option<(Weight, NodeId)> = None;
-        for (&d, e) in &self.table {
-            if d == self.id || e.dest_is_landmark {
-                continue;
-            }
-            let key = Self::cap_key(d, e);
-            if out.is_none_or(|cur| Self::cap_less(cur, key)) {
-                out = Some(key);
-            }
-        }
-        out.map(|(_, d)| d)
+        self.locals.last().map(|&(_, d)| d)
     }
 
-    /// Number of non-landmark, non-self table entries.
+    /// Number of non-landmark, non-self table entries. O(1).
     fn local_count(&self) -> usize {
-        self.table
-            .iter()
-            .filter(|(&d, e)| d != self.id && !e.dest_is_landmark)
-            .count()
+        self.locals.len()
     }
 
     /// Re-derive the table membership of `d` after its best route changed,
@@ -406,7 +680,7 @@ impl PathVectorNode {
 
         match desired {
             None => {
-                if let Some(old) = self.table.remove(&d) {
+                if let Some(old) = self.tbl_remove(d) {
                     self.pending.insert(d);
                     // A freed cap slot admits the best waiting candidate.
                     if matches!(self.limit, TableLimit::VicinityCap { .. }) && !old.dest_is_landmark
@@ -414,7 +688,7 @@ impl PathVectorNode {
                         if let Some(w) = self.best_waiting() {
                             let e = self.best[&w].clone();
                             self.pending.insert(w);
-                            self.table.insert(w, e);
+                            self.tbl_insert(w, e);
                         }
                     }
                 }
@@ -423,14 +697,15 @@ impl PathVectorNode {
                 let changed = self.table.get(&d) != Some(&entry);
                 if changed {
                     self.pending.insert(d);
-                    let evicted_slot = self.table.insert(d, entry.clone());
+                    let is_landmark_entry = entry.dest_is_landmark;
+                    let evicted_slot = self.tbl_insert(d, entry);
                     if let TableLimit::VicinityCap { size } = self.limit {
-                        if !entry.dest_is_landmark {
+                        if !is_landmark_entry {
                             if self.local_count() > size {
                                 // Admission pushed the cap over: evict the
                                 // worst local (possibly d itself on a tie).
                                 if let Some(w) = self.worst_local() {
-                                    self.table.remove(&w);
+                                    self.tbl_remove(w);
                                     self.pending.insert(w);
                                 }
                             } else if evicted_slot.is_some() {
@@ -440,10 +715,10 @@ impl PathVectorNode {
                                     let wk = Self::cap_key(w, &self.best[&w]);
                                     let dk = Self::cap_key(d, &self.table[&d]);
                                     if Self::cap_less(wk, dk) {
-                                        self.table.remove(&d);
+                                        self.tbl_remove(d);
                                         let e = self.best[&w].clone();
                                         self.pending.insert(w);
-                                        self.table.insert(w, e);
+                                        self.tbl_insert(w, e);
                                     }
                                 }
                             }
@@ -453,7 +728,7 @@ impl PathVectorNode {
                             if let Some(w) = self.best_waiting() {
                                 let e = self.best[&w].clone();
                                 self.pending.insert(w);
-                                self.table.insert(w, e);
+                                self.tbl_insert(w, e);
                             }
                         }
                     }
@@ -475,23 +750,31 @@ impl PathVectorNode {
         }
 
         // Keep the exported own-landmark distance current; the cluster rule
-        // at *other* nodes keys on it.
+        // at *other* nodes keys on it. O(log) via the `lm_best` mirror
+        // instead of a scan over every best candidate.
         if landmark_involved && !self.is_landmark {
             let new_old = self
-                .best
-                .values()
-                .filter(|r| r.dest_is_landmark)
-                .map(|r| r.dist)
-                .fold(Weight::INFINITY, Weight::min);
+                .lm_best
+                .first()
+                .map_or(Weight::INFINITY, |&(OrdW(w), _)| w);
             if new_old != self.own_landmark_dist {
                 self.own_landmark_dist = new_old;
                 if self.table.contains_key(&self.id) {
                     // (Absent only before on_start: nothing exported yet.)
-                    self.table.insert(self.id, self.self_entry());
+                    let e = self.self_entry();
+                    self.tbl_insert(self.id, e);
                     self.pending.insert(self.id);
                 }
             }
         }
+    }
+
+    /// Arm the batch flush for table changes queued by out-of-band
+    /// mutations ([`Self::set_vicinity_cap`], [`Self::demote_from_landmark`])
+    /// — without this, changes made outside a protocol upcall would sit in
+    /// `pending` until some unrelated message happened to arm the batch.
+    pub fn export_pending(&mut self, ctx: &mut Context<'_, Announcement>) {
+        self.arm_batch(ctx);
     }
 
     /// Arm the batch flush timer if there are unexported changes.
@@ -508,22 +791,23 @@ impl PathVectorNode {
     fn flush(&mut self, ctx: &mut Context<'_, Announcement>) {
         self.batch_armed = false;
         let pending = std::mem::take(&mut self.pending);
-        let neighbors = ctx.neighbors();
+        let graph = ctx.graph();
+        let me = ctx.node_id();
         for d in pending {
             let ann = match self.table.get(&d) {
                 Some(e) => Self::export(d, e, false),
                 None => Announcement {
                     dest: d,
                     dist: Weight::INFINITY,
-                    path: vec![self.id, d],
+                    path: InternedPath::from_slice(&[self.id, d]),
                     dest_is_landmark: false,
                     dest_landmark_dist: Weight::INFINITY,
                     withdrawn: true,
                 },
             };
             let size = announcement_bytes(&ann);
-            for &nb in &neighbors {
-                ctx.send_sized(nb, ann.clone(), size);
+            for nb in graph.neighbors(me) {
+                ctx.send_sized(nb.node, ann.clone(), size);
             }
         }
     }
@@ -539,6 +823,15 @@ impl PathVectorNode {
             ctx.send_sized(peer, ann, size);
         }
     }
+
+    /// Send `ann` to every neighbor without allocating a neighbor list.
+    fn flood(ann: &Announcement, ctx: &mut Context<'_, Announcement>) {
+        let size = announcement_bytes(ann);
+        let graph = ctx.graph();
+        for nb in graph.neighbors(ctx.node_id()) {
+            ctx.send_sized(nb.node, ann.clone(), size);
+        }
+    }
 }
 
 impl Protocol for PathVectorNode {
@@ -546,7 +839,8 @@ impl Protocol for PathVectorNode {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Announcement>) {
         // Install the self route.
-        self.table.insert(self.id, self.self_entry());
+        let e = self.self_entry();
+        self.tbl_insert(self.id, e);
         // Announce ourselves. Under the S4 cluster rule a non-landmark node
         // waits until it knows its own landmark distance (the reselection
         // re-announces the self entry as soon as the first landmark route
@@ -555,10 +849,7 @@ impl Protocol for PathVectorNode {
         // path vector, which is not how S4 behaves after its landmark phase.
         if self.is_landmark || !matches!(self.limit, TableLimit::Cluster) {
             let ann = Self::export(self.id, &self.table[&self.id], false);
-            let size = announcement_bytes(&ann);
-            for nb in ctx.neighbors() {
-                ctx.send_sized(nb, ann.clone(), size);
-            }
+            Self::flood(&ann, ctx);
         }
     }
 
@@ -566,8 +857,8 @@ impl Protocol for PathVectorNode {
         let Some(w) = ctx.link_weight(from) else {
             return; // link died between send and delivery
         };
-        let d = self.absorb(from, w, &msg);
-        self.update_dest(d);
+        let (d, removed) = self.absorb(from, w, &msg);
+        self.update_dest(d, from, removed);
         self.arm_batch(ctx);
     }
 
@@ -592,10 +883,16 @@ impl Protocol for PathVectorNode {
         let Some(lost) = self.rib_in.remove(&peer) else {
             return;
         };
-        let mut dests: Vec<NodeId> = lost.into_keys().collect();
-        dests.sort_unstable(); // deterministic processing order
-        for d in dests {
-            self.update_dest(d);
+        let mut dests: Vec<(NodeId, bool)> = lost
+            .into_iter()
+            .map(|(d, c)| (d, c.dest_is_landmark))
+            .collect();
+        dests.sort_unstable_by_key(|&(d, _)| d); // deterministic order
+        for (d, was_lm) in dests {
+            if was_lm {
+                self.cand_lm_adjust(d, true, false);
+            }
+            self.update_dest(d, peer, None);
         }
         self.arm_batch(ctx);
     }
@@ -751,13 +1048,13 @@ mod tests {
         let a = Announcement {
             dest: NodeId(1),
             dist: 1.0,
-            path: vec![NodeId(0), NodeId(1)],
+            path: InternedPath::from_slice(&[NodeId(0), NodeId(1)]),
             dest_is_landmark: false,
             dest_landmark_dist: f64::INFINITY,
             withdrawn: false,
         };
         let mut b = a.clone();
-        b.path.push(NodeId(2));
+        b.path = InternedPath::from_slice(&[NodeId(0), NodeId(1), NodeId(2)]);
         assert!(announcement_bytes(&b) > announcement_bytes(&a));
     }
 
@@ -803,7 +1100,10 @@ mod tests {
             .table
             .get(&NodeId(1))
             .expect("repaired route");
-        assert_eq!(e.path, vec![NodeId(0), NodeId(3), NodeId(2), NodeId(1)]);
+        assert_eq!(
+            e.path.to_vec(),
+            vec![NodeId(0), NodeId(3), NodeId(2), NodeId(1)]
+        );
         assert!((e.dist - 3.0).abs() < 1e-9);
         // And the reverse direction healed too.
         let r = engine.nodes()[1]
@@ -836,7 +1136,7 @@ mod tests {
             );
             for (d, e) in &node.table {
                 assert!(
-                    !e.path.contains(&victim),
+                    !e.path.contains(victim),
                     "{v}'s route to {d} still goes through departed {victim}"
                 );
             }
@@ -924,6 +1224,46 @@ mod tests {
             .filter(|v| engine.nodes()[v.0].table.contains_key(&joiner))
             .count();
         assert!(have_joiner > 0, "no vicinity adopted the joiner");
+    }
+
+    #[test]
+    fn vicinity_cap_resize_evicts_and_admits() {
+        let g = generators::gnm_connected(64, 256, 17);
+        let (mut nodes, _) = run(&g, &[NodeId(0)], |_| TableLimit::VicinityCap { size: 20 });
+        let node = &mut nodes[10];
+        assert_eq!(node.local_entries().count(), 20);
+        let mut before: Vec<(f64, NodeId)> =
+            node.local_entries().map(|(&d, e)| (e.dist, d)).collect();
+        before.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+
+        node.set_vicinity_cap(8);
+        assert_eq!(node.table_limit(), TableLimit::VicinityCap { size: 8 });
+        let mut kept: Vec<(f64, NodeId)> =
+            node.local_entries().map(|(&d, e)| (e.dist, d)).collect();
+        kept.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        assert_eq!(kept, before[..8], "shrink must keep the closest locals");
+
+        // Growing re-admits from the retained candidate set.
+        node.set_vicinity_cap(20);
+        assert_eq!(node.local_entries().count(), 20);
+        let mut back: Vec<(f64, NodeId)> =
+            node.local_entries().map(|(&d, e)| (e.dist, d)).collect();
+        back.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        assert_eq!(back, before);
+    }
+
+    #[test]
+    fn demotion_clears_landmark_flag_and_reexports() {
+        let g = generators::ring(6);
+        let lm = NodeId(2);
+        let (mut nodes, _) = run(&g, &[lm], |_| TableLimit::Unlimited);
+        assert!(nodes[2].is_landmark());
+        nodes[2].demote_from_landmark();
+        assert!(!nodes[2].is_landmark());
+        // The self entry is queued for re-export without the flag, and the
+        // own-landmark distance is no longer 0 (no other landmark exists).
+        assert!(!nodes[2].table[&lm].dest_is_landmark);
+        assert!(nodes[2].own_landmark_distance().is_infinite());
     }
 
     #[test]

@@ -35,10 +35,12 @@
 //! the message counts are unaffected.
 
 use crate::config::DiscoConfig;
+use crate::estimate_n::Synopsis;
 use crate::hash::{NameHash, NameHasher};
+use crate::landmark::LandmarkStatus;
 use crate::name::FlatName;
 use crate::path_vector::{Announcement, PathVectorNode, TableLimit};
-use disco_graph::NodeId;
+use disco_graph::{InternedPath, NodeId};
 use disco_sim::context::Action;
 use disco_sim::rng::rng_for;
 use disco_sim::{Context, Protocol};
@@ -90,8 +92,10 @@ pub struct WireAddress {
     pub node: NodeId,
     /// Its closest landmark.
     pub landmark: NodeId,
-    /// Node path from the landmark to the node.
-    pub path: Vec<NodeId>,
+    /// Node path from the landmark to the node (interned: copying an
+    /// address into a resolution store or a group announcement is a
+    /// reference-count bump).
+    pub path: InternedPath,
 }
 
 /// What an overlay lookup is asking for.
@@ -119,7 +123,7 @@ pub enum Payload {
         target: NameHash,
         kind: LookupKind,
         exclude: NodeId,
-        reply_route: Vec<NodeId>,
+        reply_route: InternedPath,
         /// Which overlay slot the requester fills with the answer
         /// (0 = successor, 1 = predecessor, 2.. = fingers).
         slot: usize,
@@ -145,11 +149,16 @@ pub enum DiscoMsg {
     /// Path-vector route announcement (phase 0).
     Route(Announcement),
     /// One hop of a source-routed message; `route` is the remaining path
-    /// and starts with the node currently holding the message.
+    /// and starts with the node currently holding the message. Peeling a
+    /// hop off an interned path is O(1) and allocation-free.
     Forward {
-        route: Vec<NodeId>,
+        route: InternedPath,
         payload: Payload,
     },
+    /// Synopsis-diffusion gossip (§4.1): the sender's current union of FM
+    /// sketches. Only exchanged when
+    /// [`DiscoConfig::dynamic_n_estimation`] is on.
+    Gossip(Synopsis),
 }
 
 /// Per-node state of the distributed Disco protocol.
@@ -170,8 +179,16 @@ pub struct DiscoProtocol {
     /// Directions in which this node has already forwarded each origin's
     /// announcement — suppresses duplicate floods.
     forwarded: HashMap<(NodeId, bool), bool>,
-    /// This node's estimate of the network size.
+    /// This node's estimate of the network size (live when
+    /// `dynamic_n_estimation` is on, otherwise the construction-time
+    /// value).
     n_estimate: usize,
+    /// Synopsis union for live `n`-estimation (this node's sketch merged
+    /// with everything gossiped to it).
+    synopsis: Synopsis,
+    /// Landmark status under the ×2 hysteresis re-election rule; only
+    /// consulted when `dynamic_n_estimation` is on.
+    lm_status: LandmarkStatus,
     /// Whether a repair pass is already scheduled (debounce).
     repair_pending: bool,
     /// Set once the initial phases have run; address-change repair only
@@ -200,8 +217,18 @@ impl DiscoProtocol {
         let hasher = NameHasher::new(cfg.seed ^ 0x510f);
         let my_hash = hasher.hash_name(&name);
         let vicinity = cfg.vicinity_size(n_estimate);
+        let synopsis = Synopsis::for_node(id, cfg.seed);
+        let lm_status = LandmarkStatus::assumed(id, is_landmark, n_estimate);
+        let mut pv =
+            PathVectorNode::new(id, is_landmark, TableLimit::VicinityCap { size: vicinity });
+        // Live estimation is the only mode in which landmarks step down,
+        // and a demotion can only propagate when the flag follows the
+        // selected route instead of the monotone OR-merge.
+        pv.set_origin_landmark_flags(cfg.dynamic_n_estimation);
         DiscoProtocol {
-            pv: PathVectorNode::new(id, is_landmark, TableLimit::VicinityCap { size: vicinity }),
+            pv,
+            synopsis,
+            lm_status,
             cfg: cfg.clone(),
             timers,
             name,
@@ -229,6 +256,70 @@ impl DiscoProtocol {
         self.my_hash
     }
 
+    /// This node's current estimate of the network size. Tracks the
+    /// synopsis-diffusion union when [`DiscoConfig::dynamic_n_estimation`]
+    /// is on; otherwise stays at the construction-time value.
+    pub fn live_estimate(&self) -> usize {
+        self.n_estimate
+    }
+
+    /// Landmark status under the ×2 hysteresis re-election rule.
+    pub fn landmark_status(&self) -> &LandmarkStatus {
+        &self.lm_status
+    }
+
+    /// Send this node's synopsis union to one neighbor.
+    fn gossip_to(&self, peer: NodeId, ctx: &mut Context<'_, DiscoMsg>) {
+        ctx.send_sized(
+            peer,
+            DiscoMsg::Gossip(self.synopsis.clone()),
+            self.synopsis.wire_bytes(),
+        );
+    }
+
+    /// Flood path-vector announcements (a landmark promotion) to every
+    /// neighbor, wrapped as [`DiscoMsg::Route`].
+    fn flood_route_announcements(anns: &[Announcement], ctx: &mut Context<'_, DiscoMsg>) {
+        let graph = ctx.graph();
+        for ann in anns {
+            let size = crate::path_vector::announcement_bytes(ann);
+            for nb in graph.neighbors(ctx.node_id()) {
+                ctx.send_sized(nb.node, DiscoMsg::Route(ann.clone()), size);
+            }
+        }
+    }
+
+    /// Re-derive the estimate-dependent parameters from the current
+    /// synopsis union (§4.1 / §4.2): vicinity capacity follows
+    /// `⌈c·√(n̂ ln n̂)⌉` immediately; landmark status is re-drawn only when
+    /// the estimate moved ×2 past the last decision (hysteresis), and a
+    /// flip floods the promotion — or exports the demotion — and schedules
+    /// a repair pass, since consistent-hashing ownership reshuffles.
+    fn apply_estimate(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
+        let est = (self.synopsis.estimate().round() as usize).max(2);
+        if est == self.n_estimate {
+            return;
+        }
+        self.n_estimate = est;
+        self.pv.set_vicinity_cap(self.cfg.vicinity_size(est));
+        if self.lm_status.update_estimate(est, &self.cfg) {
+            if self.lm_status.is_landmark() {
+                let anns = self.pv.promote_to_landmark();
+                Self::flood_route_announcements(&anns, ctx);
+            } else {
+                self.pv.demote_from_landmark();
+            }
+            if self.bootstrapped {
+                self.schedule_repair(ctx);
+            }
+        }
+        // The resize / demotion above queued table changes in the
+        // path-vector's pending set; arm its batch flush so they are
+        // exported even when no route traffic is flowing (a gossip sketch
+        // can arrive long after the route plane quiesced).
+        self.run_pv(|pv, c| pv.export_pending(c), ctx);
+    }
+
     /// This node's current address (closest landmark + path), if a landmark
     /// route has been learned.
     pub fn my_address(&self) -> Option<WireAddress> {
@@ -237,7 +328,7 @@ impl DiscoProtocol {
             return Some(WireAddress {
                 node: id,
                 landmark: id,
-                path: vec![id],
+                path: InternedPath::single(id),
             });
         }
         let (lm, entry) = self.pv.landmark_entries().min_by(|a, b| {
@@ -246,12 +337,10 @@ impl DiscoProtocol {
                 .unwrap()
                 .then_with(|| a.0.cmp(b.0))
         })?;
-        let mut path = entry.path.clone();
-        path.reverse(); // entry.path runs node → landmark
         Some(WireAddress {
             node: id,
             landmark: *lm,
-            path,
+            path: entry.path.reversed(), // entry.path runs node → landmark
         })
     }
 
@@ -280,30 +369,29 @@ impl DiscoProtocol {
         &self,
         target: NodeId,
         target_addr: Option<&WireAddress>,
-    ) -> Option<Vec<NodeId>> {
+    ) -> Option<InternedPath> {
         if target == self.pv.id() {
-            return Some(vec![self.pv.id()]);
+            return Some(InternedPath::single(self.pv.id()));
         }
         if let Some(entry) = self.pv.table.get(&target) {
             return Some(entry.path.clone());
         }
         let addr = target_addr?;
         let lm_entry = self.pv.table.get(&addr.landmark)?;
-        let mut route = lm_entry.path.clone();
-        route.extend_from_slice(&addr.path[1..]);
-        Some(route)
+        // `lm_entry.path` ends at the landmark, where the address route
+        // starts; the concatenation shares the address suffix.
+        Some(lm_entry.path.concat(&addr.path))
     }
 
     /// Send `payload` along `route` (this node first).
-    fn send_along(&self, route: Vec<NodeId>, payload: Payload, ctx: &mut Context<'_, DiscoMsg>) {
-        if route.len() < 2 {
+    fn send_along(&self, route: InternedPath, payload: Payload, ctx: &mut Context<'_, DiscoMsg>) {
+        let Some(remaining) = route.tail() else {
             return;
-        }
-        let next = route[1];
+        };
+        let next = remaining.first();
         if ctx.link_weight(next).is_none() {
             return; // stale route; drop
         }
-        let remaining = route[1..].to_vec();
         let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
         ctx.send_sized(
             next,
@@ -486,8 +574,7 @@ impl DiscoProtocol {
                         self.overlay_neighbors.insert(slot, (h, addr));
                     }
                 } else if let Some(route) = self.route_to(owner, None) {
-                    let mut reply = route.clone();
-                    reply.reverse();
+                    let reply = route.reversed();
                     self.send_along(
                         route,
                         Payload::OverlayLookup {
@@ -579,12 +666,7 @@ impl DiscoProtocol {
             let boost = f64::powi(2.0, (self.election_attempts - 1).min(60) as i32);
             if p < (self.cfg.landmark_probability(self.n_estimate) * boost).min(1.0) {
                 let anns = self.pv.promote_to_landmark();
-                for ann in anns {
-                    let size = crate::path_vector::announcement_bytes(&ann);
-                    for nb in ctx.neighbors() {
-                        ctx.send_sized(nb, DiscoMsg::Route(ann.clone()), size);
-                    }
-                }
+                Self::flood_route_announcements(&anns, ctx);
             } else {
                 // Keep trying until some node in the partition elects
                 // itself (or a landmark becomes reachable again).
@@ -617,6 +699,11 @@ impl Protocol for DiscoProtocol {
 
     fn on_start(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
         self.run_pv(|pv, c| pv.on_start(c), ctx);
+        if self.cfg.dynamic_n_estimation {
+            for nb in ctx.neighbors() {
+                self.gossip_to(nb, ctx);
+            }
+        }
         ctx.set_timer(self.timers.insert_at, TIMER_INSERT);
         ctx.set_timer(self.timers.lookup_at, TIMER_LOOKUP);
         ctx.set_timer(self.timers.disseminate_at, TIMER_DISSEMINATE);
@@ -641,23 +728,36 @@ impl Protocol for DiscoProtocol {
                 }
             }
             DiscoMsg::Forward { route, payload } => {
-                if route.len() <= 1 {
+                let Some(remaining) = route.tail() else {
                     self.deliver(payload, ctx);
-                } else {
-                    let next = route[1];
-                    if ctx.link_weight(next).is_none() {
-                        return;
+                    return;
+                };
+                let next = remaining.first();
+                if ctx.link_weight(next).is_none() {
+                    return;
+                }
+                let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
+                ctx.send_sized(
+                    next,
+                    DiscoMsg::Forward {
+                        route: remaining,
+                        payload,
+                    },
+                    size,
+                );
+            }
+            DiscoMsg::Gossip(s) => {
+                if !self.cfg.dynamic_n_estimation {
+                    return;
+                }
+                // Synopsis diffusion: re-flood only when the union grew, so
+                // gossip quiesces once every node holds the global union.
+                if self.synopsis.would_grow(&s) {
+                    self.synopsis.union(&s);
+                    for nb in ctx.neighbors() {
+                        self.gossip_to(nb, ctx);
                     }
-                    let remaining = route[1..].to_vec();
-                    let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
-                    ctx.send_sized(
-                        next,
-                        DiscoMsg::Forward {
-                            route: remaining,
-                            payload,
-                        },
-                        size,
-                    );
+                    self.apply_estimate(ctx);
                 }
             }
         }
@@ -680,6 +780,11 @@ impl Protocol for DiscoProtocol {
 
     fn on_neighbor_up(&mut self, peer: NodeId, ctx: &mut Context<'_, DiscoMsg>) {
         self.run_pv(|pv, c| pv.on_neighbor_up(peer, c), ctx);
+        if self.cfg.dynamic_n_estimation {
+            // Bring the new neighbor (possibly a fresh joiner with only its
+            // own sketch) up to date; it re-floods if its union grows.
+            self.gossip_to(peer, ctx);
+        }
         self.schedule_repair(ctx);
     }
 
@@ -766,9 +871,135 @@ mod tests {
         assert!(report.converged);
         for node in engine.nodes() {
             let addr = node.my_address().expect("address after convergence");
-            assert_eq!(*addr.path.last().unwrap(), node.pv.id());
-            assert_eq!(*addr.path.first().unwrap(), addr.landmark);
+            assert_eq!(addr.path.last(), node.pv.id());
+            assert_eq!(addr.path.first(), addr.landmark);
             assert!(lm_set.contains(&addr.landmark));
+        }
+    }
+
+    #[test]
+    fn dynamic_estimation_tracks_live_n_and_redraws_landmarks() {
+        use crate::landmark::{elects_itself, select_landmarks_with_estimates};
+        let n = 96;
+        let seed = 11;
+        let g = generators::gnm_average_degree(n, 8.0, seed);
+        let cfg = DiscoConfig::seeded(seed).with_dynamic_n_estimation(true);
+        // Every node boots believing the network is tiny: vicinity caps and
+        // the landmark probability start badly mis-sized, and only the
+        // synopsis gossip can fix them.
+        let wrong = 4;
+        let landmarks = select_landmarks_with_estimates(n, &cfg, |_| wrong);
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let initial_landmarks = landmarks.len();
+        let mut engine = Engine::new(&g, |v| {
+            DiscoProtocol::new(v, lm_set.contains(&v), wrong, &cfg, PhaseTimers::default())
+        });
+        let report = engine.run();
+        assert!(report.converged, "gossip + repair must quiesce");
+        for node in engine.nodes() {
+            let est = node.live_estimate();
+            assert!(
+                est >= n / 2 && est <= n * 2,
+                "estimate {est} far from true n={n}"
+            );
+            // Vicinity capacity follows the live estimate.
+            assert_eq!(
+                node.pv.table_limit(),
+                crate::path_vector::TableLimit::VicinityCap {
+                    size: cfg.vicinity_size(est)
+                }
+            );
+            // Landmark duty agrees with the hysteresis status, whose last
+            // decision is anchored within x2 of the final estimate.
+            assert_eq!(node.pv.is_landmark(), node.landmark_status().is_landmark());
+            let anchor = node.landmark_status().n_at_last_decision();
+            assert!(
+                (est as f64) < anchor as f64 * 2.0 && (est as f64) > anchor as f64 / 2.0,
+                "anchor {anchor} not within x2 of estimate {est}"
+            );
+            assert_eq!(
+                node.landmark_status().is_landmark(),
+                elects_itself(node.pv.id(), anchor, &cfg)
+            );
+        }
+        // The mis-sized initial election (p drawn for n=4) over-elected;
+        // the re-draws under the real n must thin the landmark set.
+        let final_landmarks = engine.nodes().iter().filter(|p| p.pv.is_landmark()).count();
+        assert!(
+            final_landmarks < initial_landmarks,
+            "landmarks did not thin: {initial_landmarks} -> {final_landmarks}"
+        );
+        assert!(final_landmarks > 0, "someone must still serve as landmark");
+    }
+
+    /// Regression test: parameter changes driven by a gossip sketch that
+    /// arrives *after* the route plane has quiesced must still be exported
+    /// (the resize/demotion queues table changes; `apply_estimate` has to
+    /// arm the path-vector batch flush itself, since no route traffic is
+    /// flowing to do it as a side effect).
+    #[test]
+    fn late_gossip_estimate_change_exports_table_changes() {
+        let n = 24;
+        let seed = 21;
+        let g = generators::gnm_average_degree(n, 6.0, seed);
+        let cfg = DiscoConfig::seeded(seed).with_dynamic_n_estimation(true);
+        let landmarks = crate::landmark::select_landmarks(n, &cfg);
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let mut engine = Engine::new(&g, |v| {
+            DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
+        });
+        assert!(engine.run().converged);
+
+        // A sketch claiming a much larger network arrives at node 0 out of
+        // the blue: the estimate jumps far past the x2 threshold and the
+        // vicinity cap grows, admitting waiting candidates.
+        let mut big = crate::estimate_n::Synopsis::empty();
+        for i in 1000..1400 {
+            big.union(&crate::estimate_n::Synopsis::for_node(NodeId(i), cfg.seed));
+        }
+        let nb = g.neighbors(NodeId(0))[0].node;
+        engine.inject_message(nb, NodeId(0), DiscoMsg::Gossip(big), 0.1);
+        assert!(
+            engine.run_until(|_| false),
+            "post-gossip repair must quiesce"
+        );
+
+        let est = engine.nodes()[0].live_estimate();
+        assert!(est > 2 * n, "estimate did not absorb the sketch: {est}");
+        assert_eq!(
+            engine.nodes()[0].pv.table_limit(),
+            TableLimit::VicinityCap {
+                size: cfg.vicinity_size(est)
+            }
+        );
+        // The jump drops the landmark probability several-fold, so some of
+        // the initially-elected landmarks must have stepped down...
+        let demoted: Vec<NodeId> = landmarks
+            .iter()
+            .copied()
+            .filter(|&v| !engine.nodes()[v.0].pv.is_landmark())
+            .collect();
+        assert!(
+            !demoted.is_empty(),
+            "expected demotions when the estimate grows {n} -> {est}"
+        );
+        // ...and — the regression — every demotion was *exported*: at
+        // quiescence no other node still flags a demoted node as landmark.
+        // Without the explicit export arm in `apply_estimate` the demoted
+        // self-entry sits in `pending` forever (no route traffic is
+        // flowing to flush it) and this stale flag survives.
+        for &v in &demoted {
+            for x in g.nodes() {
+                if x == v {
+                    continue;
+                }
+                if let Some(e) = engine.nodes()[x.0].pv.table.get(&v) {
+                    assert!(
+                        !e.dest_is_landmark,
+                        "{x} still flags demoted {v} as a landmark"
+                    );
+                }
+            }
         }
     }
 

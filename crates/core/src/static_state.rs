@@ -69,15 +69,42 @@ pub struct DiscoState {
 
 impl DiscoState {
     /// Build the converged state over `graph` with synthetic flat names
-    /// (`FlatName::synthetic(i)` for node `i`).
+    /// (`FlatName::synthetic(i)` for node `i`), single-threaded.
     pub fn build(graph: &Graph, cfg: &DiscoConfig) -> Self {
+        Self::build_parallel(graph, cfg, 1)
+    }
+
+    /// Build the converged state fanning the expensive, embarrassingly
+    /// parallel stages — one shortest-path tree per landmark and one
+    /// truncated tree per node's vicinity — over `threads` worker threads
+    /// (`0` = one per available CPU). Every worker writes its own
+    /// index-addressed slot, so the result is identical to [`Self::build`]
+    /// for any thread count.
+    pub fn build_parallel(graph: &Graph, cfg: &DiscoConfig, threads: usize) -> Self {
         let names: Vec<FlatName> = (0..graph.node_count()).map(FlatName::synthetic).collect();
-        Self::build_with_names(graph, cfg, names)
+        Self::build_with_names_parallel(graph, cfg, names, threads)
     }
 
     /// Build the converged state with caller-supplied flat names (one per
-    /// node, same order as node ids).
+    /// node, same order as node ids), single-threaded.
     pub fn build_with_names(graph: &Graph, cfg: &DiscoConfig, names: Vec<FlatName>) -> Self {
+        Self::build_with_names_parallel(graph, cfg, names, 1)
+    }
+
+    /// [`Self::build_with_names`] with the [`Self::build_parallel`] thread
+    /// knob.
+    pub fn build_with_names_parallel(
+        graph: &Graph,
+        cfg: &DiscoConfig,
+        names: Vec<FlatName>,
+        threads: usize,
+    ) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        let mut pool = scoped_threadpool::Pool::new(threads as u32);
         let n = graph.node_count();
         assert!(n >= 2, "Disco needs at least two nodes");
         assert_eq!(names.len(), n, "one name per node required");
@@ -112,24 +139,33 @@ impl DiscoState {
         }
 
         // Full shortest-path tree from every landmark: distances + parents.
-        // Needed for the `ℓ ; v` legs of routes and for addresses.
-        let mut landmark_dist = Vec::with_capacity(landmarks.len());
-        let mut landmark_parent = Vec::with_capacity(landmarks.len());
-        for &lm in &landmarks {
-            let tree = dijkstra(graph, lm);
-            let mut dist = vec![Weight::INFINITY; n];
-            let mut parent = vec![u32::MAX; n];
-            for v in graph.nodes() {
-                if let Some(d) = tree.distance(v) {
-                    dist[v.0] = d;
-                }
-                if let Some(p) = tree.parent(v) {
-                    parent[v.0] = p.0 as u32;
-                }
+        // Needed for the `ℓ ; v` legs of routes and for addresses. The
+        // trees are independent — one pool job per landmark.
+        let mut landmark_dist: Vec<Vec<Weight>> = vec![Vec::new(); landmarks.len()];
+        let mut landmark_parent: Vec<Vec<u32>> = vec![Vec::new(); landmarks.len()];
+        pool.scoped(|scope| {
+            for ((&lm, dist_slot), parent_slot) in landmarks
+                .iter()
+                .zip(landmark_dist.iter_mut())
+                .zip(landmark_parent.iter_mut())
+            {
+                scope.execute(move || {
+                    let tree = dijkstra(graph, lm);
+                    let mut dist = vec![Weight::INFINITY; n];
+                    let mut parent = vec![u32::MAX; n];
+                    for v in graph.nodes() {
+                        if let Some(d) = tree.distance(v) {
+                            dist[v.0] = d;
+                        }
+                        if let Some(p) = tree.parent(v) {
+                            parent[v.0] = p.0 as u32;
+                        }
+                    }
+                    *dist_slot = dist;
+                    *parent_slot = parent;
+                });
             }
-            landmark_dist.push(dist);
-            landmark_parent.push(parent);
-        }
+        });
 
         // Addresses: explicit route from the closest landmark to the node.
         let addresses: Vec<Address> = graph
@@ -146,8 +182,10 @@ impl DiscoState {
             })
             .collect();
 
-        // Vicinities (§4.2): the Θ(√(n log n)) closest nodes.
-        let vicinities = vicinity::all_vicinities(graph, cfg, |v| estimates.of(v));
+        // Vicinities (§4.2): the Θ(√(n log n)) closest nodes, one
+        // truncated Dijkstra per node, fanned over the pool.
+        let vicinities =
+            vicinity::all_vicinities_pooled(graph, cfg, |v| estimates.of(v), &mut pool);
 
         // Sloppy groups and overlay (§4.4).
         let grouping = SloppyGrouping::build(n, cfg, &names, |v| estimates.of(v));
@@ -517,6 +555,35 @@ mod tests {
         let st = DiscoState::build_with_names(&g, &DiscoConfig::seeded(1), names.clone());
         assert_eq!(st.name_of(NodeId(3)), &names[3]);
         assert_eq!(st.names().len(), 16);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = generators::gnm_average_degree(192, 8.0, 42);
+        let cfg = DiscoConfig::seeded(42);
+        let a = DiscoState::build(&g, &cfg);
+        let b = DiscoState::build_parallel(&g, &cfg, 3);
+        assert_eq!(a.landmarks, b.landmarks);
+        assert_eq!(a.closest_landmark, b.closest_landmark);
+        assert_eq!(a.closest_landmark_dist, b.closest_landmark_dist);
+        assert_eq!(a.landmark_dist, b.landmark_dist);
+        assert_eq!(a.landmark_parent, b.landmark_parent);
+        for v in g.nodes() {
+            assert_eq!(
+                a.vicinity(v).members().collect::<Vec<_>>(),
+                b.vicinity(v).members().collect::<Vec<_>>(),
+                "vicinity of {v} differs"
+            );
+            assert_eq!(
+                a.address_of(v).route_path(&g).unwrap().nodes(),
+                b.address_of(v).route_path(&g).unwrap().nodes(),
+                "address of {v} differs"
+            );
+        }
+        // threads = 0 auto-sizes to the machine and must also agree.
+        let c = DiscoState::build_parallel(&g, &cfg, 0);
+        assert_eq!(a.landmark_dist, c.landmark_dist);
+        assert_eq!(a.closest_landmark, c.closest_landmark);
     }
 
     #[test]

@@ -152,7 +152,7 @@ pub fn path_vector_route(nodes: &[PathVectorNode], s: NodeId, t: NodeId) -> Vec<
     nodes[s.0]
         .table
         .get(&t)
-        .map(|e| e.path.clone())
+        .map(|e| e.path.to_vec())
         .into_iter()
         .collect()
 }
@@ -168,11 +168,11 @@ pub fn disco_first_packet_route(nodes: &[DiscoProtocol], s: NodeId, t: NodeId) -
     let mut candidates = Vec::new();
     // Vicinity / landmark-table route.
     if let Some(direct) = src.pv.table.get(&t) {
-        candidates.push(direct.path.clone());
+        candidates.push(direct.path.to_vec());
     }
     // Sloppy-group proxy: the source may already know the address.
     if let Some(addr) = src.group_addresses.get(&t) {
-        candidates.extend(src.route_to(t, Some(addr)));
+        candidates.extend(src.route_to(t, Some(addr)).map(|p| p.to_vec()));
     }
     // Name resolution: the owner landmark of H(t) must be reachable from s
     // and must hold t's address.
@@ -182,7 +182,7 @@ pub fn disco_first_packet_route(nodes: &[DiscoProtocol], s: NodeId, t: NodeId) -
             // The resolution request is routable; use the stored address.
             if let Some(addr) = nodes[owner.0].resolution_store.get(&t_hash) {
                 if addr.node == t {
-                    candidates.extend(src.route_to(t, Some(addr)));
+                    candidates.extend(src.route_to(t, Some(addr)).map(|p| p.to_vec()));
                 }
             }
         }
@@ -253,7 +253,7 @@ mod tests {
                 .table
                 .iter()
                 .find(|(&d, _)| d != NodeId(2));
-            let entry = e.map(|(_, e)| e.path.clone()).unwrap();
+            let entry = e.map(|(_, e)| e.path.to_vec()).unwrap();
             (entry[0], entry[1])
         };
         let before = probe(&engine, &[(u, v)], path_vector_route);
@@ -269,6 +269,7 @@ mod tests {
             // must only count it when it walks on the current graph.
             let walks = e
                 .path
+                .to_vec()
                 .windows(2)
                 .all(|w| engine.graph().edge_weight(w[0], w[1]).is_some());
             assert_eq!(report.delivered == 1, walks);

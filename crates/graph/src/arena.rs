@@ -1,0 +1,543 @@
+//! Interned, reference-counted routing paths.
+//!
+//! Protocol simulations copy node paths constantly: every route
+//! announcement carries one, every routing-table entry stores one, every
+//! source-routed message peels one hop off at a time. Heap-allocated
+//! `Vec<NodeId>` copies dominate the allocation profile of churn runs long
+//! before the event queue does.
+//!
+//! [`PathArena`] fixes this with hash-consed cons cells: a path is a cell
+//! `(head, tail)` where `tail` is the id of the path holding the remaining
+//! nodes. Identical paths intern to the same cell id, so
+//!
+//! * cloning a path is a reference-count bump,
+//! * prepending a hop (the path-vector operation: `my_id ; received_path`)
+//!   is O(1) and shares the entire received path,
+//! * dropping the first node (the source-routing operation: forward to
+//!   `path[1]` carrying `path[1..]`) is O(1) and allocates nothing,
+//! * equality is an id comparison.
+//!
+//! Cells are reference-counted (handles and child cells both count) and
+//! freed into a free list, so the live-cell count tracks real routing
+//! state; [`PathArena::stats`] exposes live/peak counts as the simulator's
+//! allocation gauge (`exp_scale` reports it as the memory proxy).
+//!
+//! The arena is a thread-local pool: a discrete-event engine is
+//! single-threaded, and messages exchanged by its nodes must share one
+//! arena, so per-thread sharing gives exactly the right scope with no
+//! handle-threading through every protocol constructor. [`InternedPath`] is
+//! accordingly `!Send`; materialize with [`InternedPath::to_vec`] to move
+//! path data across threads.
+
+use crate::fxhash::FxHashMap;
+use crate::graph::NodeId;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::fmt;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    /// First node of the path.
+    head: u32,
+    /// Id of the path containing the remaining nodes (`NIL` if none).
+    tail: u32,
+    /// Number of nodes in the path.
+    len: u32,
+    /// Last node of the path (destination), kept for O(1) access.
+    last: u32,
+    /// Reference count: live [`InternedPath`] handles plus child cells
+    /// whose `tail` points here.
+    rc: u32,
+}
+
+/// The thread-local interning pool. Use [`PathArena::stats`] to observe it;
+/// paths are created through [`InternedPath`].
+#[derive(Debug, Default)]
+pub struct PathArena {
+    cells: Vec<Cell>,
+    free: Vec<u32>,
+    /// `(head, tail)` → cell id.
+    intern: FxHashMap<(u32, u32), u32>,
+    live: usize,
+    peak_live: usize,
+    interned_total: u64,
+}
+
+/// Allocation gauge of the thread's path arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathArenaStats {
+    /// Cells currently alive (≈ distinct path prefixes referenced by live
+    /// routing state).
+    pub live_cells: usize,
+    /// High-water mark of `live_cells`.
+    pub peak_live_cells: usize,
+    /// Cells ever created (interning hits do not count).
+    pub interned_total: u64,
+    /// Capacity currently held by the arena, in cells (live + free-listed).
+    pub capacity_cells: usize,
+}
+
+thread_local! {
+    static POOL: RefCell<PathArena> = RefCell::new(PathArena::default());
+}
+
+impl PathArena {
+    /// Snapshot of this thread's arena gauge.
+    pub fn stats() -> PathArenaStats {
+        POOL.with(|p| {
+            let p = p.borrow();
+            PathArenaStats {
+                live_cells: p.live,
+                peak_live_cells: p.peak_live,
+                interned_total: p.interned_total,
+                capacity_cells: p.cells.len(),
+            }
+        })
+    }
+
+    /// Reset the peak-live high-water mark to the current live count
+    /// (between experiment phases).
+    pub fn reset_peak() {
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            p.peak_live = p.live;
+        });
+    }
+
+    /// Cell id for `(head, tail)`, interning a new cell if necessary. The
+    /// returned id carries a fresh reference. `tail`'s count is bumped only
+    /// when a new cell is created (the cell itself then owns that
+    /// reference).
+    fn acquire(&mut self, head: u32, tail: u32, len: u32, last: u32) -> u32 {
+        if let Some(&id) = self.intern.get(&(head, tail)) {
+            self.cells[id as usize].rc += 1;
+            return id;
+        }
+        if tail != NIL {
+            self.cells[tail as usize].rc += 1;
+        }
+        let cell = Cell {
+            head,
+            tail,
+            len,
+            last,
+            rc: 1,
+        };
+        let id = if let Some(id) = self.free.pop() {
+            self.cells[id as usize] = cell;
+            id
+        } else {
+            let id = self.cells.len() as u32;
+            assert!(id != NIL, "path arena exhausted");
+            self.cells.push(cell);
+            id
+        };
+        self.intern.insert((head, tail), id);
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        self.interned_total += 1;
+        id
+    }
+
+    fn retain(&mut self, id: u32) {
+        self.cells[id as usize].rc += 1;
+    }
+
+    fn release(&mut self, mut id: u32) {
+        while id != NIL {
+            let cell = &mut self.cells[id as usize];
+            cell.rc -= 1;
+            if cell.rc > 0 {
+                return;
+            }
+            let Cell { head, tail, .. } = *cell;
+            self.intern.remove(&(head, tail));
+            self.free.push(id);
+            self.live -= 1;
+            id = tail; // drop the cell's reference to its tail
+        }
+    }
+}
+
+/// An interned path: a non-empty node sequence stored in the thread's
+/// [`PathArena`]. Clone is a reference-count bump; equality is O(1);
+/// prepending a node and dropping the first node are O(1) and share
+/// structure with the original.
+///
+/// `!Send`/`!Sync` (the marker suppresses the auto traits): the id only
+/// means something to the arena of the thread that created it, and
+/// retain/release on another thread's arena would corrupt both.
+pub struct InternedPath {
+    id: u32,
+    /// Pins the value to its creating thread (raw pointers are `!Send`
+    /// and `!Sync`).
+    _pool_local: std::marker::PhantomData<*const ()>,
+}
+
+impl InternedPath {
+    /// Wrap an id whose reference this handle takes ownership of.
+    fn wrap(id: u32) -> Self {
+        InternedPath {
+            id,
+            _pool_local: std::marker::PhantomData,
+        }
+    }
+
+    /// The single-node path `[node]`.
+    pub fn single(node: NodeId) -> Self {
+        let h = node.0 as u32;
+        let id = POOL.with(|p| p.borrow_mut().acquire(h, NIL, 1, h));
+        InternedPath::wrap(id)
+    }
+
+    /// Intern the path with the given node sequence. Panics if empty.
+    pub fn from_slice(nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "a path must contain at least one node");
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            let last = nodes[nodes.len() - 1].0 as u32;
+            let mut id = NIL;
+            let mut len = 0u32;
+            for node in nodes.iter().rev() {
+                len += 1;
+                let next = p.acquire(node.0 as u32, id, len, last);
+                if id != NIL {
+                    // `acquire` gave the new cell its own reference to
+                    // `id`; drop the building reference we held.
+                    p.release(id);
+                }
+                id = next;
+            }
+            InternedPath::wrap(id)
+        })
+    }
+
+    /// The path `[node] ; self` — the path-vector prepend. O(1).
+    pub fn prepend(&self, node: NodeId) -> Self {
+        let id = POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            let cell = p.cells[self.id as usize];
+            p.acquire(node.0 as u32, self.id, cell.len + 1, cell.last)
+        });
+        InternedPath::wrap(id)
+    }
+
+    /// The path without its first node (`self[1..]`), or `None` for a
+    /// single-node path. O(1), fully shared.
+    pub fn tail(&self) -> Option<Self> {
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            let tail = p.cells[self.id as usize].tail;
+            if tail == NIL {
+                None
+            } else {
+                p.retain(tail);
+                Some(InternedPath::wrap(tail))
+            }
+        })
+    }
+
+    /// First node (the source).
+    pub fn first(&self) -> NodeId {
+        POOL.with(|p| NodeId(p.borrow().cells[self.id as usize].head as usize))
+    }
+
+    /// Second node (the next hop of a source route), if any.
+    pub fn second(&self) -> Option<NodeId> {
+        POOL.with(|p| {
+            let p = p.borrow();
+            let tail = p.cells[self.id as usize].tail;
+            if tail == NIL {
+                None
+            } else {
+                Some(NodeId(p.cells[tail as usize].head as usize))
+            }
+        })
+    }
+
+    /// Last node (the destination). O(1).
+    pub fn last(&self) -> NodeId {
+        POOL.with(|p| NodeId(p.borrow().cells[self.id as usize].last as usize))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        POOL.with(|p| p.borrow().cells[self.id as usize].len as usize)
+    }
+
+    /// Interned paths are never empty; this exists for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `node` appears anywhere in the path. O(len).
+    pub fn contains(&self, node: NodeId) -> bool {
+        let needle = node.0 as u32;
+        POOL.with(|p| {
+            let p = p.borrow();
+            let mut id = self.id;
+            while id != NIL {
+                let cell = &p.cells[id as usize];
+                if cell.head == needle {
+                    return true;
+                }
+                id = cell.tail;
+            }
+            false
+        })
+    }
+
+    /// Call `f` for every node, front to back, without materializing.
+    pub fn for_each(&self, mut f: impl FnMut(NodeId)) {
+        POOL.with(|p| {
+            let p = p.borrow();
+            let mut id = self.id;
+            while id != NIL {
+                let cell = &p.cells[id as usize];
+                f(NodeId(cell.head as usize));
+                id = cell.tail;
+            }
+        })
+    }
+
+    /// Materialize the node sequence.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|n| out.push(n));
+        out
+    }
+
+    /// The reversed path. O(len) — rebuilds (the arena shares prefixes, not
+    /// suffixes).
+    pub fn reversed(&self) -> Self {
+        let mut nodes = self.to_vec();
+        nodes.reverse();
+        Self::from_slice(&nodes)
+    }
+
+    /// Concatenate with `other`, which must start where `self` ends; the
+    /// joint node appears once. Shares `other`'s structure; O(self.len).
+    pub fn concat(&self, other: &InternedPath) -> Self {
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            assert_eq!(
+                p.cells[self.id as usize].last, p.cells[other.id as usize].head,
+                "cannot concatenate paths that do not chain"
+            );
+            // Collect self's nodes except the last, then prepend them onto
+            // `other` back to front.
+            let mut nodes = Vec::with_capacity(p.cells[self.id as usize].len as usize);
+            let mut id = self.id;
+            while id != NIL {
+                let cell = &p.cells[id as usize];
+                if cell.tail != NIL {
+                    nodes.push(cell.head);
+                }
+                id = cell.tail;
+            }
+            let mut id = other.id;
+            p.retain(id);
+            let last = p.cells[other.id as usize].last;
+            let mut len = p.cells[other.id as usize].len;
+            for &head in nodes.iter().rev() {
+                len += 1;
+                let next = p.acquire(head, id, len, last);
+                p.release(id);
+                id = next;
+            }
+            InternedPath::wrap(id)
+        })
+    }
+
+    /// Route-preference ordering: shorter paths first, ties broken by
+    /// lexicographic node order — exactly `(len, nodes) < (len, nodes)` on
+    /// materialized vectors, without materializing.
+    pub fn cmp_route(&self, other: &InternedPath) -> Ordering {
+        if self.id == other.id {
+            return Ordering::Equal;
+        }
+        POOL.with(|p| {
+            let p = p.borrow();
+            let (a, b) = (&p.cells[self.id as usize], &p.cells[other.id as usize]);
+            a.len.cmp(&b.len).then_with(|| {
+                let (mut x, mut y) = (self.id, other.id);
+                while x != NIL && y != NIL {
+                    if x == y {
+                        return Ordering::Equal; // shared suffix
+                    }
+                    let (cx, cy) = (&p.cells[x as usize], &p.cells[y as usize]);
+                    match cx.head.cmp(&cy.head) {
+                        Ordering::Equal => {
+                            x = cx.tail;
+                            y = cy.tail;
+                        }
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            })
+        })
+    }
+}
+
+impl Clone for InternedPath {
+    fn clone(&self) -> Self {
+        POOL.with(|p| p.borrow_mut().retain(self.id));
+        InternedPath::wrap(self.id)
+    }
+}
+
+impl Drop for InternedPath {
+    fn drop(&mut self) {
+        // `try_with`: during thread teardown the pool may already be gone,
+        // in which case there is nothing left to release.
+        let _ = POOL.try_with(|p| p.borrow_mut().release(self.id));
+    }
+}
+
+impl PartialEq for InternedPath {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash-consing makes ids canonical per node sequence.
+        self.id == other.id
+    }
+}
+impl Eq for InternedPath {}
+
+impl fmt::Debug for InternedPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut list = f.debug_list();
+        self.for_each(|n| {
+            list.entry(&n);
+        });
+        list.finish()
+    }
+}
+
+impl From<&[NodeId]> for InternedPath {
+    fn from(nodes: &[NodeId]) -> Self {
+        Self::from_slice(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(ns: &[usize]) -> Vec<NodeId> {
+        ns.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn roundtrip_and_accessors() {
+        let p = InternedPath::from_slice(&ids(&[3, 1, 4, 1, 5]));
+        assert_eq!(p.to_vec(), ids(&[3, 1, 4, 1, 5]));
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.first(), NodeId(3));
+        assert_eq!(p.second(), Some(NodeId(1)));
+        assert_eq!(p.last(), NodeId(5));
+        assert!(p.contains(NodeId(4)));
+        assert!(!p.contains(NodeId(9)));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn interning_dedupes_and_equality_is_structural() {
+        let a = InternedPath::from_slice(&ids(&[1, 2, 3]));
+        let b = InternedPath::from_slice(&ids(&[1, 2, 3]));
+        let c = InternedPath::from_slice(&ids(&[1, 2, 4]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.id, b.id, "identical paths must share a cell");
+    }
+
+    #[test]
+    fn prepend_and_tail_share_structure() {
+        let base = InternedPath::from_slice(&ids(&[7, 8]));
+        let before = PathArena::stats().live_cells;
+        let longer = base.prepend(NodeId(6));
+        assert_eq!(longer.to_vec(), ids(&[6, 7, 8]));
+        // Exactly one new cell for the prepended head.
+        assert_eq!(PathArena::stats().live_cells, before + 1);
+        let t = longer.tail().unwrap();
+        assert_eq!(t, base);
+        assert_eq!(PathArena::stats().live_cells, before + 1);
+        let single = InternedPath::single(NodeId(9));
+        assert!(single.tail().is_none());
+        assert_eq!(single.second(), None);
+    }
+
+    #[test]
+    fn refcounting_frees_cells() {
+        let before = PathArena::stats().live_cells;
+        {
+            let p = InternedPath::from_slice(&ids(&[100, 101, 102]));
+            let q = p.clone();
+            assert_eq!(PathArena::stats().live_cells, before + 3);
+            drop(p);
+            assert_eq!(PathArena::stats().live_cells, before + 3);
+            drop(q);
+        }
+        assert_eq!(PathArena::stats().live_cells, before);
+        assert!(PathArena::stats().peak_live_cells >= before + 3);
+    }
+
+    #[test]
+    fn shared_prefix_is_not_shared_but_shared_suffix_is() {
+        // Cons cells share suffixes: [1,2,3] and [0,2,3] share [2,3].
+        let before = PathArena::stats().live_cells;
+        let a = InternedPath::from_slice(&ids(&[201, 202, 203]));
+        let _b = a.tail().unwrap().prepend(NodeId(200));
+        assert_eq!(PathArena::stats().live_cells, before + 4);
+    }
+
+    #[test]
+    fn reversed_and_concat() {
+        let a = InternedPath::from_slice(&ids(&[1, 2, 3]));
+        assert_eq!(a.reversed().to_vec(), ids(&[3, 2, 1]));
+        let b = InternedPath::from_slice(&ids(&[3, 4, 5]));
+        let c = a.concat(&b);
+        assert_eq!(c.to_vec(), ids(&[1, 2, 3, 4, 5]));
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.last(), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn concat_requires_chaining() {
+        let a = InternedPath::from_slice(&ids(&[1, 2]));
+        let b = InternedPath::from_slice(&ids(&[3, 4]));
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn route_ordering_matches_vec_ordering() {
+        let cases: &[&[usize]] = &[
+            &[1],
+            &[1, 2],
+            &[1, 3],
+            &[2, 3],
+            &[1, 2, 3],
+            &[1, 2, 4],
+            &[5, 0, 0],
+        ];
+        for x in cases {
+            for y in cases {
+                let a = InternedPath::from_slice(&ids(x));
+                let b = InternedPath::from_slice(&ids(y));
+                let want = (x.len(), *x).cmp(&(y.len(), *y));
+                assert_eq!(a.cmp_route(&b), want, "{x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn free_list_reuses_capacity() {
+        let p = InternedPath::from_slice(&ids(&[301, 302, 303, 304]));
+        let cap = PathArena::stats().capacity_cells;
+        drop(p);
+        let _q = InternedPath::from_slice(&ids(&[305, 306, 307, 308]));
+        assert_eq!(PathArena::stats().capacity_cells, cap);
+    }
+}

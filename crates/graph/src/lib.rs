@@ -37,14 +37,18 @@
 //! assert!(spt.distance(disco_graph::NodeId(17)).is_some());
 //! ```
 
+pub mod arena;
 pub mod builder;
+pub mod fxhash;
 pub mod generators;
 pub mod graph;
 pub mod path;
 pub mod properties;
 pub mod shortest_path;
 
+pub use arena::{InternedPath, PathArena, PathArenaStats};
 pub use builder::GraphBuilder;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{EdgeId, Graph, NodeId, Weight};
 pub use path::Path;
 pub use shortest_path::{

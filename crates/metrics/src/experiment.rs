@@ -618,8 +618,8 @@ fn event_later_packet_length(graph: &Graph, nodes: &[PathVectorNode], s: NodeId,
         .expect("every node learns routes to all landmarks");
     // Apply To-Destination shortcutting along the concatenated path, exactly
     // as the protocol would.
-    let mut full: Vec<NodeId> = s_to_lm.path.clone();
-    let mut tail: Vec<NodeId> = lm_entry.path.clone();
+    let mut full: Vec<NodeId> = s_to_lm.path.to_vec();
+    let mut tail: Vec<NodeId> = lm_entry.path.to_vec();
     tail.reverse(); // t→ℓ_t becomes ℓ_t→t
     full.extend_from_slice(&tail[1..]);
     // To-Destination shortcut: first node on the path with t in its table.

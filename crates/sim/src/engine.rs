@@ -7,7 +7,7 @@
 //! [`Protocol::on_neighbor_up`] / [`Protocol::on_neighbor_down`] upcalls.
 
 use crate::context::{Action, Context};
-use crate::event::{EventKind, EventQueue, SimTime, TopologyEvent};
+use crate::event::{EventKind, EventQueue, SimTime, TimerWheel, TopologyEvent};
 use crate::stats::MessageStats;
 use crate::Protocol;
 use disco_graph::{Graph, NodeId};
@@ -39,7 +39,8 @@ pub struct RunReport {
 /// the *current* topology. The `'f` lifetime bounds the node factory, which
 /// is retained to build fresh protocol instances for nodes that join (or
 /// rejoin) at runtime.
-pub struct Engine<'f, P: Protocol> {
+pub struct Engine<'f, P: Protocol, Q: EventQueue<P::Message> = TimerWheel<<P as Protocol>::Message>>
+{
     graph: Graph,
     nodes: Vec<P>,
     factory: Box<dyn FnMut(NodeId) -> P + 'f>,
@@ -48,7 +49,11 @@ pub struct Engine<'f, P: Protocol> {
     /// Incarnation counter per node; bumped on rejoin so stale timers from a
     /// previous life are discarded.
     epoch: Vec<u32>,
-    queue: EventQueue<P::Message>,
+    queue: Q,
+    /// Cancellation handles of each node's pending timers; drained (and the
+    /// timers reclaimed from the queue) the moment the node leaves, instead
+    /// of letting epoch-dead timers sit in the queue until popped.
+    pending_timers: Vec<Vec<Q::Id>>,
     stats: MessageStats,
     now: SimTime,
     started: bool,
@@ -70,7 +75,19 @@ impl<'f, P: Protocol> Engine<'f, P> {
     /// Create an engine over a clone of `graph`, building each node's
     /// protocol instance with `factory`. The factory is kept for the
     /// engine's lifetime so joining nodes can be instantiated later.
+    /// Events are scheduled on the default [`TimerWheel`] queue.
     pub fn new(graph: &Graph, factory: impl FnMut(NodeId) -> P + 'f) -> Self {
+        Engine::with_queue(graph, factory, TimerWheel::new())
+    }
+}
+
+impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
+    /// Like [`Engine::new`], but scheduling events on a caller-supplied
+    /// queue implementation (e.g. [`crate::event::BinaryHeapQueue`] for the
+    /// `exp_scale` heap-baseline comparison). Both queues pop in the same
+    /// deterministic `(time, seq)` order, so runs are byte-identical across
+    /// queue implementations.
+    pub fn with_queue(graph: &Graph, factory: impl FnMut(NodeId) -> P + 'f, queue: Q) -> Self {
         let mut factory: Box<dyn FnMut(NodeId) -> P + 'f> = Box::new(factory);
         let nodes: Vec<P> = graph.nodes().map(&mut factory).collect();
         let n = graph.node_count();
@@ -80,7 +97,8 @@ impl<'f, P: Protocol> Engine<'f, P> {
             factory,
             active: vec![true; n],
             epoch: vec![0; n],
-            queue: EventQueue::new(),
+            queue,
+            pending_timers: (0..n).map(|_| Vec::new()).collect(),
             stats: MessageStats::new(n),
             now: 0.0,
             started: false,
@@ -160,7 +178,25 @@ impl<'f, P: Protocol> Engine<'f, P> {
             "topology event scheduled in the past ({at} < {})",
             self.now
         );
-        self.queue.push(at, EventKind::Topology(event));
+        let _ = self.queue.push(at, EventKind::Topology(event));
+    }
+
+    /// `(live, dead)` entry counts of the event queue: pending events and
+    /// cancelled-but-still-referenced bookkeeping residue. Exposed for the
+    /// timer-reclamation regression tests.
+    pub fn queue_stats(&self) -> (usize, usize) {
+        (self.queue.len(), self.queue.dead_refs())
+    }
+
+    /// Cancel every pending timer of `node`, reclaiming the queue entries
+    /// eagerly. Each cancelled timer counts as dropped, exactly as it would
+    /// have when popped lazily under the old scheme.
+    fn cancel_node_timers(&mut self, node: NodeId) {
+        for id in std::mem::take(&mut self.pending_timers[node.0]) {
+            if self.queue.cancel(id) {
+                self.messages_dropped += 1;
+            }
+        }
     }
 
     fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P::Message>>) {
@@ -178,7 +214,7 @@ impl<'f, P: Protocol> Engine<'f, P> {
                         .find(|nb| nb.node == to)
                         .expect("context already validated neighbor");
                     self.stats.record_send(node, size_bytes);
-                    self.queue.push(
+                    let _ = self.queue.push(
                         self.now + nb.weight + self.processing_delay,
                         EventKind::Deliver {
                             from: node,
@@ -189,7 +225,7 @@ impl<'f, P: Protocol> Engine<'f, P> {
                     );
                 }
                 Action::Timer { delay, token } => {
-                    self.queue.push(
+                    let id = self.queue.push(
                         self.now + delay,
                         EventKind::Timer {
                             node,
@@ -197,6 +233,7 @@ impl<'f, P: Protocol> Engine<'f, P> {
                             epoch: self.epoch[node.0],
                         },
                     );
+                    self.pending_timers[node.0].push(id);
                 }
             }
         }
@@ -240,6 +277,10 @@ impl<'f, P: Protocol> Engine<'f, P> {
                     return;
                 }
                 self.active[node.0] = false;
+                // The departed incarnation's timers are dead; reclaim them
+                // from the queue now instead of dropping them one by one as
+                // they pop.
+                self.cancel_node_timers(node);
                 let former = self.graph.detach_node(node);
                 for (peer, _) in former {
                     if self.is_active(peer) {
@@ -254,6 +295,7 @@ impl<'f, P: Protocol> Engine<'f, P> {
                     self.nodes.push((self.factory)(id));
                     self.active.push(false);
                     self.epoch.push(0);
+                    self.pending_timers.push(Vec::new());
                 }
                 self.stats.grow_to(self.graph.node_count());
                 if self.active[node.0] {
@@ -346,7 +388,7 @@ impl<'f, P: Protocol> Engine<'f, P> {
     /// Process a single event. Returns false if the queue was empty or a
     /// safety limit tripped.
     fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let Some((id, ev)) = self.queue.pop() else {
             return false;
         };
         self.now = ev.time;
@@ -372,8 +414,14 @@ impl<'f, P: Protocol> Engine<'f, P> {
                 }
             }
             EventKind::Timer { node, token, epoch } => {
+                // This timer fired, so its handle is spent.
+                let handles = &mut self.pending_timers[node.0];
+                if let Some(pos) = handles.iter().position(|&h| h == id) {
+                    handles.swap_remove(pos);
+                }
                 // Timers of departed nodes and of previous incarnations are
-                // discarded.
+                // discarded (defense in depth: eager cancellation on leave
+                // should already have reclaimed them).
                 if !self.is_active(node) || self.epoch[node.0] != epoch {
                     self.messages_dropped += 1;
                 } else {
@@ -406,7 +454,7 @@ impl<'f, P: Protocol> Engine<'f, P> {
             .graph
             .find_edge(from, to)
             .expect("inject_message requires an existing link");
-        self.queue.push(
+        let _ = self.queue.push(
             self.now + delay,
             EventKind::Deliver {
                 from,
@@ -638,6 +686,47 @@ mod tests {
         }
         // The departed node itself received no upcall.
         assert!(e.nodes()[0].downs.is_empty());
+    }
+
+    /// Regression test for the lazy-cancellation leak: epoch-dead timers
+    /// used to sit in the queue (payload and all) until their pop time;
+    /// they must now be reclaimed the moment the node leaves.
+    #[test]
+    fn node_leave_reclaims_pending_timers_eagerly() {
+        struct ManyTimers;
+        impl Protocol for ManyTimers {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                // The doomed node's timers all fire strictly before the
+                // survivors' last one, so every reclaimed queue slot is
+                // provably swept by the end of the run.
+                let (base, step) = if ctx.node_id() == NodeId(2) {
+                    (100.1, 0.5)
+                } else {
+                    (100.0, 1.0)
+                };
+                for i in 0..10 {
+                    ctx.set_timer(base + i as f64 * step, i);
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {}
+        }
+        let g = generators::line(3);
+        let mut e = Engine::new(&g, |_| ManyTimers);
+        e.schedule_topology(2.0, TopologyEvent::NodeLeave { node: NodeId(2) });
+        e.run_to(3.0);
+        // The departed node's 10 timers are gone from the queue *now* —
+        // not at t≈100 when they would have popped — and were accounted
+        // as dropped. The survivors' 20 timers remain live; the 10 dead
+        // bucket references carry no payload.
+        let (live, dead) = e.queue_stats();
+        assert_eq!(live, 20, "20 live timers of the two remaining nodes");
+        assert_eq!(dead, 10, "10 reclaimed entries awaiting bucket drain");
+        assert_eq!(e.messages_dropped(), 10);
+        let report = e.run();
+        assert!(report.converged);
+        assert_eq!(report.messages_dropped, 10);
+        assert_eq!(e.queue_stats(), (0, 0), "drain clears all residue");
     }
 
     #[test]

@@ -1,8 +1,24 @@
-//! Event queue of the discrete-event engine.
+//! Events and event queues of the discrete-event engine.
+//!
+//! The engine schedules events through the [`EventQueue`] trait. Two
+//! implementations exist:
+//!
+//! * [`TimerWheel`] — the default: a calendar-queue / timer-wheel hybrid
+//!   with O(1) amortized push/pop independent of queue size, and O(1)
+//!   cancellation of pending events (used to reclaim the timers of departed
+//!   nodes eagerly instead of letting them sit in the queue until popped).
+//! * [`BinaryHeapQueue`] — the original `BinaryHeap` scheduler, kept as the
+//!   reference implementation: the wheel's pop order is defined as *exactly*
+//!   this queue's `(time, seq)` order, which the property tests in
+//!   `disco-sim` verify on random event streams.
+//!
+//! Both queues break timestamp ties by insertion sequence number, so a
+//! simulation run remains a pure function of `(graph, protocol, seed)`
+//! regardless of which queue backs it.
 
 use disco_graph::{EdgeId, NodeId, Weight};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
 /// Simulation time, in the same unit as link weights (the paper uses
 /// latencies; for unweighted graphs a hop costs 1.0).
@@ -110,53 +126,490 @@ impl<M> PartialOrd for Event<M> {
     }
 }
 
-/// A deterministic priority queue of events.
+/// A deterministic priority queue of simulation events.
+///
+/// Implementations must pop events in strict `(time, seq)` order, where
+/// `seq` is the push sequence number — i.e. FIFO for equal timestamps.
+/// `peek_time` takes `&mut self` because the wheel advances lazily.
+pub trait EventQueue<M> {
+    /// Handle to a pending event, usable for O(1) cancellation. Handles are
+    /// generation-checked: a handle to an event that already fired (or was
+    /// cancelled) is stale and `cancel` returns `false` for it.
+    type Id: Copy + Eq + std::fmt::Debug;
+
+    /// Schedule `kind` to fire at absolute time `time`; returns the
+    /// cancellation handle.
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) -> Self::Id;
+
+    /// Cancel a pending event, dropping its payload immediately. Returns
+    /// `true` if the event was still pending (and is now reclaimed), `false`
+    /// if the handle was stale. O(1).
+    fn cancel(&mut self, id: Self::Id) -> bool;
+
+    /// Pop the earliest pending event together with its (now spent) handle.
+    fn pop(&mut self) -> Option<(Self::Id, Event<M>)>;
+
+    /// Timestamp of the earliest pending event, if any.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Number of pending (live, non-cancelled) events.
+    fn len(&self) -> usize;
+
+    /// Whether there are no pending events.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bookkeeping residue left behind by cancellations: slots still
+    /// referenced from internal structures whose payload has already been
+    /// reclaimed. The timer wheel skips these lazily; the count exists so
+    /// tests can verify cancelled events do not accumulate as live state.
+    fn dead_refs(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BinaryHeapQueue — the original heap scheduler (reference implementation)
+// ---------------------------------------------------------------------------
+
+/// The original `BinaryHeap`-backed queue. O(log n) push/pop; cancellation
+/// is a tombstone (the payload stays queued until popped), which is exactly
+/// the lazy-reclamation behavior the timer wheel was introduced to fix.
+/// Kept as the ordering reference and as the `exp_scale --queue heap`
+/// baseline.
 #[derive(Debug)]
-pub struct EventQueue<M> {
+pub struct BinaryHeapQueue<M> {
     heap: BinaryHeap<Event<M>>,
+    /// Seqs currently queued and not cancelled.
+    pending: HashSet<u64>,
     next_seq: u64,
 }
 
-impl<M> Default for EventQueue<M> {
+impl<M> Default for BinaryHeapQueue<M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> EventQueue<M> {
+impl<M> BinaryHeapQueue<M> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        BinaryHeapQueue {
             heap: BinaryHeap::new(),
+            pending: HashSet::new(),
             next_seq: 0,
         }
     }
+}
 
-    /// Schedule `kind` to fire at absolute time `time`.
-    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+impl<M> EventQueue<M> for BinaryHeapQueue<M> {
+    type Id = u64;
+
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) -> u64 {
+        debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Event { time, seq, kind });
+        self.pending.insert(seq);
+        seq
     }
 
-    /// Pop the earliest event.
-    pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+    fn cancel(&mut self, id: u64) -> bool {
+        // The payload cannot be extracted from the middle of a heap; unmark
+        // the seq and skip the husk on pop (lazy reclamation — exactly the
+        // leak the timer wheel fixes).
+        self.pending.remove(&id)
     }
 
-    /// Timestamp of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    fn pop(&mut self) -> Option<(u64, Event<M>)> {
+        while let Some(ev) = self.heap.pop() {
+            if !self.pending.remove(&ev.seq) {
+                continue; // cancelled husk
+            }
+            return Some((ev.seq, ev));
+        }
+        None
     }
 
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
+    fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if !self.pending.contains(&ev.seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
     }
 
-    /// Whether there are no pending events.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn dead_refs(&self) -> usize {
+        self.heap.len() - self.pending.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TimerWheel — the default calendar-queue scheduler
+// ---------------------------------------------------------------------------
+
+/// Ticks per simulation time unit. A power of two, so `time * TICK_RATE` is
+/// an exact float scaling and tick extraction preserves time ordering.
+const TICK_RATE: f64 = 64.0;
+/// Buckets in the wheel window (must be a power of two). At 64 ticks per
+/// unit this spans 128 simulated time units — enough for every delay the
+/// protocols schedule; rarer far-future events go to the sorted overflow.
+const WHEEL_SLOTS: usize = 8192;
+const WORDS: usize = WHEEL_SLOTS / 64;
+
+/// Generation-checked handle to a cancellable wheel event. Events that the
+/// engine never cancels (message deliveries, topology mutations) are stored
+/// inline in the wheel's buckets and get the sentinel (non-cancellable)
+/// handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WheelId {
+    slot: u32,
+    gen: u32,
+}
+
+impl WheelId {
+    const NONE: WheelId = WheelId {
+        slot: u32::MAX,
+        gen: u32::MAX,
+    };
+}
+
+/// Slab cell holding a cancellable event's payload out-of-line.
+#[derive(Debug)]
+struct Slab<M> {
+    gen: u32,
+    kind: Option<EventKind<M>>,
+}
+
+#[derive(Debug)]
+enum Payload<M> {
+    /// Payload stored inline (not cancellable).
+    Inline(EventKind<M>),
+    /// Payload parked in the slab under a generation-checked slot
+    /// (cancellable: timers).
+    Parked(WheelId),
+}
+
+/// One queued event as stored in a bucket.
+#[derive(Debug)]
+struct Entry<M> {
+    time: SimTime,
+    seq: u64,
+    payload: Payload<M>,
+}
+
+impl<M> Entry<M> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// A calendar-queue timer wheel: a window of `WHEEL_SLOTS` one-tick buckets
+/// starting at `base_tick`, a sorted overflow map for events beyond the
+/// window, and the bucket currently being drained, sorted once on drain.
+///
+/// * `push` is O(1): an append to the target bucket (or an overflow insert,
+///   rare — the window spans 128 simulated time units).
+/// * `pop` is amortized O(log k) with `k` = events in the popped event's
+///   tick (the once-per-bucket sort), plus an amortized-O(1) bitmap scan to
+///   find the next occupied bucket. Unlike a binary heap, cost never grows
+///   with *total* queue size — the property that makes million-node churn
+///   runs feasible.
+/// * `cancel` is O(1): cancellable events (timers) park their payload in a
+///   slab; cancelling drops the payload and bumps the slot generation, and
+///   the residual 24-byte bucket entry is skipped (and counted down) when
+///   its tick drains.
+///
+/// Pop order is exactly [`BinaryHeapQueue`]'s `(time, seq)` order: ticks are
+/// a monotone function of time, and each drained bucket is sorted by the
+/// full `(time, seq)` key before its events are released.
+#[derive(Debug)]
+pub struct TimerWheel<M> {
+    slab: Vec<Slab<M>>,
+    free: Vec<u32>,
+    /// Live (pending, non-cancelled) events.
+    live: usize,
+    /// Cancelled-but-still-referenced bucket entries.
+    dead: usize,
+    next_seq: u64,
+    /// Wheel window: bucket `i` holds events of tick `base_tick + i`.
+    buckets: Vec<Vec<Entry<M>>>,
+    /// Occupancy bitmap over `buckets` (bit set ⇔ bucket non-empty).
+    occ: [u64; WORDS],
+    base_tick: u64,
+    /// Frontier offset into the window: buckets `< cursor` are drained.
+    cursor: usize,
+    /// The tick currently being drained (`u64::MAX` before the first pop).
+    /// New pushes landing on this tick merge into `current` so a tick is
+    /// never split between the drained buffer and its bucket.
+    active_tick: u64,
+    /// Events of `active_tick`, sorted by `(time, seq)` DESCENDING so pops
+    /// come off the tail in O(1).
+    current: Vec<Entry<M>>,
+    /// Events beyond the window, keyed by tick.
+    overflow: BTreeMap<u64, Vec<Entry<M>>>,
+}
+
+fn tick_of(time: SimTime) -> u64 {
+    debug_assert!(time >= 0.0 && time.is_finite(), "bad event time {time}");
+    (time * TICK_RATE) as u64
+}
+
+impl<M> Default for TimerWheel<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> TimerWheel<M> {
+    /// An empty wheel positioned at time 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            slab: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            dead: 0,
+            next_seq: 0,
+            buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; WORDS],
+            base_tick: 0,
+            cursor: 0,
+            active_tick: u64::MAX,
+            current: Vec::new(),
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    fn park(&mut self, kind: EventKind<M>) -> WheelId {
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slab[slot as usize];
+            debug_assert!(s.kind.is_none());
+            s.kind = Some(kind);
+            WheelId { slot, gen: s.gen }
+        } else {
+            let slot = self.slab.len() as u32;
+            self.slab.push(Slab {
+                gen: 0,
+                kind: Some(kind),
+            });
+            WheelId { slot, gen: 0 }
+        }
+    }
+
+    /// Resolve an entry's payload, retiring its slab slot if parked.
+    /// Returns `None` for the residue of a cancelled event.
+    fn unpark(&mut self, e: Entry<M>) -> Option<(WheelId, Event<M>)> {
+        let (id, kind) = match e.payload {
+            Payload::Inline(kind) => (WheelId::NONE, kind),
+            Payload::Parked(id) => {
+                let s = &mut self.slab[id.slot as usize];
+                if s.gen != id.gen || s.kind.is_none() {
+                    self.dead -= 1;
+                    return None;
+                }
+                let kind = s.kind.take().expect("checked above");
+                s.gen = s.gen.wrapping_add(1);
+                self.free.push(id.slot);
+                (id, kind)
+            }
+        };
+        self.live -= 1;
+        Some((
+            id,
+            Event {
+                time: e.time,
+                seq: e.seq,
+                kind,
+            },
+        ))
+    }
+
+    /// Whether an entry still carries a live payload.
+    fn entry_live(&self, e: &Entry<M>) -> bool {
+        match &e.payload {
+            Payload::Inline(_) => true,
+            Payload::Parked(id) => {
+                let s = &self.slab[id.slot as usize];
+                s.gen == id.gen && s.kind.is_some()
+            }
+        }
+    }
+
+    fn set_occ(&mut self, idx: usize) {
+        self.occ[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    fn clear_occ(&mut self, idx: usize) {
+        self.occ[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Index of the first occupied bucket at or after `from`, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= WHEEL_SLOTS {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut word = self.occ[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= WORDS {
+                return None;
+            }
+            word = self.occ[w];
+        }
+    }
+
+    /// File an entry under its tick: current buffer, window bucket, or
+    /// overflow.
+    fn file(&mut self, tick: u64, entry: Entry<M>) {
+        if (self.active_tick != u64::MAX && tick <= self.active_tick) || tick < self.base_tick {
+            // Same tick as the one being drained — or earlier than the
+            // window base (possible after a rebase performed by a peek that
+            // then didn't pop): merge into the sorted current buffer, which
+            // always pops before any bucket. Rare (most events land at
+            // least one tick ahead), so the O(k) insert is fine.
+            let pos = self.current.partition_point(|e| e.key() > entry.key());
+            self.current.insert(pos, entry);
+        } else if tick < self.base_tick + WHEEL_SLOTS as u64 {
+            let idx = (tick - self.base_tick) as usize;
+            self.buckets[idx].push(entry);
+            self.set_occ(idx);
+        } else {
+            self.overflow.entry(tick).or_default().push(entry);
+        }
+    }
+
+    /// Move the next occupied bucket's events into `current`, advancing the
+    /// window (and rebasing onto the overflow) as needed. Returns false if
+    /// no pending events remain anywhere.
+    fn refill_current(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        loop {
+            if let Some(idx) = self.next_occupied(self.cursor) {
+                self.drain_bucket(idx);
+                return true;
+            }
+            // Window exhausted: rebase onto the earliest overflow tick.
+            let Some((&tick, _)) = self.overflow.iter().next() else {
+                return false;
+            };
+            self.base_tick = tick;
+            self.cursor = 0;
+            // Pull every overflow tick now inside the window.
+            let end = self.base_tick + WHEEL_SLOTS as u64;
+            let inside: Vec<u64> = self.overflow.range(..end).map(|(&t, _)| t).collect();
+            for t in inside {
+                let entries = self.overflow.remove(&t).unwrap();
+                let idx = (t - self.base_tick) as usize;
+                self.buckets[idx].extend(entries);
+                if !self.buckets[idx].is_empty() {
+                    self.set_occ(idx);
+                }
+            }
+        }
+    }
+
+    fn drain_bucket(&mut self, idx: usize) {
+        self.clear_occ(idx);
+        self.cursor = idx + 1;
+        self.active_tick = self.base_tick + idx as u64;
+        let mut entries = std::mem::take(&mut self.buckets[idx]);
+        // Sort once per bucket, descending so pops take from the tail.
+        // Within a bucket most keys share the timestamp, where the sort
+        // degrades gracefully to ordering by seq.
+        entries.sort_unstable_by(|a, b| b.key().partial_cmp(&a.key()).unwrap());
+        self.current = entries;
+    }
+}
+
+impl<M> EventQueue<M> for TimerWheel<M> {
+    type Id = WheelId;
+
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) -> WheelId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let tick = tick_of(time);
+        // Only timers are cancellable (the engine reclaims them when their
+        // node departs); everything else keeps its payload inline.
+        let (id, payload) = if matches!(kind, EventKind::Timer { .. }) {
+            let id = self.park(kind);
+            (id, Payload::Parked(id))
+        } else {
+            (WheelId::NONE, Payload::Inline(kind))
+        };
+        self.live += 1;
+        self.file(tick, Entry { time, seq, payload });
+        id
+    }
+
+    fn cancel(&mut self, id: WheelId) -> bool {
+        if id == WheelId::NONE {
+            return false;
+        }
+        let Some(s) = self.slab.get_mut(id.slot as usize) else {
+            return false;
+        };
+        if s.gen != id.gen || s.kind.is_none() {
+            return false;
+        }
+        // Reclaim payload and slot now; the generation bump makes the
+        // residual bucket entry recognizably dead, so the slot can be
+        // handed out again immediately without the stale entry ever
+        // resurrecting it.
+        s.kind = None;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        self.dead += 1;
+        true
+    }
+
+    fn pop(&mut self) -> Option<(WheelId, Event<M>)> {
+        loop {
+            while let Some(e) = self.current.pop() {
+                if let Some(out) = self.unpark(e) {
+                    return Some(out);
+                }
+            }
+            if !self.refill_current() {
+                return None;
+            }
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            while let Some(e) = self.current.last() {
+                if self.entry_live(e) {
+                    return Some(e.time);
+                }
+                self.current.pop();
+                self.dead -= 1;
+            }
+            if !self.refill_current() {
+                return None;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn dead_refs(&self) -> usize {
+        self.dead
     }
 }
 
@@ -164,78 +617,138 @@ impl<M> EventQueue<M> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        q.push(
-            3.0,
-            EventKind::Timer {
-                node: NodeId(0),
-                token: 3,
-                epoch: 0,
-            },
-        );
-        q.push(
-            1.0,
-            EventKind::Timer {
-                node: NodeId(0),
-                token: 1,
-                epoch: 0,
-            },
-        );
-        q.push(
-            2.0,
-            EventKind::Timer {
-                node: NodeId(0),
-                token: 2,
-                epoch: 0,
-            },
-        );
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
+    fn timer(token: u64) -> EventKind<u32> {
+        EventKind::Timer {
+            node: NodeId(0),
+            token,
+            epoch: 0,
+        }
+    }
+
+    fn drain_tokens<Q: EventQueue<u32>>(q: &mut Q) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e.kind {
                 EventKind::Timer { token, .. } => token,
                 _ => unreachable!(),
             })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+            .collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        fn check<Q: EventQueue<u32> + Default>() {
+            let mut q = Q::default();
+            q.push(3.0, timer(3));
+            q.push(1.0, timer(1));
+            q.push(2.0, timer(2));
+            assert_eq!(drain_tokens(&mut q), vec![1, 2, 3]);
+        }
+        check::<BinaryHeapQueue<u32>>();
+        check::<TimerWheel<u32>>();
     }
 
     #[test]
     fn equal_times_fifo_by_sequence() {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        for token in 0..10 {
-            q.push(
-                5.0,
-                EventKind::Timer {
-                    node: NodeId(0),
-                    token,
-                    epoch: 0,
-                },
-            );
+        fn check<Q: EventQueue<u32> + Default>() {
+            let mut q = Q::default();
+            for token in 0..10 {
+                q.push(5.0, timer(token));
+            }
+            assert_eq!(drain_tokens(&mut q), (0..10).collect::<Vec<_>>());
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        check::<BinaryHeapQueue<u32>>();
+        check::<TimerWheel<u32>>();
     }
 
     #[test]
     fn len_and_empty() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(q.is_empty());
-        q.push(
-            0.0,
-            EventKind::Timer {
-                node: NodeId(1),
-                token: 0,
-                epoch: 0,
-            },
-        );
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
+        fn check<Q: EventQueue<u32> + Default>() {
+            let mut q = Q::default();
+            assert!(q.is_empty());
+            q.push(0.0, timer(0));
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.peek_time(), Some(0.0));
+            q.pop();
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+        }
+        check::<BinaryHeapQueue<u32>>();
+        check::<TimerWheel<u32>>();
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        fn check<Q: EventQueue<u32> + Default>() {
+            let mut q = Q::default();
+            q.push(1.0, timer(1));
+            q.push(10.0, timer(10));
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(e.time, 1.0);
+            // Push between the popped time and the remaining event — and
+            // one at exactly the popped time (same tick as the active one).
+            q.push(5.0, timer(5));
+            q.push(1.0, timer(2));
+            assert_eq!(drain_tokens(&mut q), vec![2, 5, 10]);
+        }
+        check::<BinaryHeapQueue<u32>>();
+        check::<TimerWheel<u32>>();
+    }
+
+    #[test]
+    fn cancel_reclaims_pending_events() {
+        fn check<Q: EventQueue<u32> + Default>() {
+            let mut q = Q::default();
+            let a = q.push(1.0, timer(1));
+            let b = q.push(2.0, timer(2));
+            let _c = q.push(3.0, timer(3));
+            assert_eq!(q.len(), 3);
+            assert!(q.cancel(b));
+            assert!(!q.cancel(b), "double cancel must be a no-op");
+            assert_eq!(q.len(), 2);
+            let (popped_a, e) = q.pop().unwrap();
+            assert_eq!(e.time, 1.0);
+            assert_eq!(popped_a, a);
+            assert!(!q.cancel(a), "cancelling a fired event must fail");
+            assert_eq!(drain_tokens(&mut q), vec![3]);
+            assert_eq!(q.dead_refs(), 0, "drain must reclaim residue");
+        }
+        check::<BinaryHeapQueue<u32>>();
+        check::<TimerWheel<u32>>();
+    }
+
+    #[test]
+    fn wheel_slot_not_reused_while_reference_pending() {
+        let mut q: TimerWheel<u32> = TimerWheel::new();
+        let a = q.push(5.0, timer(1));
+        assert!(q.cancel(a));
+        assert_eq!(q.dead_refs(), 1);
+        // New pushes must not resurrect the cancelled slot.
+        for i in 0..4 {
+            q.push(6.0 + i as f64, timer(10 + i));
+        }
+        assert_eq!(drain_tokens(&mut q), vec![10, 11, 12, 13]);
+        assert_eq!(q.dead_refs(), 0);
+    }
+
+    #[test]
+    fn far_future_events_go_through_overflow() {
+        let mut q: TimerWheel<u32> = TimerWheel::new();
+        // Far beyond the 128-time-unit window, out of order.
+        q.push(5000.0, timer(3));
+        q.push(0.5, timer(1));
+        q.push(1000.0, timer(2));
+        q.push(100_000.0, timer(4));
+        assert_eq!(drain_tokens(&mut q), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_ties_stay_fifo() {
+        let mut q: TimerWheel<u32> = TimerWheel::new();
+        for token in 0..8 {
+            q.push(9999.25, timer(token));
+        }
+        q.push(9999.25 - 500.0, timer(100));
+        let order = drain_tokens(&mut q);
+        assert_eq!(order, vec![100, 0, 1, 2, 3, 4, 5, 6, 7]);
     }
 }

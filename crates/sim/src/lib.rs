@@ -68,7 +68,7 @@ pub mod stats;
 
 pub use context::Context;
 pub use engine::{Engine, RunReport};
-pub use event::{SimTime, TopologyEvent};
+pub use event::{BinaryHeapQueue, EventQueue, SimTime, TimerWheel, TopologyEvent};
 pub use rng::seed_for;
 pub use stats::MessageStats;
 

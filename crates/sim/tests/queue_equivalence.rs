@@ -1,0 +1,96 @@
+//! The timer wheel's contract: pop order identical to the reference
+//! `BinaryHeap` queue — `(time, seq)`, FIFO on timestamp ties — on
+//! arbitrary interleavings of pushes, pops, peeks and cancellations.
+
+use disco_graph::NodeId;
+use disco_sim::event::{BinaryHeapQueue, Event, EventKind, EventQueue, TimerWheel};
+use disco_sim::rng::rng_for;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn timer(token: u64) -> EventKind<u32> {
+    EventKind::Timer {
+        node: NodeId((token % 7) as usize),
+        token,
+        epoch: 0,
+    }
+}
+
+fn key(e: &Event<u32>) -> (f64, u64, u64) {
+    let token = match e.kind {
+        EventKind::Timer { token, .. } => token,
+        _ => unreachable!("stream pushes timers only"),
+    };
+    (e.time, e.seq, token)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 0 })]
+
+    /// Drive both queues through the same random schedule and require
+    /// identical observable behavior at every step.
+    fn wheel_matches_heap_ordering(seed in 0u64..1_000_000) {
+        let mut rng = rng_for(seed, 0x9e9e, 0);
+        let mut wheel: TimerWheel<u32> = TimerWheel::new();
+        let mut heap: BinaryHeapQueue<u32> = BinaryHeapQueue::new();
+        let mut now = 0.0f64;
+        let mut next_token = 0u64;
+        // Live handles, kept in push order so cancels hit both queues'
+        // view of the same event.
+        let mut handles = Vec::new();
+        for _ in 0..500 {
+            match rng.gen_range(0..10u32) {
+                // Push (with a bias): delays mix exact ties, sub-tick
+                // fractions, whole ticks, and far-future overflow times.
+                0..=5 => {
+                    let delay = match rng.gen_range(0..5u32) {
+                        0 => 0.0,
+                        1 => rng.gen_range(0..1000u64) as f64 / 256.0,
+                        2 => rng.gen_range(0..50u64) as f64,
+                        3 => 0.01,
+                        _ => 100.0 + rng.gen_range(0..100_000u64) as f64,
+                    };
+                    let t = next_token;
+                    next_token += 1;
+                    let w = wheel.push(now + delay, timer(t));
+                    let h = heap.push(now + delay, timer(t));
+                    handles.push((w, h));
+                }
+                6 | 7 => {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some((_, ea)), Some((_, eb))) => {
+                            prop_assert_eq!(key(&ea), key(&eb));
+                            now = ea.time;
+                        }
+                        (a, b) => {
+                            prop_assert!(false, "pop divergence: {} vs {}", a.is_some(), b.is_some())
+                        }
+                    }
+                }
+                8 => {
+                    if !handles.is_empty() {
+                        let i = rng.gen_range(0..handles.len());
+                        let (w, h) = handles.swap_remove(i);
+                        prop_assert_eq!(wheel.cancel(w), heap.cancel(h));
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain to empty: the full remaining order must agree.
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some((_, ea)), Some((_, eb))) => prop_assert_eq!(key(&ea), key(&eb)),
+                (a, b) => prop_assert!(false, "drain divergence: {} vs {}", a.is_some(), b.is_some()),
+            }
+        }
+        prop_assert_eq!(wheel.dead_refs(), 0, "drained wheel must hold no residue");
+    }
+}
