@@ -9,12 +9,28 @@
 //! Run with: `cargo run --release -p disco-bench --bin exp_churn`
 //! (defaults: 512 nodes, seed 1).
 
+//! Pass `--forgetful` to run the path-vector layer with forgetful
+//! eviction (`DiscoConfig::forgetful_dynamic`); the summary then carries a
+//! `forgetful=on` marker and is locked by its own golden file.
+
 use disco_bench::churn::{churn_experiment, ChurnParams};
 use disco_bench::CommonArgs;
 
 fn main() {
-    let args = CommonArgs::parse(512);
-    let params = ChurnParams::sized(args.nodes, args.seed);
+    let mut forgetful = false;
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--forgetful" {
+                forgetful = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let args = CommonArgs::parse_from(rest, 512);
+    let params = ChurnParams::sized(args.nodes, args.seed).with_forgetful(forgetful);
     let outcome = churn_experiment(&params);
     print!("{}", outcome.summary(&params));
 }

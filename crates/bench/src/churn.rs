@@ -35,6 +35,10 @@ pub struct ChurnParams {
     pub probes: usize,
     /// Sampled (source, destination) pairs per probe.
     pub pairs_per_probe: usize,
+    /// Run the path-vector layer with forgetful eviction
+    /// (`DiscoConfig::forgetful_dynamic`): bounded per-destination
+    /// candidate sets plus route-refresh re-solicitation.
+    pub forgetful: bool,
 }
 
 impl ChurnParams {
@@ -48,7 +52,14 @@ impl ChurnParams {
             horizon: 2000.0,
             probes: 8,
             pairs_per_probe: 128,
+            forgetful: false,
         }
+    }
+
+    /// Builder-style: toggle forgetful eviction in the path-vector RIB.
+    pub fn with_forgetful(mut self, forgetful: bool) -> Self {
+        self.forgetful = forgetful;
+        self
     }
 }
 
@@ -93,14 +104,23 @@ impl ChurnOutcome {
     /// Render the deterministic summary printed by `exp_churn`.
     pub fn summary(&self, params: &ChurnParams) -> String {
         let mut out = String::new();
+        // The forgetful marker is appended only when the knob is on, so
+        // default-config output stays byte-identical to the pre-forgetful
+        // golden.
+        let forgetful = if params.forgetful {
+            " forgetful=on"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
-            "exp_churn: n={} seed={} leave_rate={} mean_downtime={} horizon={}",
+            "exp_churn: n={} seed={} leave_rate={} mean_downtime={} horizon={}{}",
             params.nodes,
             params.seed,
             params.leave_rate_per_node,
             params.mean_downtime,
-            params.horizon
+            params.horizon,
+            forgetful
         );
         let _ = writeln!(
             out,
@@ -137,7 +157,7 @@ impl ChurnOutcome {
 pub fn churn_experiment(params: &ChurnParams) -> ChurnOutcome {
     let n = params.nodes;
     let graph = generators::gnm_average_degree(n, 8.0, params.seed);
-    let cfg = DiscoConfig::seeded(params.seed);
+    let cfg = DiscoConfig::seeded(params.seed).with_forgetful_dynamic(params.forgetful);
     let landmarks = select_landmarks(n, &cfg);
     let lm_set: HashSet<NodeId> = landmarks.iter().copied().collect();
 

@@ -1,0 +1,429 @@
+//! The `exp_memory` workload: control-state memory under churn, charted
+//! against the paper's `Θ(√(n log n))` bound (§4.2, forgetful routing).
+//!
+//! One *leg* runs the distributed Disco protocol to convergence, applies a
+//! Poisson churn schedule, probes availability at fixed times, and then
+//! meters per-node control state: path-vector candidates (the Adj-RIB-In,
+//! `exp_scale`'s memory wall), RIB bytes, interned-path arena cells, and
+//! the process's peak RSS (`VmHWM`). Every protocol-visible number is a
+//! pure function of the parameters; only wall-clock and RSS vary.
+//!
+//! Peak RSS is a *process-wide high-water mark*, so comparing legs in one
+//! process would let the first leg's peak mask the second's. The
+//! `exp_memory` binary therefore re-executes itself (`--leg`) so each leg
+//! owns a fresh address space; [`run_leg`] is the in-process form used by
+//! tests and the `--smoke` gate, where candidate counts — not RSS — are
+//! the gated quantity.
+
+use disco_core::config::DiscoConfig;
+use disco_core::landmark::select_landmarks;
+use disco_core::protocol::{DiscoProtocol, PhaseTimers};
+use disco_dynamics::models::PoissonChurn;
+use disco_dynamics::probe::{disco_first_packet_route, probe, sample_live_pairs};
+use disco_graph::{generators, NodeId, PathArena};
+use disco_sim::Engine;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Parameters of one `exp_memory` leg.
+#[derive(Debug, Clone)]
+pub struct MemoryParams {
+    /// Network size.
+    pub n: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Per-node leave rate during the churn window.
+    pub leave_rate_per_node: f64,
+    /// Mean downtime before rejoin.
+    pub mean_downtime: f64,
+    /// Length of the churn window.
+    pub horizon: f64,
+    /// Availability probes spread over the window.
+    pub probes: usize,
+    /// Sampled (source, destination) pairs per probe.
+    pub pairs_per_probe: usize,
+    /// Run with forgetful eviction (`DiscoConfig::forgetful_dynamic`).
+    pub forgetful: bool,
+    /// Alternate budget when forgetful.
+    pub alternates: usize,
+}
+
+impl MemoryParams {
+    /// Defaults at one grid point. The horizon is shorter than
+    /// `exp_churn`'s (the sweep multiplies legs) but long enough for
+    /// hundreds of topology events at the default rate and n ≥ 1k.
+    pub fn grid_point(n: usize, seed: u64, leave_rate: f64, forgetful: bool) -> Self {
+        MemoryParams {
+            n,
+            seed,
+            leave_rate_per_node: leave_rate,
+            mean_downtime: 150.0,
+            horizon: 500.0,
+            probes: 4,
+            pairs_per_probe: 64,
+            forgetful,
+            alternates: 2,
+        }
+    }
+}
+
+/// Measurements of one `exp_memory` leg.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryResult {
+    /// Network size.
+    pub n: usize,
+    /// Leave rate of this grid point.
+    pub leave_rate: f64,
+    /// Whether forgetful eviction was on.
+    pub forgetful: bool,
+    /// Availability over the in-churn probes.
+    pub availability: f64,
+    /// Availability after the network quiesced.
+    pub final_availability: f64,
+    /// Mean path-vector candidates per live node at the end of the run.
+    pub cand_mean: f64,
+    /// Maximum candidates at any live node.
+    pub cand_max: usize,
+    /// Mean Adj-RIB-In bytes per live node (store only; paths are arena
+    /// cells).
+    pub rib_bytes_mean: f64,
+    /// Mean interned-path nodes referenced per live node's RIB.
+    pub path_nodes_mean: f64,
+    /// Peak live path-arena cells over the run.
+    pub arena_peak_cells: usize,
+    /// Live path-arena cells at the end.
+    pub arena_live_cells: usize,
+    /// Arena capacity cells released by `PathArena::shrink` afterwards
+    /// (post-churn compaction yield).
+    pub arena_shrunk_cells: usize,
+    /// Control messages per node spent on repair during the window.
+    pub repair_msgs_per_node: f64,
+    /// Route-refresh requests flooded (forgetful re-solicitation).
+    pub refreshes_sent: u64,
+    /// Candidates evicted by the forgetful policy.
+    pub evictions: u64,
+    /// Topology events applied.
+    pub topology_events: u64,
+    /// Peak RSS (`VmHWM`) of the *churn phase* — the watermark is reset
+    /// after initial convergence (see [`reset_peak_rss`]); 0 where
+    /// unreadable.
+    pub peak_rss_bytes: u64,
+    /// Peak RSS of the boot phase (graph + initial convergence flood),
+    /// identical workload in both RIB modes.
+    pub boot_rss_bytes: u64,
+    /// Wall time of the whole leg.
+    pub wall_secs: f64,
+    /// Whether the run quiesced.
+    pub quiesced: bool,
+}
+
+/// `√(n ln n)` — the paper's per-node state scale, printed next to every
+/// grid row so the sweep charts candidates/node against it.
+pub fn sqrt_n_log_n(n: usize) -> f64 {
+    let n = n.max(2) as f64;
+    (n * n.ln()).sqrt()
+}
+
+/// The configured candidates-per-node bound the smoke gate asserts:
+/// selected + alternates for each of the `Θ(√(n log n))` table-resident
+/// destinations (vicinity + landmarks ≈ 2√(n ln n)), plus one retained
+/// candidate for each destination a neighbor exports that the table
+/// rejects — bounded by the same scale, since neighbors only export their
+/// own `Θ(√(n log n))` tables and adjacent vicinities overlap heavily.
+/// Measured across n ∈ {192..4096}: 6.6–7.6 × √(n ln n), flat in n; the
+/// constant carries that with ~30% headroom.
+pub fn candidate_bound(n: usize, alternates: usize) -> f64 {
+    (8.0 + alternates as f64) * sqrt_n_log_n(n)
+}
+
+/// Reset the kernel's peak-RSS watermark (`VmHWM`) to the current RSS
+/// (`echo 5 > /proc/self/clear_refs`). `run_leg` does this right after
+/// initial convergence, so the reported peak reflects the *churn phase* —
+/// retained control state plus repair transients — instead of being
+/// masked by the one-time boot flood, which peaks higher and identically
+/// in both RIB modes. Best-effort: unsupported kernels keep the boot
+/// peak.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Read this process's peak resident set size (`VmHWM`) in bytes.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Run one leg in-process. Protocol-visible numbers are deterministic in
+/// the parameters; `peak_rss_bytes` reflects everything this process did
+/// before, so sweep legs run in child processes.
+pub fn run_leg(p: &MemoryParams) -> MemoryResult {
+    let t0 = Instant::now();
+    let graph = generators::gnm_average_degree(p.n, 8.0, p.seed);
+    let cfg = DiscoConfig::seeded(p.seed)
+        .with_forgetful_dynamic(p.forgetful)
+        .with_forgetful_alternates(p.alternates);
+    let landmarks = select_landmarks(p.n, &cfg);
+    let lm_set: HashSet<NodeId> = landmarks.iter().copied().collect();
+
+    PathArena::reset_peak();
+    let mut engine = Engine::new(&graph, |v| {
+        DiscoProtocol::new(v, lm_set.contains(&v), p.n, &cfg, PhaseTimers::default())
+    });
+    let report = engine.run();
+    assert!(report.converged, "initial convergence failed");
+    let convergence_msgs = engine.stats().total_sent();
+    let boot_rss = peak_rss_bytes();
+    reset_peak_rss();
+
+    let model = PoissonChurn {
+        leave_rate_per_node: p.leave_rate_per_node,
+        mean_downtime: p.mean_downtime,
+        horizon: p.horizon,
+        ..PoissonChurn::default()
+    };
+    let schedule = model.compile(&graph, p.seed);
+    let start = engine.now();
+    schedule.apply_to(&mut engine);
+
+    let mut routable_total = 0usize;
+    let mut delivered_total = 0usize;
+    for i in 1..=p.probes {
+        let t = start + p.horizon * i as f64 / p.probes as f64;
+        engine.run_to(t);
+        let pairs = sample_live_pairs(&engine, p.pairs_per_probe, p.seed ^ i as u64);
+        let pr = probe(&engine, &pairs, disco_first_packet_route);
+        routable_total += pr.routable;
+        delivered_total += pr.delivered;
+    }
+    let availability = if routable_total == 0 {
+        1.0
+    } else {
+        delivered_total as f64 / routable_total as f64
+    };
+
+    let quiesced = engine.run_until(|_| false);
+    let pairs = sample_live_pairs(&engine, p.pairs_per_probe, p.seed ^ 0xf17a1);
+    let pr = probe(&engine, &pairs, disco_first_packet_route);
+    let final_availability = pr.availability();
+
+    // Control-state gauges over the live nodes.
+    let mut cand_total = 0usize;
+    let mut cand_max = 0usize;
+    let mut rib_bytes = 0usize;
+    let mut path_nodes = 0usize;
+    let mut refreshes = 0u64;
+    let mut evictions = 0u64;
+    let mut live = 0usize;
+    for v in engine.active_nodes().collect::<Vec<_>>() {
+        let node = &engine.nodes()[v.0];
+        let st = node.pv.rib_stats();
+        cand_total += st.candidates;
+        cand_max = cand_max.max(st.candidates);
+        rib_bytes += st.approx_bytes;
+        path_nodes += st.path_nodes;
+        refreshes += node.pv.refreshes_sent();
+        evictions += st.evictions;
+        live += 1;
+    }
+    let arena = PathArena::stats();
+    let live_f = live.max(1) as f64;
+    let repair_msgs_per_node = (engine.stats().total_sent() - convergence_msgs) as f64 / p.n as f64;
+    let topology_events = engine.topology_events();
+    // Post-churn compaction: drop the run's state, then let the arena
+    // release the capacity the churn peak left free-listed.
+    drop(engine);
+    let arena_shrunk_cells = PathArena::shrink();
+
+    MemoryResult {
+        n: p.n,
+        leave_rate: p.leave_rate_per_node,
+        forgetful: p.forgetful,
+        availability,
+        final_availability,
+        cand_mean: cand_total as f64 / live_f,
+        cand_max,
+        rib_bytes_mean: rib_bytes as f64 / live_f,
+        path_nodes_mean: path_nodes as f64 / live_f,
+        arena_peak_cells: arena.peak_live_cells,
+        arena_live_cells: arena.live_cells,
+        arena_shrunk_cells,
+        repair_msgs_per_node,
+        refreshes_sent: refreshes,
+        evictions,
+        topology_events,
+        peak_rss_bytes: peak_rss_bytes(),
+        boot_rss_bytes: boot_rss,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        quiesced,
+    }
+}
+
+impl MemoryResult {
+    /// Render as one `key=value` line (the child → parent protocol of the
+    /// sweep binary; the parent renders JSON).
+    pub fn to_kv_line(&self) -> String {
+        format!(
+            "MEMLEG n={} rate={} forgetful={} availability={:.4} final_availability={:.4} \
+             cand_mean={:.1} cand_max={} rib_bytes_mean={:.0} path_nodes_mean={:.0} \
+             arena_peak_cells={} arena_live_cells={} arena_shrunk_cells={} \
+             repair_msgs_per_node={:.1} refreshes_sent={} evictions={} topology_events={} \
+             peak_rss_bytes={} boot_rss_bytes={} wall_secs={:.2} quiesced={}",
+            self.n,
+            self.leave_rate,
+            self.forgetful as u8,
+            self.availability,
+            self.final_availability,
+            self.cand_mean,
+            self.cand_max,
+            self.rib_bytes_mean,
+            self.path_nodes_mean,
+            self.arena_peak_cells,
+            self.arena_live_cells,
+            self.arena_shrunk_cells,
+            self.repair_msgs_per_node,
+            self.refreshes_sent,
+            self.evictions,
+            self.topology_events,
+            self.peak_rss_bytes,
+            self.boot_rss_bytes,
+            self.wall_secs,
+            self.quiesced as u8,
+        )
+    }
+
+    /// Parse a [`Self::to_kv_line`] line (child-process output).
+    pub fn from_kv_line(line: &str) -> Option<MemoryResult> {
+        let line = line.strip_prefix("MEMLEG ")?;
+        let mut r = MemoryResult::default();
+        for kv in line.split_whitespace() {
+            let (k, v) = kv.split_once('=')?;
+            match k {
+                "n" => r.n = v.parse().ok()?,
+                "rate" => r.leave_rate = v.parse().ok()?,
+                "forgetful" => r.forgetful = v == "1",
+                "availability" => r.availability = v.parse().ok()?,
+                "final_availability" => r.final_availability = v.parse().ok()?,
+                "cand_mean" => r.cand_mean = v.parse().ok()?,
+                "cand_max" => r.cand_max = v.parse().ok()?,
+                "rib_bytes_mean" => r.rib_bytes_mean = v.parse().ok()?,
+                "path_nodes_mean" => r.path_nodes_mean = v.parse().ok()?,
+                "arena_peak_cells" => r.arena_peak_cells = v.parse().ok()?,
+                "arena_live_cells" => r.arena_live_cells = v.parse().ok()?,
+                "arena_shrunk_cells" => r.arena_shrunk_cells = v.parse().ok()?,
+                "repair_msgs_per_node" => r.repair_msgs_per_node = v.parse().ok()?,
+                "refreshes_sent" => r.refreshes_sent = v.parse().ok()?,
+                "evictions" => r.evictions = v.parse().ok()?,
+                "topology_events" => r.topology_events = v.parse().ok()?,
+                "peak_rss_bytes" => r.peak_rss_bytes = v.parse().ok()?,
+                "boot_rss_bytes" => r.boot_rss_bytes = v.parse().ok()?,
+                "wall_secs" => r.wall_secs = v.parse().ok()?,
+                "quiesced" => r.quiesced = v == "1",
+                _ => {}
+            }
+        }
+        Some(r)
+    }
+
+    /// One JSON object literal for the sweep report (hand-rolled; the
+    /// serde stand-in does not serialize).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"n\": {}, \"leave_rate\": {}, \"forgetful\": {}, \
+             \"availability\": {:.4}, \"final_availability\": {:.4}, \
+             \"cand_mean\": {:.1}, \"cand_max\": {}, \"sqrt_n_log_n\": {:.1}, \
+             \"rib_bytes_mean\": {:.0}, \"path_nodes_mean\": {:.0}, \
+             \"arena_peak_cells\": {}, \"arena_live_cells\": {}, \
+             \"arena_shrunk_cells\": {}, \"repair_msgs_per_node\": {:.1}, \
+             \"refreshes_sent\": {}, \"evictions\": {}, \"topology_events\": {}, \
+             \"peak_rss_mb\": {:.1}, \"boot_rss_mb\": {:.1}, \"wall_secs\": {:.2}, \
+             \"quiesced\": {} }}",
+            self.n,
+            self.leave_rate,
+            self.forgetful,
+            self.availability,
+            self.final_availability,
+            self.cand_mean,
+            self.cand_max,
+            sqrt_n_log_n(self.n),
+            self.rib_bytes_mean,
+            self.path_nodes_mean,
+            self.arena_peak_cells,
+            self.arena_live_cells,
+            self.arena_shrunk_cells,
+            self.repair_msgs_per_node,
+            self.refreshes_sent,
+            self.evictions,
+            self.topology_events,
+            self.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            self.boot_rss_bytes as f64 / (1024.0 * 1024.0),
+            self.wall_secs,
+            self.quiesced,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny smoke of the leg itself: runs, quiesces, meters real state,
+    /// and the kv line round-trips.
+    #[test]
+    fn memory_leg_runs_and_roundtrips() {
+        let mut p = MemoryParams::grid_point(128, 3, 0.001, true);
+        p.horizon = 200.0;
+        p.probes = 2;
+        let r = run_leg(&p);
+        assert!(r.quiesced);
+        assert!(r.topology_events > 5, "expected churn");
+        assert!(r.cand_mean > 0.0 && r.cand_max > 0);
+        assert!(r.evictions > 0, "forgetful leg must evict");
+        assert!(r.availability > 0.8);
+        let parsed = MemoryResult::from_kv_line(&r.to_kv_line()).expect("kv parse");
+        assert_eq!(parsed.n, r.n);
+        assert_eq!(parsed.cand_max, r.cand_max);
+        assert_eq!(parsed.forgetful, r.forgetful);
+        assert!((parsed.availability - r.availability).abs() < 1e-3);
+        assert!(r.to_json().contains("\"sqrt_n_log_n\""));
+    }
+
+    /// Forgetful keeps strictly fewer candidates than the full RIB on the
+    /// same workload, with availability within 0.01.
+    #[test]
+    fn forgetful_leg_cuts_candidates_within_availability_budget() {
+        let mk = |forgetful| {
+            let mut p = MemoryParams::grid_point(192, 7, 0.0005, forgetful);
+            p.horizon = 200.0;
+            p.probes = 2;
+            run_leg(&p)
+        };
+        let full = mk(false);
+        let slim = mk(true);
+        assert!(
+            slim.cand_mean * 3.0 < full.cand_mean * 2.0,
+            "forgetful {:.1} vs full {:.1} candidates/node",
+            slim.cand_mean,
+            full.cand_mean
+        );
+        assert!(
+            (full.availability - slim.availability).abs() <= 0.01 + 1e-9,
+            "availability diverged: full {:.4} vs forgetful {:.4}",
+            full.availability,
+            slim.availability
+        );
+        assert!(slim.cand_mean <= candidate_bound(192, 2));
+    }
+}

@@ -12,6 +12,7 @@
 use disco_bench::churn::{churn_experiment, ChurnParams};
 
 const GOLDEN: &str = include_str!("golden/exp_churn_n192_s7.txt");
+const GOLDEN_FORGETFUL: &str = include_str!("golden/exp_churn_forgetful_n192_s7.txt");
 
 #[test]
 fn exp_churn_summary_matches_pre_refactor_golden() {
@@ -22,5 +23,22 @@ fn exp_churn_summary_matches_pre_refactor_golden() {
         summary == GOLDEN,
         "exp_churn(n=192, seed=7) diverged from the pre-refactor golden.\n\
          --- golden ---\n{GOLDEN}\n--- got ---\n{summary}"
+    );
+}
+
+/// Forgetful eviction gets its own golden (`exp_churn --forgetful`): the
+/// bounded-RIB repair dynamics are locked the same way the full-RIB
+/// baseline is, and the two goldens' availability lines document that
+/// forgetting alternates does not cost availability (0.9814 both ways at
+/// this size).
+#[test]
+fn exp_churn_forgetful_summary_matches_golden() {
+    let params = ChurnParams::sized(192, 7).with_forgetful(true);
+    let outcome = churn_experiment(&params);
+    let summary = outcome.summary(&params);
+    assert!(
+        summary == GOLDEN_FORGETFUL,
+        "exp_churn(n=192, seed=7, forgetful) diverged from its golden.\n\
+         --- golden ---\n{GOLDEN_FORGETFUL}\n--- got ---\n{summary}"
     );
 }

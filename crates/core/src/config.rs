@@ -29,6 +29,18 @@ pub struct DiscoConfig {
     /// unused neighbor announcements and brings control state down from
     /// `Θ(δ√(n log n))` to `Θ(√(n log n))`.
     pub forgetful_routing: bool,
+    /// Whether the *distributed* protocol's path-vector RIB applies the
+    /// forgetful eviction policy at runtime: each destination retains only
+    /// the selected route plus [`Self::forgetful_alternates`] failover
+    /// candidates (table-resident destinations — landmarks and vicinity
+    /// members — only; everything else keeps the selected route alone),
+    /// re-soliciting forgotten alternates with route-refresh requests when
+    /// a withdrawal needs them. Off by default: the recorded churn
+    /// baselines keep the full per-neighbor Adj-RIB-In.
+    pub forgetful_dynamic: bool,
+    /// Alternate routes retained per table-resident destination when
+    /// [`Self::forgetful_dynamic`] is on.
+    pub forgetful_alternates: usize,
     /// Number of hash functions for consistent hashing of the name
     /// resolution database over the landmarks (§4.3, §4.5: multiple hash
     /// functions reduce the load imbalance).
@@ -55,6 +67,8 @@ impl Default for DiscoConfig {
             fingers: 1,
             shortcut: ShortcutMode::NoPathKnowledge,
             forgetful_routing: true,
+            forgetful_dynamic: false,
+            forgetful_alternates: 2,
             resolution_hash_functions: 8,
             n_estimate_error: 0.0,
             dynamic_n_estimation: false,
@@ -93,6 +107,19 @@ impl DiscoConfig {
     /// protocol (synopsis gossip + parameter re-derivation).
     pub fn with_dynamic_n_estimation(mut self, enabled: bool) -> Self {
         self.dynamic_n_estimation = enabled;
+        self
+    }
+
+    /// Builder-style: enable forgetful eviction in the distributed
+    /// protocol's path-vector RIB (§4.2).
+    pub fn with_forgetful_dynamic(mut self, enabled: bool) -> Self {
+        self.forgetful_dynamic = enabled;
+        self
+    }
+
+    /// Builder-style: set the forgetful alternate budget.
+    pub fn with_forgetful_alternates(mut self, alternates: usize) -> Self {
+        self.forgetful_alternates = alternates;
         self
     }
 

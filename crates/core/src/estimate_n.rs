@@ -41,15 +41,24 @@ const ERROR_STREAM: u64 = 0x34;
 /// A Flajolet–Martin synopsis: `SKETCH_COUNT` bitmaps that can be unioned
 /// with other nodes' synopses; the union over a set of nodes estimates the
 /// set's size.
+///
+/// The FM union is *monotone* — a departed node's contribution can never
+/// leave it, so the estimate can only grow. The `epoch` counter fixes
+/// this: when the protocol observes departures it starts a new epoch, and
+/// every node restarts its union from its own sketch upon adopting the
+/// higher epoch (see `DiscoProtocol`), so only live nodes re-contribute
+/// and the estimate can *fall*. Synopses of different epochs never union.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Synopsis {
     sketches: Vec<u32>,
+    epoch: u64,
 }
 
 impl Default for Synopsis {
     fn default() -> Self {
         Synopsis {
             sketches: vec![0; SKETCH_COUNT],
+            epoch: 0,
         }
     }
 }
@@ -75,12 +84,30 @@ impl Synopsis {
             }
             *s = 1u32 << bit;
         }
-        Synopsis { sketches }
+        Synopsis { sketches, epoch: 0 }
+    }
+
+    /// The reset epoch this synopsis belongs to (0 at boot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Move this synopsis to `epoch` (adopting a newer reset round). The
+    /// sketch contents are untouched; the caller restarts them from its
+    /// own contribution first.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Union (bitwise OR) with another synopsis — the gossip merge
-    /// operation. Order- and duplicate-insensitive.
+    /// operation. Order- and duplicate-insensitive. Only meaningful for
+    /// synopses of the same epoch (the protocol filters cross-epoch
+    /// gossip before merging).
     pub fn union(&mut self, other: &Synopsis) {
+        debug_assert_eq!(
+            self.epoch, other.epoch,
+            "cross-epoch synopsis union (filter by epoch first)"
+        );
         for (a, b) in self.sketches.iter_mut().zip(&other.sketches) {
             *a |= b;
         }

@@ -66,6 +66,7 @@ pub mod overlay;
 pub mod path_vector;
 pub mod protocol;
 pub mod resolution;
+pub mod rib;
 pub mod routing;
 pub mod shortcut;
 pub mod sloppy_group;

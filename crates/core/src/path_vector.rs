@@ -37,7 +37,25 @@
 //! applies churn, failure or mobility events — the original seed
 //! implementation propagated only monotone improvements and could never
 //! un-learn a dead route.
+//!
+//! ## Forgetful routing (§4.2)
+//!
+//! The candidate store is the compact [`RibStore`]
+//! (struct-of-arrays per-neighbor slabs — see [`crate::rib`]). On top of
+//! it, [`PathVectorNode::set_forgetful_rib`] enables the paper's forgetful
+//! eviction: for each destination only the *selected* route plus a bounded
+//! alternate set is retained — destinations resident in the routing table
+//! (landmarks and vicinity members) keep `alternates` failover candidates,
+//! everything else keeps the selected route alone — cutting control state
+//! from `Θ(δ·dests)` back to the paper's `Θ(√(n log n))` bound. When a
+//! withdrawal (or link loss) forces a re-selection for a destination whose
+//! alternates were forgotten, the node *re-solicits*: a route-refresh
+//! request ([`Announcement::refresh`]) is batched onto the next export
+//! flush and flooded to the neighbors, which answer with their current
+//! route for that destination. Refreshes ride the same MRAI-style batch as
+//! withdrawals, so repair cascades stay polynomial.
 
+use crate::rib::{preferred_parts, Candidate, RibStats, RibStore};
 use disco_graph::{FxHashMap, InternedPath, NodeId, Weight};
 use disco_sim::{Context, Protocol};
 use serde::{Deserialize, Serialize};
@@ -77,7 +95,10 @@ pub enum TableLimit {
 }
 
 /// One route announcement: "I can reach `dest` over `path` at cost `dist`"
-/// — or, when `withdrawn` is set, "I no longer export a route to `dest`".
+/// — or, when `withdrawn` is set, "I no longer export a route to `dest`" —
+/// or, when `refresh` is set, "please re-send me your current route to
+/// `dest`" (forgetful routing's re-solicitation; the other fields are
+/// ignored).
 ///
 /// The path is interned ([`InternedPath`]): cloning an announcement for
 /// each neighbor is a reference-count bump, not a `Vec` copy — the
@@ -98,6 +119,11 @@ pub struct Announcement {
     /// Withdrawal flag: the announcer no longer exports a route to `dest`
     /// (the fields above describe the last exported route).
     pub withdrawn: bool,
+    /// Route-refresh request (BGP route-refresh style): the sender
+    /// forgot its alternates for `dest` and asks this neighbor to
+    /// re-announce its current route. Answered with a unicast
+    /// announcement; ignored by nodes with no route to `dest`.
+    pub refresh: bool,
 }
 
 /// A converged routing-table entry.
@@ -116,44 +142,15 @@ pub struct RouteEntry {
     pub dest_landmark_dist: Weight,
 }
 
-/// Deterministic route preference: smaller distance, then shorter path,
-/// then lexicographically smaller path.
-fn preferred_parts(
-    a_dist: Weight,
-    a_path: &InternedPath,
-    b_dist: Weight,
-    b_path: &InternedPath,
-) -> bool {
-    if a_dist + 1e-12 < b_dist {
-        return true;
-    }
-    if b_dist + 1e-12 < a_dist {
-        return false;
-    }
-    a_path.cmp_route(b_path) == std::cmp::Ordering::Less
-}
-
-/// A candidate route as held in the per-neighbor Adj-RIB-In. Identical to
-/// [`RouteEntry`] minus the next hop (implied by which neighbor's slot the
-/// candidate sits in) — candidate maps dominate control-plane memory, so
-/// every byte here is multiplied by `degree × dests × n`.
-#[derive(Debug, Clone)]
-struct Candidate {
-    dist: Weight,
-    path: InternedPath,
-    dest_is_landmark: bool,
-    dest_landmark_dist: Weight,
-}
-
-impl Candidate {
-    fn to_entry(&self, next_hop: NodeId) -> RouteEntry {
-        RouteEntry {
-            dist: self.dist,
-            next_hop,
-            path: self.path.clone(),
-            dest_is_landmark: self.dest_is_landmark,
-            dest_landmark_dist: self.dest_landmark_dist,
-        }
+/// Turn a RIB candidate into a routing-table entry via the neighbor it
+/// came from.
+fn cand_to_entry(c: &Candidate, next_hop: NodeId) -> RouteEntry {
+    RouteEntry {
+        dist: c.dist,
+        next_hop,
+        path: c.path.clone(),
+        dest_is_landmark: c.dest_is_landmark,
+        dest_landmark_dist: c.dest_landmark_dist,
     }
 }
 
@@ -170,8 +167,22 @@ pub struct PathVectorNode {
     pub table: FxHashMap<NodeId, RouteEntry>,
     /// Per-neighbor candidate routes (Adj-RIB-In): the last usable route
     /// each neighbor announced for each destination, with `dist` already
-    /// including the link weight and `path` starting at this node.
-    rib_in: FxHashMap<NodeId, FxHashMap<NodeId, Candidate>>,
+    /// including the link weight and `path` starting at this node. Stored
+    /// compactly ([`RibStore`]: per-neighbor SoA slabs over interned
+    /// destination indexes) — candidate storage dominates control-plane
+    /// memory, so every byte is multiplied by `degree × dests × n`.
+    rib: RibStore,
+    /// Forgetful routing (§4.2): when set, each destination retains only
+    /// the selected route plus this many alternates (table-resident
+    /// destinations only; everything else keeps the selected route alone).
+    /// `None` = classic full Adj-RIB-In.
+    forgetful: Option<usize>,
+    /// Destinations whose forgotten alternates must be re-solicited from
+    /// the neighbors on the next batch flush.
+    pending_refresh: BTreeSet<NodeId>,
+    /// Route-refresh requests sent / answered (repair-traffic gauges).
+    refreshes_sent: u64,
+    refreshes_answered: u64,
     /// Best candidate per destination (Loc-RIB), maintained incrementally
     /// from `rib_in` so a message costs O(degree), not O(all candidates).
     /// Mutate only through [`Self::set_best`].
@@ -234,7 +245,11 @@ impl PathVectorNode {
             is_landmark,
             limit,
             table: FxHashMap::default(),
-            rib_in: FxHashMap::default(),
+            rib: RibStore::new(),
+            forgetful: None,
+            pending_refresh: BTreeSet::new(),
+            refreshes_sent: 0,
+            refreshes_answered: 0,
             best: FxHashMap::default(),
             locals: BTreeSet::new(),
             waiting: BTreeSet::new(),
@@ -296,7 +311,37 @@ impl PathVectorNode {
     /// Number of candidate routes held across all neighbors (control-plane
     /// memory, analogous to the old `knowledge` map).
     pub fn knowledge_size(&self) -> usize {
-        self.rib_in.values().map(FxHashMap::len).sum()
+        self.rib.len()
+    }
+
+    /// Enable forgetful routing (§4.2) with the given per-destination
+    /// alternate budget, or disable it with `None`. Takes effect for
+    /// subsequent updates; already-held candidates are trimmed lazily as
+    /// their destinations are touched.
+    pub fn set_forgetful_rib(&mut self, alternates: Option<usize>) {
+        self.forgetful = alternates;
+    }
+
+    /// The forgetful alternate budget, if forgetful routing is on.
+    pub fn forgetful_rib(&self) -> Option<usize> {
+        self.forgetful
+    }
+
+    /// Candidate-store gauge (per-node candidate count, path nodes and
+    /// approximate bytes) for memory experiments.
+    pub fn rib_stats(&self) -> RibStats {
+        self.rib.stats()
+    }
+
+    /// Route-refresh requests this node has flooded (forgetful routing's
+    /// re-solicitation traffic).
+    pub fn refreshes_sent(&self) -> u64 {
+        self.refreshes_sent
+    }
+
+    /// Route-refresh requests this node has answered.
+    pub fn refreshes_answered(&self) -> u64 {
+        self.refreshes_answered
     }
 
     /// Insert a table entry, keeping the `locals` / `waiting` mirrors
@@ -466,6 +511,7 @@ impl PathVectorNode {
             dest_is_landmark: e.dest_is_landmark,
             dest_landmark_dist: e.dest_landmark_dist,
             withdrawn,
+            refresh: false,
         }
     }
 
@@ -501,12 +547,10 @@ impl PathVectorNode {
         ann: &Announcement,
     ) -> (NodeId, Option<Candidate>) {
         let d = ann.dest;
-        let slot = self.rib_in.entry(from).or_default();
         // Withdrawals and routes through this node (loop prevention) make
         // the neighbor unusable for that destination.
         if ann.withdrawn || d == self.id || ann.path.contains(self.id) {
-            let was = slot.remove(&d);
-            if was.is_some_and(|w| w.dest_is_landmark) {
+            if self.rib.remove(from, d) == Some(true) {
                 self.cand_lm_adjust(d, true, false);
             }
             return (d, None);
@@ -518,8 +562,7 @@ impl PathVectorNode {
             dest_is_landmark: ann.dest_is_landmark,
             dest_landmark_dist: ann.dest_landmark_dist,
         };
-        let old = slot.insert(d, cand.clone());
-        let was_lm = old.is_some_and(|o| o.dest_is_landmark);
+        let was_lm = self.rib.insert(from, d, &cand) == Some(true);
         self.cand_lm_adjust(d, was_lm, ann.dest_is_landmark);
         (d, Some(cand))
     }
@@ -534,17 +577,7 @@ impl PathVectorNode {
         // (via the incremental counter): it is intrinsic to the
         // destination, and candidates disagree only transiently while a
         // promotion floods.
-        let mut nb_best: Option<(NodeId, &Candidate)> = None;
-        for (&nbr, routes) in &self.rib_in {
-            if let Some(r) = routes.get(&d) {
-                if nb_best
-                    .is_none_or(|(_, cur)| preferred_parts(r.dist, &r.path, cur.dist, &cur.path))
-                {
-                    nb_best = Some((nbr, r));
-                }
-            }
-        }
-        match nb_best.map(|(nbr, c)| c.to_entry(nbr)) {
+        match self.rib.best_for(d).map(|(nbr, c)| cand_to_entry(&c, nbr)) {
             None => self.set_best(d, None),
             Some(mut b) => {
                 if !self.origin_landmark_flags {
@@ -593,7 +626,7 @@ impl PathVectorNode {
                 Some(cur) => preferred_parts(cand.dist, &cand.path, cur.dist, &cur.path),
             };
             if promote {
-                let mut b = cand.to_entry(from);
+                let mut b = cand_to_entry(&cand, from);
                 if !self.origin_landmark_flags {
                     b.dest_is_landmark = self.cand_is_lm(d);
                 }
@@ -604,12 +637,62 @@ impl PathVectorNode {
         }
         if cur_hop == Some(from) {
             self.rescan_best(d);
+            // The selected route vanished with no retained alternate left.
+            // If the forgetful policy discarded candidates for this
+            // destination, a full RIB might still hold a route — re-solicit
+            // the neighbors (batched with the next flush, so refresh storms
+            // coalesce like withdrawals). Only total loss triggers this:
+            // mere worsening heals through the neighbors' ordinary change
+            // exports, and refreshing on every degradation feeds back (the
+            // answers themselves get evicted, re-arming the trigger) into
+            // a refresh storm that never quiesces.
+            if self.forgetful.is_some() && !self.best.contains_key(&d) && self.rib.take_evicted(d) {
+                self.pending_refresh.insert(d);
+            }
         } else {
             // The best route is untouched; only the OR-merged landmark
             // flag can have changed.
             self.refresh_best_flag(d);
         }
         self.apply_selection(d);
+    }
+
+    /// Trim `d`'s candidate set to the forgetful budget (no-op unless
+    /// [`Self::set_forgetful_rib`] enabled the policy): the selected route
+    /// always survives; destinations resident in the table (landmarks and
+    /// vicinity members, §4.2's exemption) keep `alternates` failover
+    /// candidates on top, everything else keeps the selected route alone.
+    fn enforce_forgetful(&mut self, d: NodeId) {
+        let Some(alternates) = self.forgetful else {
+            return;
+        };
+        if d == self.id {
+            return;
+        }
+        let keep = if self.table.contains_key(&d) {
+            1 + alternates
+        } else {
+            1
+        };
+        let keep_hop = self.best.get(&d).map(|e| e.next_hop);
+        let removed = self.rib.enforce(d, keep, keep_hop);
+        if removed.is_empty() {
+            return;
+        }
+        let mut lm_removed = false;
+        for (_, was_lm) in removed {
+            if was_lm {
+                self.cand_lm_adjust(d, true, false);
+                lm_removed = true;
+            }
+        }
+        // Evicting the last landmark-flagged candidate can clear the
+        // OR-merged flag; re-derive the entry so the table doesn't keep a
+        // stale flag alive.
+        if lm_removed && !self.origin_landmark_flags {
+            self.refresh_best_flag(d);
+            self.apply_selection(d);
+        }
     }
 
     /// Whether `e` qualifies for the table under the Cluster rule
@@ -777,9 +860,10 @@ impl PathVectorNode {
         self.arm_batch(ctx);
     }
 
-    /// Arm the batch flush timer if there are unexported changes.
+    /// Arm the batch flush timer if there are unexported changes or
+    /// pending route-refresh requests.
     fn arm_batch(&mut self, ctx: &mut Context<'_, Announcement>) {
-        if !self.pending.is_empty() && !self.batch_armed {
+        if (!self.pending.is_empty() || !self.pending_refresh.is_empty()) && !self.batch_armed {
             self.batch_armed = true;
             ctx.set_timer(self.batch_delay, BATCH_TIMER);
         }
@@ -803,7 +887,27 @@ impl PathVectorNode {
                     dest_is_landmark: false,
                     dest_landmark_dist: Weight::INFINITY,
                     withdrawn: true,
+                    refresh: false,
                 },
+            };
+            let size = announcement_bytes(&ann);
+            for nb in graph.neighbors(me) {
+                ctx.send_sized(nb.node, ann.clone(), size);
+            }
+        }
+        // Re-solicit forgotten alternates (forgetful routing): one
+        // refresh request per destination, flooded to all neighbors.
+        let refresh = std::mem::take(&mut self.pending_refresh);
+        for d in refresh {
+            self.refreshes_sent += 1;
+            let ann = Announcement {
+                dest: d,
+                dist: Weight::INFINITY,
+                path: InternedPath::from_slice(&[self.id, d]),
+                dest_is_landmark: false,
+                dest_landmark_dist: Weight::INFINITY,
+                withdrawn: false,
+                refresh: true,
             };
             let size = announcement_bytes(&ann);
             for nb in graph.neighbors(me) {
@@ -857,8 +961,22 @@ impl Protocol for PathVectorNode {
         let Some(w) = ctx.link_weight(from) else {
             return; // link died between send and delivery
         };
+        if msg.refresh {
+            // Route-refresh request: answer with the current export state
+            // for that destination, unicast to the requester. Nothing to
+            // say if we hold no route (the requester's slot for us is
+            // already empty).
+            if let Some(e) = self.table.get(&msg.dest) {
+                self.refreshes_answered += 1;
+                let ann = Self::export(msg.dest, e, false);
+                let size = announcement_bytes(&ann);
+                ctx.send_sized(from, ann, size);
+            }
+            return;
+        }
         let (d, removed) = self.absorb(from, w, &msg);
         self.update_dest(d, from, removed);
+        self.enforce_forgetful(d);
         self.arm_batch(ctx);
     }
 
@@ -878,17 +996,14 @@ impl Protocol for PathVectorNode {
 
     fn on_neighbor_down(&mut self, peer: NodeId, ctx: &mut Context<'_, Announcement>) {
         // Every candidate learned from that neighbor is gone; re-derive each
-        // affected destination and let the difference (withdrawals
+        // affected destination (already sorted by destination id —
+        // deterministic order) and let the difference (withdrawals
         // included) propagate on the next flush.
-        let Some(lost) = self.rib_in.remove(&peer) else {
+        let lost = self.rib.remove_neighbor(peer);
+        if lost.is_empty() {
             return;
-        };
-        let mut dests: Vec<(NodeId, bool)> = lost
-            .into_iter()
-            .map(|(d, c)| (d, c.dest_is_landmark))
-            .collect();
-        dests.sort_unstable_by_key(|&(d, _)| d); // deterministic order
-        for (d, was_lm) in dests {
+        }
+        for (d, was_lm) in lost {
             if was_lm {
                 self.cand_lm_adjust(d, true, false);
             }
@@ -1052,6 +1167,7 @@ mod tests {
             dest_is_landmark: false,
             dest_landmark_dist: f64::INFINITY,
             withdrawn: false,
+            refresh: false,
         };
         let mut b = a.clone();
         b.path = InternedPath::from_slice(&[NodeId(0), NodeId(1), NodeId(2)]);
@@ -1264,6 +1380,140 @@ mod tests {
         // own-landmark distance is no longer 0 (no other landmark exists).
         assert!(!nodes[2].table[&lm].dest_is_landmark);
         assert!(nodes[2].own_landmark_distance().is_infinite());
+    }
+
+    // ---- forgetful routing (§4.2) ----
+
+    /// Forgetful eviction must not change what converges into the routing
+    /// table — only how many candidates back it up.
+    #[test]
+    fn forgetful_converges_to_identical_tables_with_fewer_candidates() {
+        let g = generators::gnm_connected(96, 384, 19);
+        let cfg = DiscoConfig::seeded(19);
+        let landmarks = select_landmarks(96, &cfg);
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let run = |alternates: Option<usize>| {
+            let mut engine = Engine::new(&g, |v| {
+                let mut pv = PathVectorNode::new(
+                    v,
+                    lm_set.contains(&v),
+                    TableLimit::VicinityCap { size: 15 },
+                );
+                pv.set_forgetful_rib(alternates);
+                pv
+            });
+            assert!(engine.run().converged);
+            engine.nodes().to_vec()
+        };
+        let full = run(None);
+        let forgetful = run(Some(1));
+        let (mut full_cands, mut slim_cands) = (0usize, 0usize);
+        for v in g.nodes() {
+            let (a, b) = (&full[v.0], &forgetful[v.0]);
+            assert_eq!(a.table.len(), b.table.len(), "table size differs at {v}");
+            for (d, e) in &a.table {
+                let f = b.table.get(d).expect("same destinations");
+                assert_eq!(e, f, "{v}→{d} entry differs");
+            }
+            full_cands += a.knowledge_size();
+            slim_cands += b.knowledge_size();
+        }
+        assert!(
+            slim_cands * 3 < full_cands * 2,
+            "forgetful kept {slim_cands} of {full_cands} candidates (expected < 2/3)"
+        );
+        // The policy respects its budget: at most selected + 1 alternate
+        // per table-resident destination, selected alone for the rest (of
+        // which there are at most n).
+        for v in g.nodes() {
+            let node = &forgetful[v.0];
+            assert!(
+                node.rib_stats().candidates <= node.table.len() * 2 + 96,
+                "{v} over budget"
+            );
+        }
+    }
+
+    /// Re-solicitation: after the only retained candidate dies with the
+    /// link, a route-refresh request recovers the (previously evicted)
+    /// alternate route.
+    #[test]
+    fn forgetful_refresh_recovers_evicted_alternate() {
+        let g = generators::ring(4); // 0-1-2-3-0
+        let mut engine = Engine::new(&g, |v| {
+            let mut pv = PathVectorNode::new(v, v == NodeId(0), TableLimit::Unlimited);
+            pv.set_forgetful_rib(Some(0)); // selected route only
+            pv
+        });
+        assert!(engine.run().converged);
+        // Node 0 kept only the direct candidate for dest 1; the alternate
+        // through 3 was evicted.
+        assert!(engine.nodes()[0].rib_stats().evictions > 0);
+        engine.schedule_topology(
+            engine.now() + 5.0,
+            TopologyEvent::LinkDown {
+                u: NodeId(0),
+                v: NodeId(1),
+            },
+        );
+        assert!(engine.run_until(|_| false), "repair must quiesce");
+        let node = &engine.nodes()[0];
+        let e = node.table.get(&NodeId(1)).expect("route re-solicited");
+        assert_eq!(
+            e.path.to_vec(),
+            vec![NodeId(0), NodeId(3), NodeId(2), NodeId(1)]
+        );
+        assert!(
+            node.refreshes_sent() > 0,
+            "recovery must have used a route-refresh request"
+        );
+        let answered: u64 = engine.nodes().iter().map(|n| n.refreshes_answered()).sum();
+        assert!(answered > 0);
+    }
+
+    /// Under churn with the vicinity cap, forgetful nodes keep repairing
+    /// correctly: distances stay shortest-path after quiescence.
+    #[test]
+    fn forgetful_repairs_track_graph_under_churn() {
+        let g = generators::gnm_connected(48, 192, 23);
+        let mut engine = Engine::new(&g, |v| {
+            let mut pv = PathVectorNode::new(v, v == NodeId(0), TableLimit::Unlimited);
+            pv.set_forgetful_rib(Some(1));
+            pv
+        });
+        assert!(engine.run().converged);
+        let t0 = engine.now() + 10.0;
+        let events = vec![
+            TopologyEvent::NodeLeave { node: NodeId(30) },
+            TopologyEvent::LinkDown {
+                u: NodeId(5),
+                v: g.neighbors(NodeId(5))[0].node,
+            },
+            TopologyEvent::NodeJoin {
+                node: NodeId(30),
+                links: vec![(NodeId(1), 1.0), (NodeId(2), 1.0)],
+            },
+            TopologyEvent::LinkDown {
+                u: NodeId(9),
+                v: g.neighbors(NodeId(9))[1].node,
+            },
+        ];
+        for (i, ev) in events.into_iter().enumerate() {
+            engine.schedule_topology(t0 + i as f64 * 3.0, ev);
+        }
+        assert!(engine.run_until(|_| false), "repair must quiesce");
+        let current = engine.graph();
+        for v in [NodeId(0), NodeId(5), NodeId(9), NodeId(30), NodeId(47)] {
+            let truth = dijkstra(current, v);
+            for (d, e) in &engine.nodes()[v.0].table {
+                let want = truth.distance(*d).expect("reachable");
+                assert!(
+                    (e.dist - want).abs() < 1e-9,
+                    "{v}→{d}: forgetful table {} vs dijkstra {want}",
+                    e.dist
+                );
+            }
+        }
     }
 
     #[test]

@@ -186,6 +186,30 @@ pub struct DiscoProtocol {
     /// Synopsis union for live `n`-estimation (this node's sketch merged
     /// with everything gossiped to it).
     synopsis: Synopsis,
+    /// This node's own FM sketch, kept pristine so a synopsis epoch reset
+    /// can restart the union from it (the union itself is monotone).
+    my_sketch: Synopsis,
+    /// Set when a neighbor went down: the next repair pass starts a new
+    /// synopsis epoch so departed nodes' sketch contributions age out and
+    /// the estimate of `n` can fall. Carries the epoch observed at request
+    /// time — if gossip has already moved us to a newer epoch by the time
+    /// the repair runs, that epoch was started after the departure and no
+    /// further reset is needed.
+    epoch_reset_wanted: Option<u64>,
+    /// Lower bound applied to the live estimate: set to half the previous
+    /// estimate at each epoch reset, so a reset decays the estimate at
+    /// most ×2 per epoch instead of collapsing the vicinity cap to the
+    /// own-sketch estimate (~1) while the new epoch's union is still
+    /// flooding.
+    estimate_floor: usize,
+    /// Simulation time at which this node last started or adopted a
+    /// synopsis epoch. The floor-decay chain in `do_repair` only judges an
+    /// epoch's union "too small" (and starts another halving epoch) once
+    /// the epoch is at least a repair-delay old — gossip floods in a few
+    /// time units, so by then the union has converged. Without the age
+    /// guard, repair passes firing mid-flood see a young union, bump a
+    /// fresh epoch, and the network chases its own tail forever.
+    epoch_started: f64,
     /// Landmark status under the ×2 hysteresis re-election rule; only
     /// consulted when `dynamic_n_estimation` is on.
     lm_status: LandmarkStatus,
@@ -225,9 +249,18 @@ impl DiscoProtocol {
         // and a demotion can only propagate when the flag follows the
         // selected route instead of the monotone OR-merge.
         pv.set_origin_landmark_flags(cfg.dynamic_n_estimation);
+        // Forgetful routing (§4.2): bound the per-destination candidate
+        // sets, re-soliciting evicted alternates on demand.
+        if cfg.forgetful_dynamic {
+            pv.set_forgetful_rib(Some(cfg.forgetful_alternates));
+        }
         DiscoProtocol {
             pv,
+            my_sketch: synopsis.clone(),
             synopsis,
+            epoch_reset_wanted: None,
+            estimate_floor: 0,
+            epoch_started: 0.0,
             lm_status,
             cfg: cfg.clone(),
             timers,
@@ -268,6 +301,12 @@ impl DiscoProtocol {
         &self.lm_status
     }
 
+    /// The synopsis reset epoch this node's estimate is based on (0 until
+    /// a departure triggers the first reset).
+    pub fn synopsis_epoch(&self) -> u64 {
+        self.synopsis.epoch()
+    }
+
     /// Send this node's synopsis union to one neighbor.
     fn gossip_to(&self, peer: NodeId, ctx: &mut Context<'_, DiscoMsg>) {
         ctx.send_sized(
@@ -296,7 +335,17 @@ impl DiscoProtocol {
     /// flip floods the promotion — or exports the demotion — and schedules
     /// a repair pass, since consistent-hashing ownership reshuffles.
     fn apply_estimate(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
-        let est = (self.synopsis.estimate().round() as usize).max(2);
+        let raw = (self.synopsis.estimate().round() as usize).max(2);
+        // Once the epoch's union regrows past the halving floor, the floor
+        // has served its purpose (shielding the transient while the epoch
+        // flooded) and is released; while the union stays below it — the
+        // network genuinely shrank by more than ×2 — the floor holds, and
+        // the next repair pass starts another epoch to decay one more
+        // halving step (see `do_repair`).
+        if self.estimate_floor != 0 && raw >= self.estimate_floor {
+            self.estimate_floor = 0;
+        }
+        let est = raw.max(self.estimate_floor);
         if est == self.n_estimate {
             return;
         }
@@ -647,6 +696,44 @@ impl DiscoProtocol {
         self.repair_pending = false;
         self.repair_epoch += 1;
 
+        // Synopsis epoch reset (§4.1 follow-on): a departure was observed,
+        // and the FM union is monotone — without a reset the estimate of
+        // `n` could never fall. Start a new epoch from our own sketch and
+        // flood it; every node re-contributes on adoption, so the new
+        // union counts live nodes only. Skipped if gossip already moved us
+        // to an epoch newer than the one the departure was observed in.
+        //
+        // The halving floor decays one ×2 step per epoch. If the current
+        // epoch's (reconverged — the flood is much faster than the repair
+        // debounce) union still estimates *below* the floor, the network
+        // shrank by more than ×2 and one halving was not enough: start
+        // another epoch and schedule a follow-up pass, so the floor decays
+        // geometrically until the union catches up and `apply_estimate`
+        // releases it. Without this chain a single >×2 mass departure
+        // would pin the estimate at half its pre-departure value forever.
+        if self.cfg.dynamic_n_estimation {
+            let raw = (self.synopsis.estimate().round() as usize).max(2);
+            let departure_reset = self
+                .epoch_reset_wanted
+                .take()
+                .is_some_and(|seen| self.synopsis.epoch() == seen);
+            // Only judge an epoch once it has had a repair-delay to flood
+            // (see `epoch_started`); a mid-flood union always looks small.
+            let epoch_settled = ctx.now() - self.epoch_started >= self.timers.repair_delay;
+            let floor_binding = self.estimate_floor > 2 && raw < self.estimate_floor;
+            if departure_reset || (floor_binding && epoch_settled) {
+                self.estimate_floor = (self.n_estimate / 2).max(2);
+                let next = self.synopsis.epoch() + 1;
+                self.synopsis = self.my_sketch.clone();
+                self.synopsis.set_epoch(next);
+                self.epoch_started = ctx.now();
+                for nb in ctx.neighbors() {
+                    self.gossip_to(nb, ctx);
+                }
+                self.schedule_repair(ctx);
+            }
+        }
+
         // Emergency landmark re-election (§4.2 keeps election local and
         // random; under churn a partition can lose connectivity to every
         // landmark). Each *consecutive failed election attempt* doubles the
@@ -750,9 +837,25 @@ impl Protocol for DiscoProtocol {
                 if !self.cfg.dynamic_n_estimation {
                     return;
                 }
-                // Synopsis diffusion: re-flood only when the union grew, so
-                // gossip quiesces once every node holds the global union.
-                if self.synopsis.would_grow(&s) {
+                if s.epoch() > self.synopsis.epoch() {
+                    // A newer reset epoch supersedes the whole union:
+                    // restart from our own sketch (so departed nodes'
+                    // contributions age out), adopt the epoch, merge and
+                    // re-flood. The halving floor keeps the estimate from
+                    // collapsing while the new epoch's union regrows.
+                    self.estimate_floor = (self.n_estimate / 2).max(2);
+                    self.synopsis = self.my_sketch.clone();
+                    self.synopsis.set_epoch(s.epoch());
+                    self.synopsis.union(&s);
+                    self.epoch_started = ctx.now();
+                    for nb in ctx.neighbors() {
+                        self.gossip_to(nb, ctx);
+                    }
+                    self.apply_estimate(ctx);
+                } else if s.epoch() == self.synopsis.epoch() && self.synopsis.would_grow(&s) {
+                    // Synopsis diffusion: re-flood only when the union
+                    // grew, so gossip quiesces once every node holds the
+                    // epoch's global union. Stale-epoch gossip is ignored.
                     self.synopsis.union(&s);
                     for nb in ctx.neighbors() {
                         self.gossip_to(nb, ctx);
@@ -790,6 +893,16 @@ impl Protocol for DiscoProtocol {
 
     fn on_neighbor_down(&mut self, peer: NodeId, ctx: &mut Context<'_, DiscoMsg>) {
         self.run_pv(|pv, c| pv.on_neighbor_down(peer, c), ctx);
+        if self.cfg.dynamic_n_estimation {
+            // The peer may have departed; let the next repair pass start a
+            // fresh synopsis epoch so the estimate can decay. Always record
+            // the *current* epoch: a pending request from an older epoch
+            // would be discarded at repair time if gossip has since moved
+            // us forward, silently dropping this (newer) observation with
+            // it — and the departed peer's sketch may be part of the
+            // current epoch's union.
+            self.epoch_reset_wanted = Some(self.synopsis.epoch());
+        }
         self.schedule_repair(ctx);
     }
 }
@@ -1001,6 +1114,114 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The FM union is monotone, so without epoch resets the estimate of
+    /// `n` could never fall. Halving the network must halve the estimate
+    /// (within FM noise and the per-epoch halving floor).
+    #[test]
+    fn mass_departure_shrinks_live_estimate() {
+        use disco_sim::TopologyEvent;
+        let n = 96;
+        let seed = 13;
+        let g = generators::gnm_average_degree(n, 8.0, seed);
+        let cfg = DiscoConfig::seeded(seed).with_dynamic_n_estimation(true);
+        let landmarks = crate::landmark::select_landmarks(n, &cfg);
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let mut engine = Engine::new(&g, |v| {
+            DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
+        });
+        assert!(engine.run().converged);
+        let before = engine.nodes()[0].live_estimate();
+        assert!(before >= n / 2, "converged estimate {before} implausible");
+
+        // Half the network leaves for good.
+        let t0 = engine.now() + 5.0;
+        for (i, v) in (n / 2..n).enumerate() {
+            engine.schedule_topology(t0 + i as f64, TopologyEvent::NodeLeave { node: NodeId(v) });
+        }
+        assert!(
+            engine.run_until(|_| false),
+            "post-departure repair quiesces"
+        );
+
+        let live: Vec<&DiscoProtocol> = engine
+            .active_nodes()
+            .map(|v| &engine.nodes()[v.0])
+            .collect();
+        assert_eq!(live.len(), n / 2);
+        // Every survivor moved to a reset epoch...
+        for p in &live {
+            assert!(p.synopsis_epoch() > 0, "no synopsis reset happened");
+        }
+        // ...and the estimates fell. (Mean over survivors: individual FM
+        // unions of islands may vary; the halving floor bounds the decay
+        // per epoch.)
+        let mean_after: f64 =
+            live.iter().map(|p| p.live_estimate() as f64).sum::<f64>() / live.len() as f64;
+        assert!(
+            mean_after < 0.8 * before as f64,
+            "estimate did not fall: {before} -> mean {mean_after:.1}"
+        );
+        assert!(mean_after >= 2.0);
+        // The vicinity cap tracks the fallen estimate.
+        for p in &live {
+            assert_eq!(
+                p.pv.table_limit(),
+                TableLimit::VicinityCap {
+                    size: cfg.vicinity_size(p.live_estimate())
+                }
+            );
+        }
+    }
+
+    /// Regression: the halving floor must *decay* across epochs, not pin
+    /// the estimate. A single departure burst shrinking the network by 4×
+    /// once left every survivor clamped at half the pre-departure
+    /// estimate forever (the floor was set on reset but never released);
+    /// the repair-pass decay chain now halves it per epoch until the
+    /// fresh union catches up.
+    #[test]
+    fn floor_decays_past_one_halving_after_4x_shrink() {
+        use disco_sim::TopologyEvent;
+        let n = 96;
+        let seed = 17;
+        let g = generators::gnm_average_degree(n, 8.0, seed);
+        let cfg = DiscoConfig::seeded(seed).with_dynamic_n_estimation(true);
+        let landmarks = crate::landmark::select_landmarks(n, &cfg);
+        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let mut engine = Engine::new(&g, |v| {
+            DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
+        });
+        assert!(engine.run().converged);
+        let before = engine.nodes()[0].live_estimate();
+
+        // Three quarters of the network leaves.
+        let t0 = engine.now() + 5.0;
+        for (i, v) in (n / 4..n).enumerate() {
+            engine.schedule_topology(
+                t0 + i as f64 * 0.5,
+                TopologyEvent::NodeLeave { node: NodeId(v) },
+            );
+        }
+        assert!(
+            engine.run_until(|_| false),
+            "post-departure repair quiesces"
+        );
+
+        let live: Vec<usize> = engine
+            .active_nodes()
+            .map(|v| engine.nodes()[v.0].live_estimate())
+            .collect();
+        assert_eq!(live.len(), n / 4);
+        let mean = live.iter().map(|&e| e as f64).sum::<f64>() / live.len() as f64;
+        // A permanently-pinned floor would sit at exactly before/2; the
+        // decay chain must fall well below that, toward the true n/4.
+        assert!(
+            mean < 0.4 * before as f64,
+            "estimate stuck above one halving: {before} -> mean {mean:.1}"
+        );
+        assert!(mean >= 2.0);
     }
 
     #[test]

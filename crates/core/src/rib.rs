@@ -1,0 +1,602 @@
+//! Compact storage for the path-vector Adj-RIB-In.
+//!
+//! Candidate routes are the control plane's dominant memory consumer: every
+//! byte per candidate is multiplied by `degree × dests × n`. The original
+//! layout — `FxHashMap<NodeId, FxHashMap<NodeId, Candidate>>` — pays two
+//! hash-map headers, per-entry hashing overhead and pointer-chasing for
+//! every candidate. [`RibStore`] replaces it with
+//!
+//! * a per-node **destination interner** (`NodeId` → dense `u32` index),
+//! * one **slab per neighbor**: a struct-of-arrays of `Candidate` fields
+//!   (`cost`, `landmark_flag`, `path`, …) addressed by slab slot, kept
+//!   dense with swap-remove, plus a `dest index → slot` position vector,
+//! * a **forgetful eviction** primitive ([`RibStore::enforce`]) that trims
+//!   a destination's candidate set down to the selected route plus a
+//!   bounded alternate set, remembering (per destination) that information
+//!   was discarded so the protocol can re-solicit it when needed
+//!   (paper §4.2, forgetful routing).
+//!
+//! The store is policy-free: which destinations are exempt from
+//! forgetting (landmarks, vicinity members) and when to send a
+//! route-refresh is decided by [`crate::path_vector::PathVectorNode`].
+//! Selection order is a pure function of the candidate *set* (the
+//! preference order is total), so replacing the nested maps cannot change
+//! protocol behavior — the churn golden test locks this.
+
+use disco_graph::{FxHashMap, InternedPath, NodeId, Weight};
+
+/// A candidate route as held in the per-neighbor Adj-RIB-In. Identical to
+/// [`crate::path_vector::RouteEntry`] minus the next hop (implied by which
+/// neighbor's slab the candidate sits in).
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Distance from this node to the destination via the neighbor.
+    pub dist: Weight,
+    /// Path from this node to the destination (this node first).
+    pub path: InternedPath,
+    /// Whether the destination is a landmark.
+    pub dest_is_landmark: bool,
+    /// The destination's distance to its own closest landmark.
+    pub dest_landmark_dist: Weight,
+}
+
+/// Deterministic route preference: smaller distance, then shorter path,
+/// then lexicographically smaller path. Total over distinct candidates
+/// (paths from different neighbors differ in their second node), which is
+/// what makes selection independent of iteration order.
+pub(crate) fn preferred_parts(
+    a_dist: Weight,
+    a_path: &InternedPath,
+    b_dist: Weight,
+    b_path: &InternedPath,
+) -> bool {
+    if a_dist + 1e-12 < b_dist {
+        return true;
+    }
+    if b_dist + 1e-12 < a_dist {
+        return false;
+    }
+    a_path.cmp_route(b_path) == std::cmp::Ordering::Less
+}
+
+const ABSENT: u32 = u32::MAX;
+
+/// Struct-of-arrays slab holding one neighbor's candidates. Slots `0..len`
+/// are dense (occupied); `pos` maps an interned destination index to its
+/// slot. The position index is a compact `u32 → u32` hash map rather than
+/// a dense vector: a node's destination universe is the *union* of every
+/// neighbor's exports, so per-neighbor occupancy is sparse (δ-fold so
+/// under forgetful eviction) and dense position vectors would cost
+/// `δ × dests × 4` bytes of mostly-empty slots per node.
+#[derive(Debug, Clone, Default)]
+struct NeighborSlab {
+    /// Destination index → slot.
+    pos: FxHashMap<u32, u32>,
+    /// Slot → destination index (for swap-remove fixup and iteration).
+    dest: Vec<u32>,
+    /// Slot → distance (link weight already included).
+    dist: Vec<Weight>,
+    /// Slot → destination's own-landmark distance.
+    lm_dist: Vec<Weight>,
+    /// Slot → path (this node first).
+    path: Vec<InternedPath>,
+    /// Slot → landmark flag.
+    lm_flag: Vec<bool>,
+}
+
+impl NeighborSlab {
+    fn slot_of(&self, di: u32) -> Option<usize> {
+        self.pos.get(&di).map(|&s| s as usize)
+    }
+
+    fn get(&self, di: u32) -> Option<Candidate> {
+        let s = self.slot_of(di)?;
+        Some(Candidate {
+            dist: self.dist[s],
+            path: self.path[s].clone(),
+            dest_is_landmark: self.lm_flag[s],
+            dest_landmark_dist: self.lm_dist[s],
+        })
+    }
+
+    /// Insert or replace; returns the previous landmark flag if a candidate
+    /// was replaced.
+    fn insert(&mut self, di: u32, cand: &Candidate) -> Option<bool> {
+        if let Some(s) = self.slot_of(di) {
+            let was_lm = self.lm_flag[s];
+            self.dist[s] = cand.dist;
+            self.lm_dist[s] = cand.dest_landmark_dist;
+            self.path[s] = cand.path.clone();
+            self.lm_flag[s] = cand.dest_is_landmark;
+            return Some(was_lm);
+        }
+        let s = self.dest.len() as u32;
+        self.pos.insert(di, s);
+        self.dest.push(di);
+        self.dist.push(cand.dist);
+        self.lm_dist.push(cand.dest_landmark_dist);
+        self.path.push(cand.path.clone());
+        self.lm_flag.push(cand.dest_is_landmark);
+        None
+    }
+
+    /// Remove the candidate for `di`, keeping slots dense (swap-remove).
+    /// Returns its landmark flag.
+    fn remove(&mut self, di: u32) -> Option<bool> {
+        let s = self.slot_of(di)?;
+        let was_lm = self.lm_flag[s];
+        let last = self.dest.len() - 1;
+        self.pos.remove(&di);
+        self.dest.swap_remove(s);
+        self.dist.swap_remove(s);
+        self.lm_dist.swap_remove(s);
+        self.path.swap_remove(s);
+        self.lm_flag.swap_remove(s);
+        if s != last {
+            // The former last slot moved into `s`; update its position.
+            self.pos.insert(self.dest[s], s as u32);
+        }
+        Some(was_lm)
+    }
+
+    /// Approximate heap bytes held by this slab (positions + SoA columns;
+    /// interned path cells are accounted by the arena, not here).
+    fn approx_bytes(&self) -> usize {
+        self.pos.capacity() * 10 // ~(4+4) B payload + control per slot
+            + self.dest.capacity() * 4
+            + self.dist.capacity() * 8
+            + self.lm_dist.capacity() * 8
+            + self.path.capacity() * 4
+            + self.lm_flag.capacity()
+    }
+}
+
+/// Per-node gauge of the candidate store, used by `exp_memory` to meter
+/// control-plane state against the paper's `Θ(√(n log n))` bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RibStats {
+    /// Candidates currently held across all neighbors.
+    pub candidates: usize,
+    /// Distinct destinations interned (live + holes awaiting compaction).
+    pub dests_interned: usize,
+    /// Total path nodes across all candidates (each retains arena cells).
+    pub path_nodes: usize,
+    /// Approximate heap bytes of the store itself (slabs + interner).
+    pub approx_bytes: usize,
+    /// Candidates evicted by the forgetful policy since construction.
+    pub evictions: u64,
+}
+
+/// The compact Adj-RIB-In: per-neighbor SoA slabs over interned
+/// destination indexes. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct RibStore {
+    /// Destination index → id.
+    dests: Vec<NodeId>,
+    /// Destination id → index.
+    dest_idx: FxHashMap<NodeId, u32>,
+    /// Per-neighbor slabs.
+    slabs: FxHashMap<NodeId, NeighborSlab>,
+    /// Occupied candidates across all slabs.
+    total: usize,
+    /// Per destination index: candidate count across neighbors.
+    cand_count: Vec<u32>,
+    /// Per destination index: the forgetful policy discarded candidates
+    /// for this destination since the flag was last taken.
+    evicted: Vec<bool>,
+    /// Destinations with candidates or a pending evicted flag (the ones a
+    /// compaction must keep) — maintained incrementally so the compaction
+    /// trigger is O(1) per mutation.
+    live_dests: usize,
+    /// Candidates evicted by [`RibStore::enforce`] since construction.
+    evictions: u64,
+}
+
+impl RibStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `d`, returning its dense index.
+    fn dest_id(&mut self, d: NodeId) -> u32 {
+        if let Some(&i) = self.dest_idx.get(&d) {
+            return i;
+        }
+        let i = self.dests.len() as u32;
+        self.dests.push(d);
+        self.cand_count.push(0);
+        self.evicted.push(false);
+        self.dest_idx.insert(d, i);
+        i
+    }
+
+    /// Candidates currently held across all neighbors.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the store holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of candidates held for destination `d` across neighbors.
+    pub fn count_for(&self, d: NodeId) -> usize {
+        self.dest_idx
+            .get(&d)
+            .map_or(0, |&i| self.cand_count[i as usize] as usize)
+    }
+
+    /// The candidate neighbor `nbr` holds for `d`, if any (materialized;
+    /// the path copy is a reference-count bump).
+    pub fn get(&self, nbr: NodeId, d: NodeId) -> Option<Candidate> {
+        let &di = self.dest_idx.get(&d)?;
+        self.slabs.get(&nbr)?.get(di)
+    }
+
+    /// Insert or replace the candidate `nbr` announced for `d`. Returns the
+    /// replaced candidate's landmark flag, like `HashMap::insert`.
+    pub fn insert(&mut self, nbr: NodeId, d: NodeId, cand: &Candidate) -> Option<bool> {
+        let di = self.dest_id(d);
+        let old = self.slabs.entry(nbr).or_default().insert(di, cand);
+        if old.is_none() {
+            self.total += 1;
+            self.cand_count[di as usize] += 1;
+            if self.cand_count[di as usize] == 1 && !self.evicted[di as usize] {
+                self.live_dests += 1;
+            }
+        }
+        old
+    }
+
+    /// Remove the candidate `nbr` holds for `d`; returns its landmark flag.
+    pub fn remove(&mut self, nbr: NodeId, d: NodeId) -> Option<bool> {
+        let &di = self.dest_idx.get(&d)?;
+        let old = self.slabs.get_mut(&nbr)?.remove(di)?;
+        self.total -= 1;
+        self.drop_count(di);
+        self.maybe_compact();
+        Some(old)
+    }
+
+    /// Decrement a destination's candidate count, tracking liveness.
+    fn drop_count(&mut self, di: u32) {
+        self.cand_count[di as usize] -= 1;
+        if self.cand_count[di as usize] == 0 && !self.evicted[di as usize] {
+            self.live_dests -= 1;
+        }
+    }
+
+    /// Drop every candidate learned from `nbr`; returns the affected
+    /// `(destination, landmark flag)` pairs sorted by destination id
+    /// (deterministic re-selection order for the caller).
+    pub fn remove_neighbor(&mut self, nbr: NodeId) -> Vec<(NodeId, bool)> {
+        let Some(slab) = self.slabs.remove(&nbr) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(NodeId, bool)> = Vec::with_capacity(slab.dest.len());
+        for (&di, &lm) in slab.dest.iter().zip(&slab.lm_flag) {
+            self.drop_count(di);
+            out.push((self.dests[di as usize], lm));
+        }
+        self.total -= out.len();
+        out.sort_unstable_by_key(|&(d, _)| d);
+        self.maybe_compact();
+        out
+    }
+
+    /// The most-preferred candidate for `d` over all neighbors, with the
+    /// neighbor that announced it. Deterministic: the preference order is
+    /// total, so the minimum is independent of slab iteration order.
+    pub fn best_for(&self, d: NodeId) -> Option<(NodeId, Candidate)> {
+        let &di = self.dest_idx.get(&d)?;
+        let mut best: Option<(NodeId, usize, &NeighborSlab)> = None;
+        for (&nbr, slab) in &self.slabs {
+            let Some(s) = slab.slot_of(di) else { continue };
+            let better = match &best {
+                None => true,
+                Some((_, bs, bslab)) => preferred_parts(
+                    slab.dist[s],
+                    &slab.path[s],
+                    bslab.dist[*bs],
+                    &bslab.path[*bs],
+                ),
+            };
+            if better {
+                best = Some((nbr, s, slab));
+            }
+        }
+        best.map(|(nbr, s, slab)| {
+            (
+                nbr,
+                Candidate {
+                    dist: slab.dist[s],
+                    path: slab.path[s].clone(),
+                    dest_is_landmark: slab.lm_flag[s],
+                    dest_landmark_dist: slab.lm_dist[s],
+                },
+            )
+        })
+    }
+
+    /// All candidates for `d` as `(neighbor, candidate)`, sorted by
+    /// preference (best first). Used by the eviction policy and tests.
+    ///
+    /// The sort key is `(total_cmp(dist), path order)` — a genuine total
+    /// order, unlike [`preferred_parts`], whose `1e-12` tolerance band is
+    /// not transitive and would hand `sort_unstable_by` a comparison
+    /// cycle on float-accumulated near-ties (a panic since Rust 1.81).
+    /// The two orders agree everywhere outside that band — in particular
+    /// on exact ties, the only ties unit-weight topologies produce — and
+    /// [`RibStore::enforce`] force-keeps the *selected* candidate
+    /// regardless of rank, so a near-tie can only reorder alternates.
+    pub fn candidates_for(&self, d: NodeId) -> Vec<(NodeId, Candidate)> {
+        let Some(&di) = self.dest_idx.get(&d) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(NodeId, Candidate)> = self
+            .slabs
+            .iter()
+            .filter_map(|(&nbr, slab)| slab.get(di).map(|c| (nbr, c)))
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            a.1.dist
+                .total_cmp(&b.1.dist)
+                .then_with(|| a.1.path.cmp_route(&b.1.path))
+        });
+        out
+    }
+
+    /// Forgetful eviction (§4.2): keep at most `keep` candidates for `d` —
+    /// always including `keep_hop`'s candidate if present — evicting the
+    /// least-preferred rest. Marks `d` as having forgotten information and
+    /// returns the evicted `(neighbor, landmark flag)` pairs so the caller
+    /// can fix up its flag counters.
+    pub fn enforce(
+        &mut self,
+        d: NodeId,
+        keep: usize,
+        keep_hop: Option<NodeId>,
+    ) -> Vec<(NodeId, bool)> {
+        let Some(&di) = self.dest_idx.get(&d) else {
+            return Vec::new();
+        };
+        if (self.cand_count[di as usize] as usize) <= keep {
+            return Vec::new();
+        }
+        let mut ranked = self.candidates_for(d);
+        // The selected route is never evicted, whatever its rank.
+        if let Some(hop) = keep_hop {
+            if let Some(p) = ranked.iter().position(|&(nbr, _)| nbr == hop) {
+                let sel = ranked.remove(p);
+                ranked.insert(0, sel);
+            }
+        }
+        let mut removed = Vec::with_capacity(ranked.len().saturating_sub(keep));
+        for (nbr, _) in ranked.drain(keep.max(1)..) {
+            let was_lm = self
+                .slabs
+                .get_mut(&nbr)
+                .and_then(|s| s.remove(di))
+                .expect("ranked candidate must exist");
+            self.total -= 1;
+            self.drop_count(di);
+            self.evictions += 1;
+            removed.push((nbr, was_lm));
+        }
+        if !removed.is_empty() {
+            self.evicted[di as usize] = true;
+        }
+        self.maybe_compact();
+        removed
+    }
+
+    /// Whether the forgetful policy has discarded candidates for `d` since
+    /// the flag was last taken; clears the flag. The caller re-solicits
+    /// (route-refresh) exactly when this returns true after a loss.
+    pub fn take_evicted(&mut self, d: NodeId) -> bool {
+        match self.dest_idx.get(&d) {
+            Some(&di) => {
+                let was = std::mem::replace(&mut self.evicted[di as usize], false);
+                if was && self.cand_count[di as usize] == 0 {
+                    self.live_dests -= 1;
+                }
+                was
+            }
+            None => false,
+        }
+    }
+
+    /// Gauge snapshot for `exp_memory`.
+    pub fn stats(&self) -> RibStats {
+        let path_nodes = self
+            .slabs
+            .values()
+            .flat_map(|s| s.path.iter())
+            .map(InternedPath::len)
+            .sum();
+        let approx_bytes = self
+            .slabs
+            .values()
+            .map(NeighborSlab::approx_bytes)
+            .sum::<usize>()
+            + self.dests.capacity() * 8
+            + self.cand_count.capacity() * 4
+            + self.evicted.capacity()
+            + self.dest_idx.len() * 16;
+        RibStats {
+            candidates: self.total,
+            dests_interned: self.dests.len(),
+            path_nodes,
+            approx_bytes,
+            evictions: self.evictions,
+        }
+    }
+
+    /// Rebuild the destination interner when most interned destinations no
+    /// longer hold candidates (long churn runs otherwise grow the position
+    /// vectors with the union of every destination ever seen). Triggered
+    /// from the mutation paths by occupancy, so behavior stays a pure
+    /// function of the operation sequence.
+    fn maybe_compact(&mut self) {
+        let live = self.live_dests;
+        debug_assert_eq!(
+            live,
+            self.cand_count
+                .iter()
+                .zip(&self.evicted)
+                .filter(|&(&c, &e)| c > 0 || e)
+                .count()
+        );
+        if self.dests.len() < 64 || live * 4 >= self.dests.len() {
+            return;
+        }
+        let mut remap = vec![ABSENT; self.dests.len()];
+        let mut dests = Vec::with_capacity(live);
+        let mut cand_count = Vec::with_capacity(live);
+        let mut evicted = Vec::with_capacity(live);
+        let mut dest_idx = FxHashMap::default();
+        for (i, &d) in self.dests.iter().enumerate() {
+            if self.cand_count[i] == 0 && !self.evicted[i] {
+                continue;
+            }
+            let ni = dests.len() as u32;
+            remap[i] = ni;
+            dests.push(d);
+            cand_count.push(self.cand_count[i]);
+            evicted.push(self.evicted[i]);
+            dest_idx.insert(d, ni);
+        }
+        for slab in self.slabs.values_mut() {
+            let mut pos = FxHashMap::default();
+            for s in 0..slab.dest.len() {
+                let ni = remap[slab.dest[s] as usize];
+                debug_assert!(ni != ABSENT, "occupied dest must survive compaction");
+                slab.dest[s] = ni;
+                pos.insert(ni, s as u32);
+            }
+            slab.pos = pos;
+        }
+        self.live_dests = dests.len();
+        self.dests = dests;
+        self.cand_count = cand_count;
+        self.evicted = evicted;
+        self.dest_idx = dest_idx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(path: &[usize], dist: Weight, lm: bool) -> Candidate {
+        let nodes: Vec<NodeId> = path.iter().map(|&i| NodeId(i)).collect();
+        Candidate {
+            dist,
+            path: InternedPath::from_slice(&nodes),
+            dest_is_landmark: lm,
+            dest_landmark_dist: Weight::INFINITY,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut rib = RibStore::new();
+        let (n1, n2, d) = (NodeId(1), NodeId(2), NodeId(9));
+        assert!(rib.is_empty());
+        assert_eq!(rib.insert(n1, d, &cand(&[0, 1, 9], 2.0, false)), None);
+        assert_eq!(rib.insert(n2, d, &cand(&[0, 2, 9], 3.0, true)), None);
+        assert_eq!(rib.len(), 2);
+        assert_eq!(rib.count_for(d), 2);
+        // Replacement returns the old flag.
+        assert_eq!(rib.insert(n2, d, &cand(&[0, 2, 9], 1.0, false)), Some(true));
+        assert_eq!(rib.len(), 2);
+        let got = rib.get(n2, d).unwrap();
+        assert_eq!(got.dist, 1.0);
+        assert!(!got.dest_is_landmark);
+        assert_eq!(rib.remove(n2, d), Some(false));
+        assert_eq!(rib.remove(n2, d), None);
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.count_for(d), 1);
+    }
+
+    #[test]
+    fn best_for_is_preference_minimum() {
+        let mut rib = RibStore::new();
+        let d = NodeId(9);
+        rib.insert(NodeId(1), d, &cand(&[0, 1, 9], 2.0, false));
+        rib.insert(NodeId(2), d, &cand(&[0, 2, 9], 1.5, false));
+        rib.insert(NodeId(3), d, &cand(&[0, 3, 9], 1.5, false));
+        let (nbr, best) = rib.best_for(d).unwrap();
+        // 1.5 ties; path [0,2,9] < [0,3,9] lexicographically.
+        assert_eq!(nbr, NodeId(2));
+        assert_eq!(best.dist, 1.5);
+        let ranked = rib.candidates_for(d);
+        assert_eq!(
+            ranked.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec![NodeId(2), NodeId(3), NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn remove_neighbor_reports_sorted_dests() {
+        let mut rib = RibStore::new();
+        rib.insert(NodeId(1), NodeId(7), &cand(&[0, 1, 7], 2.0, true));
+        rib.insert(NodeId(1), NodeId(3), &cand(&[0, 1, 3], 2.0, false));
+        rib.insert(NodeId(2), NodeId(3), &cand(&[0, 2, 3], 2.0, false));
+        let lost = rib.remove_neighbor(NodeId(1));
+        assert_eq!(lost, vec![(NodeId(3), false), (NodeId(7), true)]);
+        assert_eq!(rib.len(), 1);
+        assert!(rib.remove_neighbor(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn enforce_keeps_selected_and_best_alternates() {
+        let mut rib = RibStore::new();
+        let d = NodeId(9);
+        for (i, dist) in [(1, 4.0), (2, 1.0), (3, 2.0), (4, 3.0)] {
+            rib.insert(NodeId(i), d, &cand(&[0, i, 9], dist, false));
+        }
+        // Keep 2 (selected + 1 alternate); the selected hop is the worst
+        // candidate (forced survivor).
+        let removed = rib.enforce(d, 2, Some(NodeId(1)));
+        let removed_nbrs: Vec<NodeId> = removed.iter().map(|&(n, _)| n).collect();
+        assert_eq!(removed_nbrs, vec![NodeId(3), NodeId(4)]);
+        assert!(rib.get(NodeId(1), d).is_some(), "selected survives");
+        assert!(rib.get(NodeId(2), d).is_some(), "best alternate survives");
+        assert_eq!(rib.count_for(d), 2);
+        assert!(rib.take_evicted(d));
+        assert!(!rib.take_evicted(d), "flag is taken once");
+        // Under budget: no-op, flag untouched.
+        assert!(rib.enforce(d, 2, Some(NodeId(1))).is_empty());
+        assert!(!rib.take_evicted(d));
+        assert_eq!(rib.stats().evictions, 2);
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut rib = RibStore::new();
+        let nbr = NodeId(1);
+        for i in 0..200 {
+            rib.insert(nbr, NodeId(1000 + i), &cand(&[0, 1, 1000 + i], 2.0, false));
+        }
+        // Remove most destinations to trigger compaction, keep a few.
+        for i in 0..190 {
+            rib.remove(nbr, NodeId(1000 + i));
+        }
+        assert!(
+            rib.stats().dests_interned < 64,
+            "interner must shrink, still {} dests",
+            rib.stats().dests_interned
+        );
+        for i in 190..200 {
+            let c = rib.get(nbr, NodeId(1000 + i)).expect("survivor present");
+            assert_eq!(c.path.last(), NodeId(1000 + i));
+        }
+        assert_eq!(rib.len(), 10);
+        // Interning new destinations after compaction still works.
+        rib.insert(nbr, NodeId(5000), &cand(&[0, 1, 5000], 1.0, false));
+        assert_eq!(rib.best_for(NodeId(5000)).unwrap().0, nbr);
+    }
+}

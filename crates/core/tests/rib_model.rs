@@ -1,0 +1,243 @@
+//! Property test: the forgetful [`RibStore`] protocol — select, withdraw,
+//! evict, refresh — agrees with a naive full-RIB reference model over
+//! random update sequences.
+//!
+//! The harness mirrors how `PathVectorNode` drives the store (incremental
+//! best maintenance, budget enforcement after inserts, refresh on total
+//! loss with the evicted flag set) and answers each refresh from the
+//! reference model, the way neighbors answer from their tables. Invariants
+//! checked after every operation:
+//!
+//! 1. the forgetful side never *loses* a destination the full RIB can
+//!    still reach (refresh recovers it within the same step),
+//! 2. any selected candidate is one the full model also holds, verbatim,
+//! 3. the per-destination candidate budget is respected,
+//! 4. after a settle round (every neighbor re-announces, as their
+//!    periodic table-change exports would), the selected route equals the
+//!    full model's selection exactly.
+
+use disco_core::rib::{Candidate, RibStore};
+use disco_graph::{InternedPath, NodeId, Weight};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const ME: usize = 0;
+const ALTERNATES: usize = 1;
+
+fn better(a: &Candidate, b: &Candidate) -> bool {
+    if a.dist + 1e-12 < b.dist {
+        return true;
+    }
+    if b.dist + 1e-12 < a.dist {
+        return false;
+    }
+    a.path.cmp_route(&b.path) == std::cmp::Ordering::Less
+}
+
+/// Naive reference: every candidate ever announced and not withdrawn.
+#[derive(Default)]
+struct FullRib {
+    cands: BTreeMap<(NodeId, NodeId), Candidate>, // (nbr, dest) → candidate
+}
+
+impl FullRib {
+    fn best(&self, d: NodeId) -> Option<(NodeId, &Candidate)> {
+        self.cands
+            .iter()
+            .filter(|((_, dest), _)| *dest == d)
+            .fold(None, |acc, ((nbr, _), c)| match acc {
+                Some((_, bc)) if !better(c, bc) => acc,
+                _ => Some((*nbr, c)),
+            })
+    }
+
+    fn for_dest(&self, d: NodeId) -> Vec<(NodeId, Candidate)> {
+        self.cands
+            .iter()
+            .filter(|((_, dest), _)| *dest == d)
+            .map(|((nbr, _), c)| (*nbr, c.clone()))
+            .collect()
+    }
+}
+
+/// The forgetful side, driven exactly like `PathVectorNode` drives its
+/// store: incremental best, enforcement after inserts, refresh on total
+/// loss when the evicted flag is set.
+struct Forgetful {
+    rib: RibStore,
+    best: BTreeMap<NodeId, NodeId>, // dest → selected neighbor
+    refreshes: u64,
+}
+
+impl Forgetful {
+    fn keep(d: NodeId) -> usize {
+        // Stand-in for table residency (landmarks + vicinity): even
+        // destinations are "resident" and keep alternates, odd ones keep
+        // the selected route alone.
+        if d.0.is_multiple_of(2) {
+            1 + ALTERNATES
+        } else {
+            1
+        }
+    }
+
+    fn reselect(&mut self, d: NodeId, model: &FullRib) {
+        match self.rib.best_for(d) {
+            Some((nbr, _)) => {
+                self.best.insert(d, nbr);
+            }
+            None => {
+                self.best.remove(&d);
+                // Total loss: re-solicit if the policy forgot candidates.
+                if self.rib.take_evicted(d) {
+                    self.refreshes += 1;
+                    for (nbr, c) in model.for_dest(d) {
+                        self.insert(nbr, d, c, model);
+                    }
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, nbr: NodeId, d: NodeId, c: Candidate, model: &FullRib) {
+        let promote = match self.best.get(&d).and_then(|h| self.rib.get(*h, d)) {
+            None => true,
+            Some(cur) => better(&c, &cur),
+        };
+        self.rib.insert(nbr, d, &c);
+        if promote {
+            self.best.insert(d, nbr);
+        } else if self.best.get(&d) == Some(&nbr) {
+            self.reselect(d, model);
+        }
+        let keep_hop = self.best.get(&d).copied();
+        self.rib.enforce(d, Self::keep(d), keep_hop);
+    }
+
+    fn remove(&mut self, nbr: NodeId, d: NodeId, model: &FullRib) {
+        if self.rib.remove(nbr, d).is_some() && self.best.get(&d) == Some(&nbr) {
+            self.reselect(d, model);
+        }
+    }
+
+    fn neighbor_down(&mut self, nbr: NodeId, model: &FullRib) {
+        for (d, _) in self.rib.remove_neighbor(nbr) {
+            if self.best.get(&d) == Some(&nbr) {
+                self.reselect(d, model);
+            }
+        }
+    }
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn check_invariants(fg: &Forgetful, model: &FullRib, dests: &[NodeId], settled: bool) {
+    for &d in dests {
+        let model_best = model.best(d);
+        let fg_hop = fg.best.get(&d).copied();
+        // (1) never lose a reachable destination.
+        assert_eq!(
+            model_best.is_some(),
+            fg_hop.is_some(),
+            "reachability diverged for {d}: model {:?} vs forgetful {:?}",
+            model_best.map(|(n, _)| n),
+            fg_hop
+        );
+        // (2) a selected candidate is a verbatim model candidate.
+        if let Some(hop) = fg_hop {
+            let held = fg.rib.get(hop, d).expect("selected candidate in store");
+            let model_c = model
+                .cands
+                .get(&(hop, d))
+                .expect("selected candidate must exist in the full model");
+            assert_eq!(held.dist, model_c.dist, "stale distance for {d} via {hop}");
+            assert_eq!(held.path, model_c.path, "stale path for {d} via {hop}");
+        }
+        // (3) budget respected.
+        assert!(
+            fg.rib.count_for(d) <= Forgetful::keep(d),
+            "budget exceeded for {d}: {}",
+            fg.rib.count_for(d)
+        );
+        // (4) after a settle round, selection matches the model exactly.
+        if settled {
+            if let (Some((mn, mc)), Some(hop)) = (model_best, fg_hop) {
+                let held = fg.rib.get(hop, d).unwrap();
+                assert_eq!(
+                    (held.dist, held.path.to_vec()),
+                    (mc.dist, mc.path.to_vec()),
+                    "settled selection diverged for {d}: model via {mn}, forgetful via {hop}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, max_shrink_iters: 0 })]
+    #[test]
+    fn forgetful_rib_agrees_with_full_rib_model(seed in 0u64..1_000_000) {
+        let mut rng = seed;
+        let neighbors: Vec<NodeId> = (1..=6).map(NodeId).collect();
+        let dests: Vec<NodeId> = (100..116).map(NodeId).collect();
+        let mut model = FullRib::default();
+        let mut fg = Forgetful { rib: RibStore::new(), best: BTreeMap::new(), refreshes: 0 };
+
+        for step in 0..400 {
+            let r = splitmix(&mut rng);
+            let nbr = neighbors[(r % neighbors.len() as u64) as usize];
+            let d = dests[((r >> 8) % dests.len() as u64) as usize];
+            match (r >> 16) % 10 {
+                // Announce: route me → nbr → (salt) → d, salted so
+                // re-announcements change the path, not just the distance.
+                0..=5 => {
+                    let dist = 1.0 + ((r >> 24) % 32) as Weight;
+                    let salt = 200 + ((r >> 32) % 8) as usize;
+                    let path = InternedPath::from_slice(&[
+                        NodeId(ME), nbr, NodeId(salt), d,
+                    ]);
+                    let c = Candidate {
+                        dist,
+                        path,
+                        dest_is_landmark: false,
+                        dest_landmark_dist: Weight::INFINITY,
+                    };
+                    model.cands.insert((nbr, d), c.clone());
+                    fg.insert(nbr, d, c, &model);
+                }
+                // Withdraw one candidate.
+                6..=8 => {
+                    model.cands.remove(&(nbr, d));
+                    fg.remove(nbr, d, &model);
+                }
+                // Link loss: the neighbor's whole slab goes.
+                _ => {
+                    model.cands.retain(|&(n, _), _| n != nbr);
+                    fg.neighbor_down(nbr, &model);
+                }
+            }
+            let settle = step % 25 == 24;
+            if settle {
+                // Periodic exports: every neighbor re-announces its
+                // current route for every destination it still has.
+                let all: Vec<(NodeId, NodeId, Candidate)> = model
+                    .cands
+                    .iter()
+                    .map(|(&(n, dd), c)| (n, dd, c.clone()))
+                    .collect();
+                for (n, dd, c) in all {
+                    fg.insert(n, dd, c, &model);
+                }
+            }
+            check_invariants(&fg, &model, &dests, settle);
+        }
+        // The run must actually have exercised the forgetful machinery.
+        prop_assert!(fg.rib.stats().evictions > 0, "no evictions happened");
+    }
+}

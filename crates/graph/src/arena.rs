@@ -77,6 +77,12 @@ pub struct PathArenaStats {
     pub interned_total: u64,
     /// Capacity currently held by the arena, in cells (live + free-listed).
     pub capacity_cells: usize,
+    /// Heap bytes pinned by live cells (`live_cells × sizeof(Cell)`) — the
+    /// per-thread "live path bytes" gauge `exp_memory` charts.
+    pub live_bytes: usize,
+    /// Heap bytes held by the arena's backing storage (cell vector +
+    /// free list; the intern map adds a comparable amount on top).
+    pub capacity_bytes: usize,
 }
 
 thread_local! {
@@ -93,8 +99,40 @@ impl PathArena {
                 peak_live_cells: p.peak_live,
                 interned_total: p.interned_total,
                 capacity_cells: p.cells.len(),
+                live_bytes: p.live * std::mem::size_of::<Cell>(),
+                capacity_bytes: p.cells.capacity() * std::mem::size_of::<Cell>()
+                    + p.free.capacity() * 4,
             }
         })
+    }
+
+    /// Post-churn compaction: release the arena capacity that churn peaks
+    /// left free-listed. Live cells cannot move (handles hold their ids),
+    /// so this truncates the free tail of the cell vector, drops the
+    /// truncated ids from the free list and shrinks every backing
+    /// allocation to fit. Returns the number of capacity cells released.
+    pub fn shrink() -> usize {
+        POOL.with(|p| p.borrow_mut().shrink_impl())
+    }
+
+    fn shrink_impl(&mut self) -> usize {
+        let before = self.cells.len();
+        let mut is_free = vec![false; self.cells.len()];
+        for &f in &self.free {
+            is_free[f as usize] = true;
+        }
+        while let Some(last) = self.cells.len().checked_sub(1) {
+            if !is_free[last] {
+                break;
+            }
+            self.cells.pop();
+        }
+        let kept = self.cells.len() as u32;
+        self.free.retain(|&f| f < kept);
+        self.cells.shrink_to_fit();
+        self.free.shrink_to_fit();
+        self.intern.shrink_to_fit();
+        before - self.cells.len()
     }
 
     /// Reset the peak-live high-water mark to the current live count
@@ -530,6 +568,29 @@ mod tests {
                 assert_eq!(a.cmp_route(&b), want, "{x:?} vs {y:?}");
             }
         }
+    }
+
+    #[test]
+    fn shrink_releases_free_tail_but_keeps_live_cells() {
+        // Other tests on this thread may hold arena state; work relative.
+        let keep = InternedPath::from_slice(&ids(&[401, 402]));
+        let bulk: Vec<InternedPath> = (0..64)
+            .map(|i| InternedPath::from_slice(&ids(&[500 + i, 600 + i, 700 + i])))
+            .collect();
+        let grown = PathArena::stats().capacity_cells;
+        drop(bulk);
+        let released = PathArena::shrink();
+        assert!(released >= 64 * 3 - 2, "released only {released}");
+        let after = PathArena::stats();
+        assert!(after.capacity_cells <= grown - released);
+        assert_eq!(keep.to_vec(), ids(&[401, 402]), "live paths survive");
+        assert_eq!(
+            after.live_bytes,
+            after.live_cells * std::mem::size_of::<Cell>()
+        );
+        // The arena still works after shrinking: interning, prepend, drop.
+        let p = keep.prepend(NodeId(400));
+        assert_eq!(p.to_vec(), ids(&[400, 401, 402]));
     }
 
     #[test]

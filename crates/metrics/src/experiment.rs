@@ -147,18 +147,17 @@ pub fn stretch_comparison(
         params.stretch_dests_per_source,
         params.seed,
     );
-    let disco_router = DiscoRouter::new(&graph, &disco_state);
-    let s4_router = S4Router::new(&graph, &s4_state);
+    // The per-source sampling harnesses fan over one worker per CPU
+    // (threads = 0); output is bit-identical to the sequential forms.
     let vrr = include_vrr.then(|| {
         let v = VrrState::build(&graph, &cfg);
-        let router = VrrRouter::new(&graph, &v);
-        stretch::vrr_stretch(&router, &pairs)
+        stretch::vrr_stretch_parallel(&graph, &v, &pairs, 0)
     });
     StretchComparison {
         topology,
         nodes: params.nodes,
-        disco: stretch::disco_stretch(&disco_router, &pairs),
-        s4: stretch::s4_stretch(&s4_router, &pairs),
+        disco: stretch::disco_stretch_parallel(&graph, &disco_state, &pairs, 0),
+        s4: stretch::s4_stretch_parallel(&graph, &s4_state, &pairs, 0),
         vrr,
     }
 }
@@ -181,7 +180,6 @@ pub fn shortcut_sweep(topology: Topology, params: &ExperimentParams) -> Shortcut
     let graph = topology.build(params.nodes, params.seed);
     let cfg = DiscoConfig::seeded(params.seed);
     let state = DiscoState::build(&graph, &cfg);
-    let router = DiscoRouter::new(&graph, &state);
     let pairs = sample_pairs_grouped(
         params.nodes,
         params.stretch_sources,
@@ -193,7 +191,7 @@ pub fn shortcut_sweep(topology: Topology, params: &ExperimentParams) -> Shortcut
         .map(|&mode| {
             (
                 mode,
-                stretch::disco_mean_stretch_with_mode(&router, &pairs, mode),
+                stretch::disco_mean_stretch_with_mode_parallel(&graph, &state, &pairs, mode, 0),
             )
         })
         .collect();

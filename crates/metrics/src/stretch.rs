@@ -6,11 +6,24 @@
 //! reports both the first packet of a flow and subsequent ("later")
 //! packets.
 
+//! ## Parallel harnesses
+//!
+//! Stretch sampling is embarrassingly parallel per *source*: every pair's
+//! samples are a pure function of `(graph, state, pair)`, and the routers'
+//! per-source tree caches only pay off within one source's destination
+//! group. The `*_parallel` variants below fan contiguous same-source runs
+//! of the pair list over a `scoped_threadpool`, each worker building its
+//! own router (the routers' `RefCell` caches are not `Sync`) and writing
+//! into the run's own index-addressed output slice — the same
+//! bit-identical-output contract as `DiscoState::build_parallel`: results
+//! are byte-for-byte independent of the thread count.
+
 use crate::cdf::Cdf;
-use disco_baselines::{S4Router, VrrRouter};
+use disco_baselines::{S4Router, S4State, VrrRouter, VrrState};
 use disco_core::routing::DiscoRouter;
 use disco_core::shortcut::ShortcutMode;
-use disco_graph::NodeId;
+use disco_core::static_state::DiscoState;
+use disco_graph::{Graph, NodeId};
 
 /// First- and later-packet stretch samples for one protocol.
 #[derive(Debug, Clone, Default)]
@@ -59,6 +72,150 @@ fn mean(xs: &[f64]) -> f64 {
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
     }
+}
+
+/// Number of worker threads to use: `threads` (0 = one per CPU).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+/// Split `pairs` into contiguous same-source runs together with each run's
+/// start index (pairs from `sample_pairs_grouped` arrive grouped by
+/// source, so a run is one source's destination block).
+fn source_runs(pairs: &[(NodeId, NodeId)]) -> Vec<(usize, &[(NodeId, NodeId)])> {
+    let mut runs = Vec::new();
+    let mut start = 0;
+    for i in 1..=pairs.len() {
+        if i == pairs.len() || pairs[i].0 != pairs[start].0 {
+            runs.push((start, &pairs[start..i]));
+            start = i;
+        }
+    }
+    runs
+}
+
+/// Fan per-source runs over a scoped pool. `eval` fills one run's
+/// first/later output slices from a fresh per-worker measurement context;
+/// each output index is computed exactly once, by pure per-pair work, so
+/// the assembled report is identical for any thread count.
+fn stretch_parallel_with(
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+    eval: impl Fn(&[(NodeId, NodeId)], &mut [f64], &mut [f64]) + Sync,
+) -> StretchReport {
+    let mut report = StretchReport {
+        first: vec![0.0; pairs.len()],
+        later: vec![0.0; pairs.len()],
+    };
+    let mut pool = scoped_threadpool::Pool::new(resolve_threads(threads) as u32);
+    // Carve the output vectors into per-run slices (disjoint, index-addressed).
+    let mut first_rest: &mut [f64] = &mut report.first;
+    let mut later_rest: &mut [f64] = &mut report.later;
+    let mut jobs = Vec::new();
+    for (_, run) in source_runs(pairs) {
+        let (f, fr) = first_rest.split_at_mut(run.len());
+        let (l, lr) = later_rest.split_at_mut(run.len());
+        first_rest = fr;
+        later_rest = lr;
+        jobs.push((run, f, l));
+    }
+    pool.scoped(|scope| {
+        for (run, f, l) in jobs {
+            let eval = &eval;
+            scope.execute(move || eval(run, f, l));
+        }
+    });
+    report
+}
+
+/// [`disco_stretch`] fanned over `threads` workers (0 = one per CPU);
+/// bit-identical to the sequential form.
+pub fn disco_stretch_parallel(
+    graph: &Graph,
+    state: &DiscoState,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> StretchReport {
+    stretch_parallel_with(pairs, threads, |run, first, later| {
+        let router = DiscoRouter::new(graph, state);
+        for (i, &(s, t)) in run.iter().enumerate() {
+            let d = router.true_distance(s, t);
+            first[i] = router.route_first_packet(s, t).stretch(d);
+            later[i] = router.route_later_packet(s, t).stretch(d);
+        }
+    })
+}
+
+/// [`nddisco_stretch`] fanned over `threads` workers (0 = one per CPU).
+pub fn nddisco_stretch_parallel(
+    graph: &Graph,
+    state: &DiscoState,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> StretchReport {
+    stretch_parallel_with(pairs, threads, |run, first, later| {
+        let router = DiscoRouter::new(graph, state);
+        for (i, &(s, t)) in run.iter().enumerate() {
+            let d = router.true_distance(s, t);
+            first[i] = router.nddisco_first_packet(s, t).stretch(d);
+            later[i] = router.nddisco_later_packet(s, t).stretch(d);
+        }
+    })
+}
+
+/// [`s4_stretch`] fanned over `threads` workers (0 = one per CPU).
+pub fn s4_stretch_parallel(
+    graph: &Graph,
+    state: &S4State,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> StretchReport {
+    stretch_parallel_with(pairs, threads, |run, first, later| {
+        let router = S4Router::new(graph, state);
+        for (i, &(s, t)) in run.iter().enumerate() {
+            first[i] = router.first_packet_stretch(s, t);
+            later[i] = router.later_packet_stretch(s, t);
+        }
+    })
+}
+
+/// [`vrr_stretch`] fanned over `threads` workers (0 = one per CPU).
+pub fn vrr_stretch_parallel(
+    graph: &Graph,
+    state: &VrrState,
+    pairs: &[(NodeId, NodeId)],
+    threads: usize,
+) -> StretchReport {
+    stretch_parallel_with(pairs, threads, |run, first, later| {
+        let router = VrrRouter::new(graph, state);
+        for (i, &(s, t)) in run.iter().enumerate() {
+            first[i] = router.stretch(s, t);
+            later[i] = first[i];
+        }
+    })
+}
+
+/// [`disco_mean_stretch_with_mode`] fanned over `threads` workers — the
+/// Fig. 6 shortcut sweep's inner loop.
+pub fn disco_mean_stretch_with_mode_parallel(
+    graph: &Graph,
+    state: &DiscoState,
+    pairs: &[(NodeId, NodeId)],
+    mode: ShortcutMode,
+    threads: usize,
+) -> f64 {
+    let report = stretch_parallel_with(pairs, threads, |run, first, _later| {
+        let router = DiscoRouter::new(graph, state);
+        for (i, &(s, t)) in run.iter().enumerate() {
+            let d = router.true_distance(s, t);
+            first[i] = router.route_first_packet_with(s, t, mode).stretch(d);
+        }
+    });
+    mean(&report.first)
 }
 
 /// Measure Disco first/later-packet stretch over the given pairs with the
@@ -203,6 +360,50 @@ mod tests {
         // Later packets: both compact schemes are ≤ 3.
         assert!(d.max_later() <= 3.0 + 1e-9);
         assert!(s.max_later() <= 3.0 + 1e-9);
+    }
+
+    /// The parallel harnesses carry the same contract as
+    /// `DiscoState::build_parallel`: byte-identical output for any thread
+    /// count, including the sequential reference.
+    #[test]
+    fn parallel_harnesses_bit_identical_to_sequential() {
+        let n = 240;
+        let g = generators::gnm_average_degree(n, 8.0, 11);
+        let cfg = DiscoConfig::seeded(11);
+        let state = DiscoState::build(&g, &cfg);
+        let s4 = S4State::build(&g, &cfg);
+        let vrr = VrrState::build(&g, &cfg);
+        let pairs = sample_pairs_grouped(n, 14, 9, 11);
+
+        let d_router = DiscoRouter::new(&g, &state);
+        let seq_d = disco_stretch(&d_router, &pairs);
+        let seq_nd = nddisco_stretch(&d_router, &pairs);
+        let seq_s4 = s4_stretch(&S4Router::new(&g, &s4), &pairs);
+        let seq_v = vrr_stretch(&VrrRouter::new(&g, &vrr), &pairs);
+        let seq_mode = disco_mean_stretch_with_mode(&d_router, &pairs, ShortcutMode::PathKnowledge);
+
+        for threads in [1, 3, 0] {
+            let par = disco_stretch_parallel(&g, &state, &pairs, threads);
+            assert_eq!(par.first, seq_d.first, "disco first, {threads} threads");
+            assert_eq!(par.later, seq_d.later, "disco later, {threads} threads");
+            let par_nd = nddisco_stretch_parallel(&g, &state, &pairs, threads);
+            assert_eq!(par_nd.first, seq_nd.first);
+            assert_eq!(par_nd.later, seq_nd.later);
+            let par_s4 = s4_stretch_parallel(&g, &s4, &pairs, threads);
+            assert_eq!(par_s4.first, seq_s4.first);
+            assert_eq!(par_s4.later, seq_s4.later);
+            let par_v = vrr_stretch_parallel(&g, &vrr, &pairs, threads);
+            assert_eq!(par_v.first, seq_v.first);
+            assert_eq!(par_v.later, seq_v.later);
+            let par_mode = disco_mean_stretch_with_mode_parallel(
+                &g,
+                &state,
+                &pairs,
+                ShortcutMode::PathKnowledge,
+                threads,
+            );
+            assert_eq!(par_mode.to_bits(), seq_mode.to_bits());
+        }
     }
 
     #[test]

@@ -60,6 +60,14 @@ pub struct Engine<'f, P: Protocol, Q: EventQueue<P::Message> = TimerWheel<<P as 
     events_processed: u64,
     topology_events: u64,
     messages_dropped: u64,
+    /// Timers that reached their pop time while their node was inactive or
+    /// from a previous incarnation — i.e. epoch-dead timers that the eager
+    /// cancellation missed. The reclamation regression tests assert this
+    /// stays 0 under churn: every dead timer should instead be cancelled
+    /// the moment its node leaves, which counts it into the queue's
+    /// dead-entry gauge ([`EventQueue::dead_refs`]) while it waits for its
+    /// bucket to drain.
+    stale_timer_pops: u64,
     /// Safety valve: stop after this many events (default 200 million).
     pub max_events: u64,
     /// Safety valve: stop once simulation time exceeds this (default ∞).
@@ -105,6 +113,7 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
             events_processed: 0,
             topology_events: 0,
             messages_dropped: 0,
+            stale_timer_pops: 0,
             max_events: 200_000_000,
             max_time: f64::INFINITY,
             default_msg_size: 64,
@@ -163,6 +172,13 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
     /// Messages (and stale timers) dropped so far.
     pub fn messages_dropped(&self) -> u64 {
         self.messages_dropped
+    }
+
+    /// Epoch-dead timers that slipped past eager cancellation and were
+    /// only discarded when popped (see the field docs; 0 when eager
+    /// reclamation is airtight).
+    pub fn stale_timer_pops(&self) -> u64 {
+        self.stale_timer_pops
     }
 
     /// Topology events applied so far.
@@ -306,7 +322,13 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                     // none. Anything else is an engine invariant violation.
                     panic!("joining node {node} already has edges");
                 }
-                // Rejoining: fresh protocol state, new incarnation.
+                // Rejoining: fresh protocol state, new incarnation. Any
+                // timer handle of the previous life that somehow survived
+                // the leave-time sweep would become epoch-dead here —
+                // cancel it now so it is reclaimed eagerly (and counted in
+                // the queue's dead gauge) instead of lingering as a live
+                // queue entry until its pop time.
+                self.cancel_node_timers(node);
                 self.epoch[node.0] += 1;
                 self.nodes[node.0] = (self.factory)(node);
                 self.active[node.0] = true;
@@ -421,9 +443,11 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                 }
                 // Timers of departed nodes and of previous incarnations are
                 // discarded (defense in depth: eager cancellation on leave
-                // should already have reclaimed them).
+                // and rejoin should already have reclaimed them — the
+                // counter tracks any that slip through).
                 if !self.is_active(node) || self.epoch[node.0] != epoch {
                     self.messages_dropped += 1;
+                    self.stale_timer_pops += 1;
                 } else {
                     self.upcall(node, |p, ctx| p.on_timer(token, ctx));
                 }
@@ -727,6 +751,66 @@ mod tests {
         assert!(report.converged);
         assert_eq!(report.messages_dropped, 10);
         assert_eq!(e.queue_stats(), (0, 0), "drain clears all residue");
+    }
+
+    /// High-churn regression for the dead-entry gauge: across many
+    /// leave/rejoin cycles of timer-heavy nodes, every epoch-dead timer
+    /// must be reclaimed *eagerly* (visible in the dead gauge, counted as
+    /// dropped) — none may survive to its pop time as a live queue entry.
+    #[test]
+    fn high_churn_reclaims_all_epoch_dead_timers_eagerly() {
+        struct TimerSpammer;
+        impl Protocol for TimerSpammer {
+            type Message = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                // Long-lived timers that outlive several churn cycles.
+                for i in 0..8 {
+                    ctx.set_timer(500.0 + i as f64, i);
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {}
+            fn on_neighbor_up(&mut self, _p: NodeId, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(400.0, 99);
+            }
+            fn on_neighbor_down(&mut self, _p: NodeId, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(400.0, 98);
+            }
+        }
+        let g = generators::ring(8);
+        let mut e = Engine::new(&g, |_| TimerSpammer);
+        // 30 churn cycles: each node repeatedly leaves and rejoins, every
+        // incarnation spawning fresh long timers.
+        let mut t = 1.0;
+        for round in 0..30 {
+            let v = NodeId(round % 8);
+            e.schedule_topology(t, TopologyEvent::NodeLeave { node: v });
+            e.schedule_topology(
+                t + 1.0,
+                TopologyEvent::NodeJoin {
+                    node: v,
+                    links: vec![(NodeId((v.0 + 1) % 8), 1.0), (NodeId((v.0 + 7) % 8), 1.0)],
+                },
+            );
+            t += 2.0;
+        }
+        e.run_to(t + 1.0);
+        // Mid-run: plenty of eager cancellations happened; every one of
+        // them is accounted in the dead gauge or already swept — and no
+        // epoch-dead timer ever reached its pop time.
+        assert_eq!(e.stale_timer_pops(), 0, "epoch-dead timer popped live");
+        assert!(
+            e.messages_dropped() >= 30 * 8,
+            "expected >=240 eagerly reclaimed timers, got {}",
+            e.messages_dropped()
+        );
+        let report = e.run();
+        assert!(report.converged);
+        assert_eq!(e.stale_timer_pops(), 0);
+        assert_eq!(
+            e.queue_stats(),
+            (0, 0),
+            "all residue must drain by quiescence"
+        );
     }
 
     #[test]
