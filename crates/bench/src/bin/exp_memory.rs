@@ -23,7 +23,10 @@
 //!
 //! Run with: `cargo run --release -p disco-bench --bin exp_memory`
 
-use disco_bench::memory::{candidate_bound, run_leg, sqrt_n_log_n, MemoryParams, MemoryResult};
+use disco_bench::memory::{
+    candidate_bound, control_bytes_per_dest_bound, run_leg, sqrt_n_log_n, MemoryParams,
+    MemoryResult,
+};
 use std::fmt::Write as _;
 use std::process::Command;
 
@@ -136,8 +139,12 @@ fn render_json(args: &Args, results: &[MemoryResult]) -> String {
     let _ = writeln!(
         j,
         "  \"note\": \"control state under churn vs sqrt(n ln n); peak_rss_mb is per-leg \
-         (child process) VmHWM; acceptance: forgetful cuts n=4096 peak RSS >=2x with \
-         availability within 0.01 of the full-RIB baseline\","
+         (child process) VmHWM with the watermark reset after the boot flood; \
+         non_rib_bytes_mean splits into loc-rib view + dissemination + arena intern-table \
+         share, and non_rib_reduction prices the same live contents under the PR 3 \
+         layouts (materialized Loc-RIB map, hash-map intern table, std dissemination \
+         maps); acceptance: >=1.5x non-RIB reduction and >=1.3x peak-RSS reduction at \
+         n=4096 vs the PR 3 numbers\","
     );
     // Headline acceptance numbers, if the grid contains the 4096 pair.
     let find = |n: usize, rate: f64, forgetful: bool| {
@@ -166,6 +173,16 @@ fn render_json(args: &Args, results: &[MemoryResult]) -> String {
             "  \"candidate_reduction_n4096\": {:.2},",
             full.cand_mean / slim.cand_mean.max(1.0)
         );
+        let _ = writeln!(
+            j,
+            "  \"non_rib_reduction_n4096_full\": {:.2},",
+            full.non_rib_reduction
+        );
+        let _ = writeln!(
+            j,
+            "  \"non_rib_reduction_n4096_forgetful\": {:.2},",
+            slim.non_rib_reduction
+        );
     }
     let _ = writeln!(j, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
@@ -187,22 +204,47 @@ fn main() {
         return;
     }
 
-    // Smoke mode: one in-process forgetful leg at n=512 under heavy churn;
-    // the gated quantity is candidates/node vs the configured bound.
+    // Smoke mode: one in-process forgetful leg at n=512 under heavy churn.
+    // Two gated quantities: candidates/node vs the √(n ln n) bound, and
+    // non-RIB control bytes per interned destination — so a regression
+    // that re-materializes per-destination state (a Loc-RIB map, a fatter
+    // selection column) fails CI even while candidate counts stay flat.
     if args.smoke {
         let mut p = MemoryParams::grid_point(512, args.seed, 0.001, true);
         p.horizon = 300.0;
         let r = run_leg(&p);
         let bound = candidate_bound(512, p.alternates);
+        let per_dest = r.non_rib_bytes_mean / r.dests_mean.max(1.0);
+        let per_dest_bound = control_bytes_per_dest_bound();
         println!(
             "smoke: n=512 churn rate=0.001 candidates/node mean {:.1} (max {}) vs bound {:.1}; \
-             availability {:.4}",
-            r.cand_mean, r.cand_max, bound, r.availability
+             availability {:.4}; non-RIB control bytes/dest {:.1} vs bound {:.1} \
+             (loc-rib {:.0} + dissem {:.0} + intern-share {:.0} B/node over {:.1} dests, \
+             legacy layout {:.0} B/node = {:.2}x)",
+            r.cand_mean,
+            r.cand_max,
+            bound,
+            r.availability,
+            per_dest,
+            per_dest_bound,
+            r.loc_rib_bytes_mean,
+            r.dissem_bytes_mean,
+            r.non_rib_bytes_mean - r.loc_rib_bytes_mean - r.dissem_bytes_mean,
+            r.dests_mean,
+            r.legacy_non_rib_bytes_mean,
+            r.non_rib_reduction,
         );
         if r.cand_mean > bound {
             eprintln!(
                 "smoke FAIL: mean candidates/node {:.1} exceeds the configured bound {:.1}",
                 r.cand_mean, bound
+            );
+            std::process::exit(1);
+        }
+        if per_dest > per_dest_bound {
+            eprintln!(
+                "smoke FAIL: non-RIB control bytes per destination {per_dest:.1} exceeds the \
+                 configured bound {per_dest_bound:.1} — per-destination state re-materialized?"
             );
             std::process::exit(1);
         }
@@ -218,13 +260,15 @@ fn main() {
     }
 
     println!(
-        "{:>6} {:>8} {:>10} {:>11} {:>9} {:>11} {:>9} {:>12} {:>10} {:>8}",
+        "{:>6} {:>8} {:>10} {:>11} {:>9} {:>11} {:>10} {:>9} {:>9} {:>12} {:>10} {:>8}",
         "n",
         "rate",
         "forgetful",
         "cands/node",
         "√(nlnn)",
         "rib_kb/node",
+        "nonrib_kb",
+        "x-legacy",
         "peak_mb",
         "avail",
         "repair/n",
@@ -242,13 +286,15 @@ fn main() {
                     run_child(n, rate, forgetful, args.seed, args.horizon)
                 };
                 println!(
-                    "{:>6} {:>8} {:>10} {:>11.1} {:>9.1} {:>11.1} {:>9.1} {:>12.4} {:>10.1} {:>8.1}",
+                    "{:>6} {:>8} {:>10} {:>11.1} {:>9.1} {:>11.1} {:>10.1} {:>9.2} {:>9.1} {:>12.4} {:>10.1} {:>8.1}",
                     r.n,
                     r.leave_rate,
                     r.forgetful,
                     r.cand_mean,
                     sqrt_n_log_n(r.n),
                     r.rib_bytes_mean / 1024.0,
+                    r.non_rib_bytes_mean / 1024.0,
+                    r.non_rib_reduction,
                     r.peak_rss_bytes as f64 / (1024.0 * 1024.0),
                     r.availability,
                     r.repair_msgs_per_node,

@@ -9,13 +9,12 @@
 //! test locks in.
 
 use disco_core::config::DiscoConfig;
-use disco_core::landmark::select_landmarks;
+use disco_core::landmark::{landmark_set, select_landmarks};
 use disco_core::protocol::{DiscoProtocol, PhaseTimers};
 use disco_dynamics::models::PoissonChurn;
 use disco_dynamics::probe::{disco_first_packet_route, probe, sample_live_pairs};
-use disco_graph::{generators, NodeId};
+use disco_graph::generators;
 use disco_sim::Engine;
-use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Parameters of one churn run.
@@ -159,7 +158,7 @@ pub fn churn_experiment(params: &ChurnParams) -> ChurnOutcome {
     let graph = generators::gnm_average_degree(n, 8.0, params.seed);
     let cfg = DiscoConfig::seeded(params.seed).with_forgetful_dynamic(params.forgetful);
     let landmarks = select_landmarks(n, &cfg);
-    let lm_set: HashSet<NodeId> = landmarks.iter().copied().collect();
+    let lm_set = landmark_set(&landmarks);
 
     let mut engine = Engine::new(&graph, |v| {
         DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())

@@ -16,13 +16,13 @@
 //! the gated quantity.
 
 use disco_core::config::DiscoConfig;
-use disco_core::landmark::select_landmarks;
+use disco_core::landmark::{landmark_set, select_landmarks};
 use disco_core::protocol::{DiscoProtocol, PhaseTimers};
 use disco_dynamics::models::PoissonChurn;
 use disco_dynamics::probe::{disco_first_packet_route, probe, sample_live_pairs};
-use disco_graph::{generators, NodeId, PathArena};
+use disco_graph::{generators, PathArena};
+use disco_metrics::control::{legacy_intern_bytes, ControlAccounting, ControlBytes, ControlCounts};
 use disco_sim::Engine;
-use std::collections::HashSet;
 use std::time::Instant;
 
 /// Parameters of one `exp_memory` leg.
@@ -87,6 +87,31 @@ pub struct MemoryResult {
     /// Mean Adj-RIB-In bytes per live node (store only; paths are arena
     /// cells).
     pub rib_bytes_mean: f64,
+    /// Mean Loc-RIB *view* bytes per live node (selection columns +
+    /// ordered mirrors — the state that used to be a materialized
+    /// `FxHashMap<NodeId, RouteEntry>`).
+    pub loc_rib_bytes_mean: f64,
+    /// Mean dissemination/resolution bookkeeping bytes per live node
+    /// (group address store, overlay slots, forwarded dedup; the
+    /// resolution shard is application state, excluded on both sides).
+    pub dissem_bytes_mean: f64,
+    /// Path-arena intern table bytes (process-wide, measured at gauge
+    /// time).
+    pub intern_bytes: u64,
+    /// Mean non-RIB control bytes per live node: Loc-RIB view +
+    /// dissemination + this node's share of the arena intern table.
+    pub non_rib_bytes_mean: f64,
+    /// What the PR 3-era layouts (materialized Loc-RIB map, hash-map
+    /// intern table, std dissemination maps) would spend per node on the
+    /// same live contents — the "before" of the reduction ratio, priced
+    /// by `disco-metrics::control`'s SwissTable model.
+    pub legacy_non_rib_bytes_mean: f64,
+    /// `legacy_non_rib_bytes_mean / non_rib_bytes_mean` — the headline
+    /// non-RIB control-memory reduction of the Loc-RIB-as-a-view PR.
+    pub non_rib_reduction: f64,
+    /// Mean interned destinations per live node (the denominator of the
+    /// control-bytes-per-destination CI gate).
+    pub dests_mean: f64,
     /// Mean interned-path nodes referenced per live node's RIB.
     pub path_nodes_mean: f64,
     /// Peak live path-arena cells over the run.
@@ -136,6 +161,20 @@ pub fn candidate_bound(n: usize, alternates: usize) -> f64 {
     (8.0 + alternates as f64) * sqrt_n_log_n(n)
 }
 
+/// The non-RIB-control-bytes-per-destination bound the smoke gate asserts
+/// (mean non-RIB control bytes per node over mean interned destinations
+/// per node). Measured 63 B/dest at the smoke point (n=512, heavy churn,
+/// forgetful): ~33 B of selection columns (25 B/dest plus vector growth
+/// slack), ~18 B of ordered-mirror keys, ~13 B of dissemination and
+/// intern-table share. The bound carries ~35% headroom; the PR 3 layout
+/// (materialized `FxHashMap<NodeId, RouteEntry>` Loc-RIB + hash-map
+/// intern table) prices at ~116 B/dest on the same contents, so a
+/// regression that re-materializes per-destination state fails CI with
+/// margin.
+pub fn control_bytes_per_dest_bound() -> f64 {
+    85.0
+}
+
 /// Reset the kernel's peak-RSS watermark (`VmHWM`) to the current RSS
 /// (`echo 5 > /proc/self/clear_refs`). `run_leg` does this right after
 /// initial convergence, so the reported peak reflects the *churn phase* —
@@ -176,7 +215,7 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
         .with_forgetful_dynamic(p.forgetful)
         .with_forgetful_alternates(p.alternates);
     let landmarks = select_landmarks(p.n, &cfg);
-    let lm_set: HashSet<NodeId> = landmarks.iter().copied().collect();
+    let lm_set = landmark_set(&landmarks);
 
     PathArena::reset_peak();
     let mut engine = Engine::new(&graph, |v| {
@@ -219,27 +258,56 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
     let pr = probe(&engine, &pairs, disco_first_packet_route);
     let final_availability = pr.availability();
 
-    // Control-state gauges over the live nodes.
+    // Control-state gauges over the live nodes, folded through the
+    // per-component accounting (Adj-RIB-In vs Loc-RIB view vs
+    // dissemination; the legacy side prices the same contents under the
+    // PR 3-era layouts).
     let mut cand_total = 0usize;
     let mut cand_max = 0usize;
-    let mut rib_bytes = 0usize;
     let mut path_nodes = 0usize;
+    let mut dests_total = 0usize;
     let mut refreshes = 0u64;
     let mut evictions = 0u64;
     let mut live = 0usize;
+    let mut acct = ControlAccounting::default();
     for v in engine.active_nodes().collect::<Vec<_>>() {
         let node = &engine.nodes()[v.0];
         let st = node.pv.rib_stats();
         cand_total += st.candidates;
         cand_max = cand_max.max(st.candidates);
-        rib_bytes += st.approx_bytes;
         path_nodes += st.path_nodes;
+        dests_total += st.dests_interned;
         refreshes += node.pv.refreshes_sent();
         evictions += st.evictions;
         live += 1;
+        let (groups, overlay, forwarded) = node.dissemination_counts();
+        acct.push(
+            ControlBytes {
+                rib: st.approx_bytes,
+                loc_rib: node.pv.loc_rib_bytes(),
+                dissemination: node.dissemination_bytes(),
+            },
+            &ControlCounts {
+                selected: st.selected,
+                mirror_entries: node.pv.mirror_entries(),
+                group_addresses: groups,
+                overlay_slots: overlay,
+                forwarded,
+            },
+        );
     }
     let arena = PathArena::stats();
     let live_f = live.max(1) as f64;
+    let (rib_bytes_mean, loc_rib_bytes_mean, dissem_bytes_mean) = acct.mean();
+    let (legacy_loc_rib_mean, legacy_dissem_mean) = acct.legacy_mean();
+    // The arena intern table is process-wide; charge each live node an
+    // equal share. Both sides are priced at the occupancy *peak* (neither
+    // table shrinks on its own): the measured side is the slot array's
+    // actual bytes, the legacy side the SwissTable model on peak cells.
+    let intern_share = arena.intern_bytes as f64 / live_f;
+    let legacy_intern_share = legacy_intern_bytes(arena.peak_live_cells) as f64 / live_f;
+    let non_rib_bytes_mean = loc_rib_bytes_mean + dissem_bytes_mean + intern_share;
+    let legacy_non_rib_bytes_mean = legacy_loc_rib_mean + legacy_dissem_mean + legacy_intern_share;
     let repair_msgs_per_node = (engine.stats().total_sent() - convergence_msgs) as f64 / p.n as f64;
     let topology_events = engine.topology_events();
     // Post-churn compaction: drop the run's state, then let the arena
@@ -255,7 +323,14 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
         final_availability,
         cand_mean: cand_total as f64 / live_f,
         cand_max,
-        rib_bytes_mean: rib_bytes as f64 / live_f,
+        rib_bytes_mean,
+        loc_rib_bytes_mean,
+        dissem_bytes_mean,
+        intern_bytes: arena.intern_bytes as u64,
+        non_rib_bytes_mean,
+        legacy_non_rib_bytes_mean,
+        non_rib_reduction: legacy_non_rib_bytes_mean / non_rib_bytes_mean.max(1.0),
+        dests_mean: dests_total as f64 / live_f,
         path_nodes_mean: path_nodes as f64 / live_f,
         arena_peak_cells: arena.peak_live_cells,
         arena_live_cells: arena.live_cells,
@@ -277,7 +352,10 @@ impl MemoryResult {
     pub fn to_kv_line(&self) -> String {
         format!(
             "MEMLEG n={} rate={} forgetful={} availability={:.4} final_availability={:.4} \
-             cand_mean={:.1} cand_max={} rib_bytes_mean={:.0} path_nodes_mean={:.0} \
+             cand_mean={:.1} cand_max={} rib_bytes_mean={:.0} loc_rib_bytes_mean={:.0} \
+             dissem_bytes_mean={:.0} intern_bytes={} non_rib_bytes_mean={:.0} \
+             legacy_non_rib_bytes_mean={:.0} non_rib_reduction={:.2} dests_mean={:.1} \
+             path_nodes_mean={:.0} \
              arena_peak_cells={} arena_live_cells={} arena_shrunk_cells={} \
              repair_msgs_per_node={:.1} refreshes_sent={} evictions={} topology_events={} \
              peak_rss_bytes={} boot_rss_bytes={} wall_secs={:.2} quiesced={}",
@@ -289,6 +367,13 @@ impl MemoryResult {
             self.cand_mean,
             self.cand_max,
             self.rib_bytes_mean,
+            self.loc_rib_bytes_mean,
+            self.dissem_bytes_mean,
+            self.intern_bytes,
+            self.non_rib_bytes_mean,
+            self.legacy_non_rib_bytes_mean,
+            self.non_rib_reduction,
+            self.dests_mean,
             self.path_nodes_mean,
             self.arena_peak_cells,
             self.arena_live_cells,
@@ -319,6 +404,13 @@ impl MemoryResult {
                 "cand_mean" => r.cand_mean = v.parse().ok()?,
                 "cand_max" => r.cand_max = v.parse().ok()?,
                 "rib_bytes_mean" => r.rib_bytes_mean = v.parse().ok()?,
+                "loc_rib_bytes_mean" => r.loc_rib_bytes_mean = v.parse().ok()?,
+                "dissem_bytes_mean" => r.dissem_bytes_mean = v.parse().ok()?,
+                "intern_bytes" => r.intern_bytes = v.parse().ok()?,
+                "non_rib_bytes_mean" => r.non_rib_bytes_mean = v.parse().ok()?,
+                "legacy_non_rib_bytes_mean" => r.legacy_non_rib_bytes_mean = v.parse().ok()?,
+                "non_rib_reduction" => r.non_rib_reduction = v.parse().ok()?,
+                "dests_mean" => r.dests_mean = v.parse().ok()?,
                 "path_nodes_mean" => r.path_nodes_mean = v.parse().ok()?,
                 "arena_peak_cells" => r.arena_peak_cells = v.parse().ok()?,
                 "arena_live_cells" => r.arena_live_cells = v.parse().ok()?,
@@ -344,7 +436,11 @@ impl MemoryResult {
             "{{ \"n\": {}, \"leave_rate\": {}, \"forgetful\": {}, \
              \"availability\": {:.4}, \"final_availability\": {:.4}, \
              \"cand_mean\": {:.1}, \"cand_max\": {}, \"sqrt_n_log_n\": {:.1}, \
-             \"rib_bytes_mean\": {:.0}, \"path_nodes_mean\": {:.0}, \
+             \"rib_bytes_mean\": {:.0}, \"loc_rib_bytes_mean\": {:.0}, \
+             \"dissem_bytes_mean\": {:.0}, \"intern_bytes\": {}, \
+             \"non_rib_bytes_mean\": {:.0}, \"legacy_non_rib_bytes_mean\": {:.0}, \
+             \"non_rib_reduction\": {:.2}, \"dests_mean\": {:.1}, \
+             \"path_nodes_mean\": {:.0}, \
              \"arena_peak_cells\": {}, \"arena_live_cells\": {}, \
              \"arena_shrunk_cells\": {}, \"repair_msgs_per_node\": {:.1}, \
              \"refreshes_sent\": {}, \"evictions\": {}, \"topology_events\": {}, \
@@ -359,6 +455,13 @@ impl MemoryResult {
             self.cand_max,
             sqrt_n_log_n(self.n),
             self.rib_bytes_mean,
+            self.loc_rib_bytes_mean,
+            self.dissem_bytes_mean,
+            self.intern_bytes,
+            self.non_rib_bytes_mean,
+            self.legacy_non_rib_bytes_mean,
+            self.non_rib_reduction,
+            self.dests_mean,
             self.path_nodes_mean,
             self.arena_peak_cells,
             self.arena_live_cells,
@@ -392,12 +495,30 @@ mod tests {
         assert!(r.cand_mean > 0.0 && r.cand_max > 0);
         assert!(r.evictions > 0, "forgetful leg must evict");
         assert!(r.availability > 0.8);
+        // The per-component byte columns meter real state, and the legacy
+        // model must price the same contents strictly higher.
+        assert!(r.loc_rib_bytes_mean > 0.0 && r.dissem_bytes_mean > 0.0);
+        assert!(r.intern_bytes > 0);
+        assert!(r.dests_mean > 0.0);
+        // The legacy layout must cost meaningfully more on the same
+        // contents even at this tiny scale; the >=1.5x acceptance gate is
+        // evaluated at n=4096 by the sweep (BENCH_exp_memory.json), where
+        // per-entry overhead dominates the fixed costs.
+        assert!(
+            r.non_rib_reduction > 1.3,
+            "legacy layout must cost >1.3x the view: {:.2}",
+            r.non_rib_reduction
+        );
         let parsed = MemoryResult::from_kv_line(&r.to_kv_line()).expect("kv parse");
         assert_eq!(parsed.n, r.n);
         assert_eq!(parsed.cand_max, r.cand_max);
         assert_eq!(parsed.forgetful, r.forgetful);
+        assert_eq!(parsed.intern_bytes, r.intern_bytes);
         assert!((parsed.availability - r.availability).abs() < 1e-3);
+        assert!((parsed.non_rib_bytes_mean - r.non_rib_bytes_mean).abs() < 1.0);
+        assert!((parsed.dests_mean - r.dests_mean).abs() < 0.1);
         assert!(r.to_json().contains("\"sqrt_n_log_n\""));
+        assert!(r.to_json().contains("\"non_rib_reduction\""));
     }
 
     /// Forgetful keeps strictly fewer candidates than the full RIB on the

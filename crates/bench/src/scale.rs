@@ -10,13 +10,12 @@
 //! `threads` knob.
 
 use disco_core::config::DiscoConfig;
-use disco_core::landmark::select_landmarks;
+use disco_core::landmark::{landmark_set, select_landmarks};
 use disco_core::protocol::{DiscoProtocol, PhaseTimers};
 use disco_core::static_state::DiscoState;
 use disco_dynamics::models::PoissonChurn;
 use disco_graph::{generators, NodeId, PathArena};
 use disco_sim::{BinaryHeapQueue, Engine};
-use std::collections::HashSet;
 use std::time::Instant;
 
 /// Parameters of one `exp_scale` leg.
@@ -106,7 +105,7 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
     drop(st);
 
     let landmarks = select_landmarks(cfg.n, &dcfg);
-    let lm_set: HashSet<NodeId> = landmarks.iter().copied().collect();
+    let lm_set = landmark_set(&landmarks);
     let model = PoissonChurn {
         leave_rate_per_node: 0.0002,
         mean_downtime: 150.0,

@@ -41,6 +41,15 @@ pub fn select_landmarks(n: usize, cfg: &DiscoConfig) -> Vec<NodeId> {
     select_landmarks_with_estimates(n, cfg, |_| n)
 }
 
+/// The landmark set as a hash set for membership tests — the form every
+/// simulator harness needs to hand each node its own landmark status
+/// (`lm_set.contains(&v)`) when constructing protocol instances.
+/// `FxHashSet` like every other simulator-internal map (deterministic,
+/// no SipHash cost on the per-node probe during engine construction).
+pub fn landmark_set(landmarks: &[NodeId]) -> disco_graph::FxHashSet<NodeId> {
+    landmarks.iter().copied().collect()
+}
+
 /// Landmark selection where node `v` believes the network has
 /// `estimate(v)` nodes — used by the robustness experiment that injects
 /// error into the estimate of `n` (§5.2).

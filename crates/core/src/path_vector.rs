@@ -55,7 +55,7 @@
 //! route for that destination. Refreshes ride the same MRAI-style batch as
 //! withdrawals, so repair cascades stay polynomial.
 
-use crate::rib::{preferred_parts, Candidate, RibStats, RibStore};
+use crate::rib::{preferred_parts, Candidate, RibStats, RibStore, SelectedRoute};
 use disco_graph::{FxHashMap, InternedPath, NodeId, Weight};
 use disco_sim::{Context, Protocol};
 use serde::{Deserialize, Serialize};
@@ -142,15 +142,17 @@ pub struct RouteEntry {
     pub dest_landmark_dist: Weight,
 }
 
-/// Turn a RIB candidate into a routing-table entry via the neighbor it
-/// came from.
-fn cand_to_entry(c: &Candidate, next_hop: NodeId) -> RouteEntry {
+/// Materialize a routing-table entry from the Loc-RIB view. This is the
+/// *only* place a `RouteEntry` is built from the selection — the table
+/// (the export/forwarding boundary) and nothing else; everywhere else the
+/// selection is read in place through [`RibStore::selected_view`].
+fn view_entry(v: &SelectedRoute<'_>) -> RouteEntry {
     RouteEntry {
-        dist: c.dist,
-        next_hop,
-        path: c.path.clone(),
-        dest_is_landmark: c.dest_is_landmark,
-        dest_landmark_dist: c.dest_landmark_dist,
+        dist: v.dist,
+        next_hop: v.next_hop,
+        path: v.path.clone(),
+        dest_is_landmark: v.dest_is_landmark,
+        dest_landmark_dist: v.dest_landmark_dist,
     }
 }
 
@@ -183,22 +185,31 @@ pub struct PathVectorNode {
     /// Route-refresh requests sent / answered (repair-traffic gauges).
     refreshes_sent: u64,
     refreshes_answered: u64,
-    /// Best candidate per destination (Loc-RIB), maintained incrementally
-    /// from `rib_in` so a message costs O(degree), not O(all candidates).
-    /// Mutate only through [`Self::set_best`].
-    best: FxHashMap<NodeId, RouteEntry>,
+    /// The Loc-RIB is *not* stored here: it is the [`RibStore`]'s
+    /// per-destination selection column (see [`RibStore::selected_view`]),
+    /// maintained incrementally through [`Self::select_candidate`] /
+    /// [`Self::rescan_best`] so a message costs O(degree), not O(all
+    /// candidates). The former `best: FxHashMap<NodeId, RouteEntry>`
+    /// duplicated ~56 B per known destination on top of the candidates.
+    ///
     /// Ordered mirrors that turn the per-message O(table) / O(best) scans
     /// of cap admission into O(log) lookups — the difference between
-    /// per-event cost growing with √n and staying flat:
-    /// non-landmark, non-self *table* entries by `(dist, id)`
+    /// per-event cost growing with √n and staying flat. Keyed on compact
+    /// 4-byte destination keys (`d.0 as u32`), *not* on interned RIB
+    /// indexes: the `(dist, key)` order must equal the `(dist, NodeId)`
+    /// order — distance ties are everywhere on unit-weight graphs and the
+    /// tie-break decides cap admission — and intern order is arrival
+    /// order, which would reorder ties and change converged tables.
+    ///
+    /// Non-landmark, non-self *table* entries by `(dist, key)`
     /// (max = the cap's eviction candidate).
-    locals: BTreeSet<(OrdW, NodeId)>,
-    /// Non-landmark *best* entries not currently in the table, by
-    /// `(dist, id)` (min = the cap's best waiting candidate).
-    waiting: BTreeSet<(OrdW, NodeId)>,
-    /// Landmark-flagged *best* entries by `(dist, id)` (min = this node's
-    /// own landmark distance).
-    lm_best: BTreeSet<(OrdW, NodeId)>,
+    locals: BTreeSet<(OrdW, u32)>,
+    /// Non-landmark *selected* routes not currently in the table, by
+    /// `(dist, key)` (min = the cap's best waiting candidate).
+    waiting: BTreeSet<(OrdW, u32)>,
+    /// Landmark-flagged *selected* routes by `(dist, key)` (min = this
+    /// node's own landmark distance).
+    lm_best: BTreeSet<(OrdW, u32)>,
     /// Per-destination count of landmark-flagged candidates across all
     /// neighbors (incremental OR-merge of the landmark flag; absent = 0).
     cand_lm: FxHashMap<NodeId, u32>,
@@ -250,7 +261,6 @@ impl PathVectorNode {
             pending_refresh: BTreeSet::new(),
             refreshes_sent: 0,
             refreshes_answered: 0,
-            best: FxHashMap::default(),
             locals: BTreeSet::new(),
             waiting: BTreeSet::new(),
             lm_best: BTreeSet::new(),
@@ -333,6 +343,24 @@ impl PathVectorNode {
         self.rib.stats()
     }
 
+    /// Approximate heap bytes of this node's Loc-RIB *view*: the
+    /// selection columns in the [`RibStore`] plus the ordered
+    /// `locals`/`waiting`/`lm_best` mirrors (≈12 B keys in B-tree nodes
+    /// that amortize to about twice the payload). This is the "loc-rib
+    /// bytes" column of `exp_memory`'s per-component accounting — the
+    /// state that used to be a materialized `FxHashMap<NodeId,
+    /// RouteEntry>` per node.
+    pub fn loc_rib_bytes(&self) -> usize {
+        self.rib.selection_bytes() + self.mirror_entries() * 24
+    }
+
+    /// Entries across the three ordered mirrors (`locals` + `waiting` +
+    /// `lm_best`), for the byte-model accounting: the pre-view layout kept
+    /// the same mirrors at 16-byte `(dist, NodeId)` keys.
+    pub fn mirror_entries(&self) -> usize {
+        self.locals.len() + self.waiting.len() + self.lm_best.len()
+    }
+
     /// Route-refresh requests this node has flooded (forgetful routing's
     /// re-solicitation traffic).
     pub fn refreshes_sent(&self) -> u64 {
@@ -344,24 +372,32 @@ impl PathVectorNode {
         self.refreshes_answered
     }
 
+    /// Compact 4-byte mirror key for a destination (order-isomorphic to
+    /// `NodeId` — see the mirror field docs).
+    #[inline]
+    fn dkey(d: NodeId) -> u32 {
+        debug_assert_eq!(d.0 as u32 as usize, d.0, "node ids must fit u32");
+        d.0 as u32
+    }
+
     /// Insert a table entry, keeping the `locals` / `waiting` mirrors
     /// consistent. Returns the replaced entry, like `HashMap::insert`.
     fn tbl_insert(&mut self, d: NodeId, e: RouteEntry) -> Option<RouteEntry> {
         let is_local = d != self.id && !e.dest_is_landmark;
-        let new_key = (OrdW(e.dist), d);
+        let new_key = (OrdW(e.dist), Self::dkey(d));
         let old = self.table.insert(d, e);
         if let Some(o) = &old {
             if d != self.id && !o.dest_is_landmark {
-                self.locals.remove(&(OrdW(o.dist), d));
+                self.locals.remove(&(OrdW(o.dist), Self::dkey(d)));
             }
         }
         if is_local {
             self.locals.insert(new_key);
         }
         // A destination in the table is never waiting.
-        if let Some(b) = self.best.get(&d) {
-            if !b.dest_is_landmark {
-                self.waiting.remove(&(OrdW(b.dist), d));
+        if let Some((dist, flag)) = self.rib.selected_parts(d) {
+            if !flag {
+                self.waiting.remove(&(OrdW(dist), Self::dkey(d)));
             }
         }
         old
@@ -371,43 +407,56 @@ impl PathVectorNode {
     fn tbl_remove(&mut self, d: NodeId) -> Option<RouteEntry> {
         let old = self.table.remove(&d)?;
         if d != self.id && !old.dest_is_landmark {
-            self.locals.remove(&(OrdW(old.dist), d));
+            self.locals.remove(&(OrdW(old.dist), Self::dkey(d)));
         }
-        // A non-landmark best candidate no longer in the table waits for a
+        // A non-landmark selected route no longer in the table waits for a
         // cap slot again.
-        if let Some(b) = self.best.get(&d) {
-            if !b.dest_is_landmark {
-                self.waiting.insert((OrdW(b.dist), d));
+        if let Some((dist, flag)) = self.rib.selected_parts(d) {
+            if !flag {
+                self.waiting.insert((OrdW(dist), Self::dkey(d)));
             }
         }
         Some(old)
     }
 
-    /// Replace the Loc-RIB best entry for `d`, keeping the `waiting` /
-    /// `lm_best` mirrors consistent.
-    fn set_best(&mut self, d: NodeId, nb: Option<RouteEntry>) {
-        if let Some(o) = self.best.get(&d) {
-            let k = (OrdW(o.dist), d);
-            if o.dest_is_landmark {
+    /// Drop the current selection's mirror key (call before any mutation
+    /// of the selection for `d`).
+    fn unmirror_best(&mut self, d: NodeId) {
+        if let Some((dist, flag)) = self.rib.selected_parts(d) {
+            let k = (OrdW(dist), Self::dkey(d));
+            if flag {
                 self.lm_best.remove(&k);
             } else {
                 self.waiting.remove(&k);
             }
         }
-        match nb {
-            None => {
-                self.best.remove(&d);
-            }
-            Some(b) => {
-                let k = (OrdW(b.dist), d);
-                if b.dest_is_landmark {
-                    self.lm_best.insert(k);
-                } else if !self.table.contains_key(&d) {
-                    self.waiting.insert(k);
-                }
-                self.best.insert(d, b);
+    }
+
+    /// Mirror the current selection for `d` (call after the selection
+    /// mutation; a destination resident in the table is never `waiting`).
+    fn mirror_best(&mut self, d: NodeId) {
+        if let Some((dist, flag)) = self.rib.selected_parts(d) {
+            let k = (OrdW(dist), Self::dkey(d));
+            if flag {
+                self.lm_best.insert(k);
+            } else if !self.table.contains_key(&d) {
+                self.waiting.insert(k);
             }
         }
+    }
+
+    /// Point the Loc-RIB selection at `nbr`'s current candidate for `d`
+    /// (the flag policy decides between the candidate's own flag and the
+    /// OR-merge), keeping the mirrors consistent.
+    fn select_candidate(&mut self, d: NodeId, nbr: NodeId, cand_flag: bool) {
+        let flag = if self.origin_landmark_flags {
+            cand_flag
+        } else {
+            self.cand_is_lm(d)
+        };
+        self.unmirror_best(d);
+        self.rib.select(d, nbr, flag);
+        self.mirror_best(d);
     }
 
     /// Promote this node to a landmark at runtime (emergency self-election
@@ -485,7 +534,7 @@ impl PathVectorNode {
             let Some(w) = self.best_waiting() else {
                 break;
             };
-            let e = self.best[&w].clone();
+            let e = self.waiting_entry(w);
             self.tbl_insert(w, e);
             self.pending.insert(w);
         }
@@ -573,22 +622,20 @@ impl PathVectorNode {
     /// a pure function of the candidate set (the preference order is
     /// total), so equal-seed runs reselect identically.
     fn rescan_best(&mut self, d: NodeId) {
-        // Best candidate over neighbors. The landmark flag is OR-merged
-        // (via the incremental counter): it is intrinsic to the
+        // Best candidate over neighbors, written straight into the
+        // selection column (nothing materialized). The landmark flag is
+        // OR-merged (via the incremental counter): it is intrinsic to the
         // destination, and candidates disagree only transiently while a
         // promotion floods.
-        match self.rib.best_for(d).map(|(nbr, c)| cand_to_entry(&c, nbr)) {
-            None => self.set_best(d, None),
-            Some(mut b) => {
-                if !self.origin_landmark_flags {
-                    b.dest_is_landmark = self.cand_is_lm(d);
-                }
-                self.set_best(d, Some(b));
-            }
+        self.unmirror_best(d);
+        if self.rib.select_best(d) && !self.origin_landmark_flags {
+            let flag = self.cand_is_lm(d);
+            self.rib.set_selected_flag(d, flag);
         }
+        self.mirror_best(d);
     }
 
-    /// Re-write the best entry's landmark flag if the OR over candidates
+    /// Re-write the selection's landmark flag if the OR over candidates
     /// changed (the route itself is untouched). Under origin-authoritative
     /// flags this is a no-op: the flag belongs to the selected candidate,
     /// and a non-selected neighbor's word cannot change it.
@@ -597,11 +644,11 @@ impl PathVectorNode {
             return;
         }
         let is_lm = self.cand_is_lm(d);
-        if let Some(cur) = self.best.get(&d) {
-            if cur.dest_is_landmark != is_lm {
-                let mut b = cur.clone();
-                b.dest_is_landmark = is_lm;
-                self.set_best(d, Some(b));
+        if let Some((_, flag)) = self.rib.selected_parts(d) {
+            if flag != is_lm {
+                self.unmirror_best(d);
+                self.rib.set_selected_flag(d, is_lm);
+                self.mirror_best(d);
             }
         }
     }
@@ -619,18 +666,18 @@ impl PathVectorNode {
         if d == self.id {
             return;
         }
-        let cur_hop = self.best.get(&d).map(|e| e.next_hop);
+        let cur_hop = self.rib.selected_hop(d);
         if let Some(cand) = new {
-            let promote = match self.best.get(&d) {
+            // Compare against the selection's *cached* route: when `from`
+            // re-announced over its own selected candidate, the cache still
+            // holds the pre-update values, exactly like the deleted `best`
+            // map did.
+            let promote = match self.rib.selected_view(d) {
                 None => true,
-                Some(cur) => preferred_parts(cand.dist, &cand.path, cur.dist, &cur.path),
+                Some(cur) => preferred_parts(cand.dist, &cand.path, cur.dist, cur.path),
             };
             if promote {
-                let mut b = cand_to_entry(&cand, from);
-                if !self.origin_landmark_flags {
-                    b.dest_is_landmark = self.cand_is_lm(d);
-                }
-                self.set_best(d, Some(b));
+                self.select_candidate(d, from, cand.dest_is_landmark);
                 self.apply_selection(d);
                 return;
             }
@@ -646,11 +693,14 @@ impl PathVectorNode {
             // exports, and refreshing on every degradation feeds back (the
             // answers themselves get evicted, re-arming the trigger) into
             // a refresh storm that never quiesces.
-            if self.forgetful.is_some() && !self.best.contains_key(&d) && self.rib.take_evicted(d) {
+            if self.forgetful.is_some()
+                && self.rib.selected_hop(d).is_none()
+                && self.rib.take_evicted(d)
+            {
                 self.pending_refresh.insert(d);
             }
         } else {
-            // The best route is untouched; only the OR-merged landmark
+            // The selected route is untouched; only the OR-merged landmark
             // flag can have changed.
             self.refresh_best_flag(d);
         }
@@ -674,8 +724,9 @@ impl PathVectorNode {
         } else {
             1
         };
-        let keep_hop = self.best.get(&d).map(|e| e.next_hop);
-        let removed = self.rib.enforce(d, keep, keep_hop);
+        // The selected route (read from the selection column) is never
+        // evicted, whatever its rank.
+        let removed = self.rib.enforce(d, keep);
         if removed.is_empty() {
             return;
         }
@@ -695,32 +746,44 @@ impl PathVectorNode {
         }
     }
 
-    /// Whether `e` qualifies for the table under the Cluster rule
-    /// (landmarks always; others iff d(v, w) < d(w, ℓ_w)).
-    fn cluster_accepts(e: &RouteEntry) -> bool {
-        e.dest_is_landmark || e.dist + 1e-12 < e.dest_landmark_dist
+    /// Whether a route with the given flag / distances qualifies for the
+    /// table under the Cluster rule (landmarks always; others iff
+    /// d(v, w) < d(w, ℓ_w)).
+    fn cluster_accepts(is_landmark: bool, dist: Weight, lm_dist: Weight) -> bool {
+        is_landmark || dist + 1e-12 < lm_dist
     }
 
     /// Vicinity ordering for cap admission: smaller distance first, ties by
     /// smaller id.
-    fn cap_key(d: NodeId, e: &RouteEntry) -> (Weight, NodeId) {
-        (e.dist, d)
+    fn cap_key(d: NodeId, dist: Weight) -> (Weight, NodeId) {
+        (dist, d)
     }
 
     fn cap_less(a: (Weight, NodeId), b: (Weight, NodeId)) -> bool {
         a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)) == std::cmp::Ordering::Less
     }
 
-    /// The best candidate not currently in the table (the cap's waiting
-    /// list), if any. O(log) via the `waiting` mirror.
+    /// The best selected route not currently in the table (the cap's
+    /// waiting list), if any. O(log) via the `waiting` mirror.
     fn best_waiting(&self) -> Option<NodeId> {
-        self.waiting.first().map(|&(_, d)| d)
+        self.waiting.first().map(|&(_, d)| NodeId(d as usize))
     }
 
     /// The worst non-landmark table entry (the cap's eviction candidate).
     /// O(log) via the `locals` mirror.
     fn worst_local(&self) -> Option<NodeId> {
-        self.locals.last().map(|&(_, d)| d)
+        self.locals.last().map(|&(_, d)| NodeId(d as usize))
+    }
+
+    /// Materialize the selected route of the cap's waiting candidate `w`
+    /// for table admission.
+    fn waiting_entry(&self, w: NodeId) -> RouteEntry {
+        view_entry(
+            &self
+                .rib
+                .selected_view(w)
+                .expect("a waiting destination has a selected route"),
+        )
     }
 
     /// Number of non-landmark, non-self table entries. O(1).
@@ -734,32 +797,39 @@ impl PathVectorNode {
     /// and keeps `own_landmark_dist` (exported on the self entry) current.
     fn apply_selection(&mut self, d: NodeId) {
         let was_landmark_entry = self.table.get(&d).is_some_and(|e| e.dest_is_landmark);
-        let desired: Option<RouteEntry> = match (self.best.get(&d), self.limit) {
+        let best_is_landmark = self.rib.selected_parts(d).is_some_and(|(_, f)| f);
+        let desired: Option<RouteEntry> = match (self.rib.selected_view(d), self.limit) {
             (None, _) => None,
-            (Some(e), TableLimit::Unlimited) => Some(e.clone()),
-            (Some(e), TableLimit::Cluster) => Self::cluster_accepts(e).then(|| e.clone()),
-            (Some(e), TableLimit::VicinityCap { size }) => {
-                if e.dest_is_landmark {
-                    Some(e.clone())
+            (Some(v), TableLimit::Unlimited) => Some(view_entry(&v)),
+            (Some(v), TableLimit::Cluster) => {
+                Self::cluster_accepts(v.dest_is_landmark, v.dist, v.dest_landmark_dist)
+                    .then(|| view_entry(&v))
+            }
+            (Some(v), TableLimit::VicinityCap { size }) => {
+                if v.dest_is_landmark {
+                    Some(view_entry(&v))
                 } else if self.table.contains_key(&d) && !was_landmark_entry {
                     // Already a local: keep unless the update worsened it
                     // below the best waiting candidate (checked after the
                     // entry is updated, below).
-                    Some(e.clone())
+                    Some(view_entry(&v))
                 } else {
                     // Admission test against the cap.
                     let fits = self.local_count() < size;
                     let beats_worst = self.worst_local().is_some_and(|w| {
-                        Self::cap_less(Self::cap_key(d, e), Self::cap_key(w, &self.table[&w]))
+                        Self::cap_less(
+                            Self::cap_key(d, v.dist),
+                            Self::cap_key(w, self.table[&w].dist),
+                        )
                     });
-                    (fits || beats_worst).then(|| e.clone())
+                    (fits || beats_worst).then(|| view_entry(&v))
                 }
             }
         };
 
         let landmark_involved = was_landmark_entry
             || desired.as_ref().is_some_and(|e| e.dest_is_landmark)
-            || self.best.get(&d).is_some_and(|e| e.dest_is_landmark);
+            || best_is_landmark;
 
         match desired {
             None => {
@@ -769,7 +839,7 @@ impl PathVectorNode {
                     if matches!(self.limit, TableLimit::VicinityCap { .. }) && !old.dest_is_landmark
                     {
                         if let Some(w) = self.best_waiting() {
-                            let e = self.best[&w].clone();
+                            let e = self.waiting_entry(w);
                             self.pending.insert(w);
                             self.tbl_insert(w, e);
                         }
@@ -795,11 +865,16 @@ impl PathVectorNode {
                                 // d's route worsened in place: the best
                                 // waiting candidate may now beat it.
                                 if let Some(w) = self.best_waiting() {
-                                    let wk = Self::cap_key(w, &self.best[&w]);
-                                    let dk = Self::cap_key(d, &self.table[&d]);
+                                    let wd = self
+                                        .rib
+                                        .selected_parts(w)
+                                        .expect("waiting dest has a selection")
+                                        .0;
+                                    let wk = Self::cap_key(w, wd);
+                                    let dk = Self::cap_key(d, self.table[&d].dist);
                                     if Self::cap_less(wk, dk) {
                                         self.tbl_remove(d);
-                                        let e = self.best[&w].clone();
+                                        let e = self.waiting_entry(w);
                                         self.pending.insert(w);
                                         self.tbl_insert(w, e);
                                     }
@@ -809,7 +884,7 @@ impl PathVectorNode {
                             // A local was re-classified as a landmark,
                             // freeing a cap slot.
                             if let Some(w) = self.best_waiting() {
-                                let e = self.best[&w].clone();
+                                let e = self.waiting_entry(w);
                                 self.pending.insert(w);
                                 self.tbl_insert(w, e);
                             }
@@ -1032,7 +1107,7 @@ mod tests {
         landmarks: &[NodeId],
         limit_for: impl Fn(NodeId) -> TableLimit,
     ) -> (Vec<PathVectorNode>, disco_sim::MessageStats) {
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = crate::landmark::landmark_set(landmarks);
         let mut engine = Engine::new(g, |v| {
             PathVectorNode::new(v, lm_set.contains(&v), limit_for(v))
         });
@@ -1184,7 +1259,7 @@ mod tests {
         limit: TableLimit,
         events: Vec<TopologyEvent>,
     ) -> Engine<'g, PathVectorNode> {
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = crate::landmark::landmark_set(landmarks);
         let mut engine = Engine::new(g, move |v| {
             PathVectorNode::new(v, lm_set.contains(&v), limit)
         });
@@ -1391,7 +1466,7 @@ mod tests {
         let g = generators::gnm_connected(96, 384, 19);
         let cfg = DiscoConfig::seeded(19);
         let landmarks = select_landmarks(96, &cfg);
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = crate::landmark::landmark_set(&landmarks);
         let run = |alternates: Option<usize>| {
             let mut engine = Engine::new(&g, |v| {
                 let mut pv = PathVectorNode::new(
@@ -1519,7 +1594,7 @@ mod tests {
     #[test]
     fn promotion_floods_new_landmark() {
         let g = generators::ring(8);
-        let lm_set: std::collections::HashSet<NodeId> = [NodeId(0)].into_iter().collect();
+        let lm_set = crate::landmark::landmark_set(&[NodeId(0)]);
         let mut engine = Engine::new(&g, |v| {
             PathVectorNode::new(v, lm_set.contains(&v), TableLimit::VicinityCap { size: 2 })
         });

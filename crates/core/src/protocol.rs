@@ -40,12 +40,11 @@ use crate::hash::{NameHash, NameHasher};
 use crate::landmark::LandmarkStatus;
 use crate::name::FlatName;
 use crate::path_vector::{Announcement, PathVectorNode, TableLimit};
-use disco_graph::{InternedPath, NodeId};
+use disco_graph::{FxHashMap, FxHashSet, InternedPath, NodeId};
 use disco_sim::context::Action;
 use disco_sim::rng::rng_for;
 use disco_sim::{Context, Protocol};
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Timer tokens.
 const TIMER_INSERT: u64 = 1;
@@ -171,14 +170,22 @@ pub struct DiscoProtocol {
     hasher: NameHasher,
     my_hash: NameHash,
     /// Resolution entries stored here (landmarks only).
-    pub resolution_store: HashMap<NameHash, WireAddress>,
-    /// Overlay neighbors learned in phase 2: slot → (hash, address).
-    pub overlay_neighbors: HashMap<usize, (NameHash, WireAddress)>,
-    /// Addresses of sloppy-group members learned through dissemination.
-    pub group_addresses: HashMap<NodeId, WireAddress>,
-    /// Directions in which this node has already forwarded each origin's
-    /// announcement — suppresses duplicate floods.
-    forwarded: HashMap<(NodeId, bool), bool>,
+    pub resolution_store: FxHashMap<NameHash, WireAddress>,
+    /// Overlay neighbors learned in phase 2, indexed by slot
+    /// (0 = successor, 1 = predecessor, 2.. = fingers). Slots are dense and
+    /// few (`2 + fingers`), so a flat vector replaces the former
+    /// `HashMap<usize, _>` — smaller, and iteration is slot-ordered and
+    /// deterministic.
+    pub overlay_neighbors: Vec<Option<(NameHash, WireAddress)>>,
+    /// Addresses of sloppy-group members learned through dissemination,
+    /// keyed on the compact 4-byte member id (the same u32 destination
+    /// keys the path-vector mirrors use).
+    pub group_addresses: FxHashMap<u32, WireAddress>,
+    /// `(origin << 1) | direction` keys of announcements this node has
+    /// already forwarded — suppresses duplicate floods. The former
+    /// `HashMap<(NodeId, bool), bool>` spent ~18 B per always-`true` entry
+    /// plus SipHash; this is a compact 8-byte-key `FxHashSet`.
+    forwarded: FxHashSet<u64>,
     /// This node's estimate of the network size (live when
     /// `dynamic_n_estimation` is on, otherwise the construction-time
     /// value).
@@ -267,10 +274,10 @@ impl DiscoProtocol {
             name,
             hasher,
             my_hash,
-            resolution_store: HashMap::new(),
-            overlay_neighbors: HashMap::new(),
-            group_addresses: HashMap::new(),
-            forwarded: HashMap::new(),
+            resolution_store: FxHashMap::default(),
+            overlay_neighbors: vec![None; 2 + cfg.fingers],
+            group_addresses: FxHashMap::default(),
+            forwarded: FxHashSet::default(),
             n_estimate,
             repair_pending: false,
             bootstrapped: false,
@@ -305,6 +312,67 @@ impl DiscoProtocol {
     /// a departure triggers the first reset).
     pub fn synopsis_epoch(&self) -> u64 {
         self.synopsis.epoch()
+    }
+
+    /// Compact `forwarded` key: origin id and direction packed into 8
+    /// bytes.
+    #[inline]
+    fn fwd_key(origin: NodeId, up: bool) -> u64 {
+        ((origin.0 as u64) << 1) | up as u64
+    }
+
+    /// Record an overlay neighbor in its slot (growing the slot vector if
+    /// a reply outruns the configured finger count).
+    fn set_overlay_slot(&mut self, slot: usize, entry: (NameHash, WireAddress)) {
+        if slot >= self.overlay_neighbors.len() {
+            self.overlay_neighbors.resize(slot + 1, None);
+        }
+        self.overlay_neighbors[slot] = Some(entry);
+    }
+
+    /// Overlay neighbors currently known (filled slots).
+    pub fn overlay_neighbor_count(&self) -> usize {
+        self.overlay_neighbors.iter().flatten().count()
+    }
+
+    /// The sloppy-group address stored for `member`, if any.
+    pub fn group_address(&self, member: NodeId) -> Option<&WireAddress> {
+        self.group_addresses.get(&(member.0 as u32))
+    }
+
+    /// Approximate heap bytes of the dissemination bookkeeping — the
+    /// "dissemination bytes" column of `exp_memory`'s per-component
+    /// accounting: the sloppy-group address store, the overlay slots and
+    /// the forwarded-announcement dedup set. The resolution shard (§4.3
+    /// application state, landmarks only) is deliberately excluded: its
+    /// layout is entry-count-driven either way and would dilute the
+    /// bookkeeping signal. `WireAddress` paths are interned arena cells,
+    /// accounted by the arena.
+    pub fn dissemination_bytes(&self) -> usize {
+        const ADDR: usize = std::mem::size_of::<WireAddress>();
+        // Hash structures are priced at their real SwissTable allocation —
+        // `capacity()` is 7/8 of the bucket array, each bucket paying its
+        // payload plus one control byte — the same model the legacy-layout
+        // comparison uses, so the before/after ratio reflects layout, not
+        // accounting asymmetry.
+        let group_buckets = self.group_addresses.capacity() * 8 / 7;
+        let fwd_buckets = self.forwarded.capacity() * 8 / 7;
+        group_buckets * (4 + ADDR + 1)
+            + self.overlay_neighbors.capacity() * (8 + ADDR + 8)
+            + fwd_buckets * (8 + 1)
+    }
+
+    /// Live entry counts behind [`Self::dissemination_bytes`], for the
+    /// byte-model accounting in `disco-metrics::control`:
+    /// `(group addresses, filled overlay slots, forwarded keys)`. The
+    /// overlay count is *filled* slots — the legacy `HashMap<usize, _>`
+    /// held only those.
+    pub fn dissemination_counts(&self) -> (usize, usize, usize) {
+        (
+            self.group_addresses.len(),
+            self.overlay_neighbor_count(),
+            self.forwarded.len(),
+        )
     }
 
     /// Send this node's synopsis union to one neighbor.
@@ -501,7 +569,7 @@ impl DiscoProtocol {
                 address,
             } => {
                 if address.node != self.pv.id() {
-                    self.overlay_neighbors.insert(slot, (hash, address));
+                    self.set_overlay_slot(slot, (hash, address));
                 }
             }
             Payload::GroupAnnouncement {
@@ -515,14 +583,15 @@ impl DiscoProtocol {
                 }
                 let k = self.cfg.group_prefix_bits(self.n_estimate);
                 if origin_hash.prefix(k) == self.my_hash.prefix(k) {
-                    self.group_addresses.insert(origin, address.clone());
+                    self.group_addresses
+                        .insert(origin.0 as u32, address.clone());
                 }
                 let directions: Vec<bool> = match up {
                     Some(d) => vec![d],
                     None => vec![true, false],
                 };
                 for d in directions {
-                    if self.forwarded.insert((origin, d), true).is_some() {
+                    if !self.forwarded.insert(Self::fwd_key(origin, d)) {
                         continue;
                     }
                     self.forward_announcement(origin_hash, &address, d, ctx);
@@ -540,7 +609,7 @@ impl DiscoProtocol {
         ctx: &mut Context<'_, DiscoMsg>,
     ) {
         let k = self.cfg.group_prefix_bits(self.n_estimate);
-        for (nb_hash, nb_addr) in self.overlay_neighbors.values() {
+        for (nb_hash, nb_addr) in self.overlay_neighbors.iter().flatten() {
             if nb_hash.prefix(k) != self.my_hash.prefix(k) {
                 continue; // keep the announcement inside the group
             }
@@ -620,7 +689,7 @@ impl DiscoProtocol {
             if let Some(owner) = self.owner_landmark(target) {
                 if owner == me {
                     if let Some((h, addr)) = self.answer_lookup(target, kind, me) {
-                        self.overlay_neighbors.insert(slot, (h, addr));
+                        self.set_overlay_slot(slot, (h, addr));
                     }
                 } else if let Some(route) = self.route_to(owner, None) {
                     let reply = route.reversed();
@@ -645,8 +714,8 @@ impl DiscoProtocol {
         let Some(my_addr) = self.my_address() else {
             return;
         };
-        self.forwarded.insert((self.pv.id(), true), true);
-        self.forwarded.insert((self.pv.id(), false), true);
+        self.forwarded.insert(Self::fwd_key(self.pv.id(), true));
+        self.forwarded.insert(Self::fwd_key(self.pv.id(), false));
         for up in [true, false] {
             self.forward_announcement(self.my_hash, &my_addr, up, ctx);
         }
@@ -910,7 +979,7 @@ impl Protocol for DiscoProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::landmark::select_landmarks;
+    use crate::landmark::{landmark_set, select_landmarks};
     use disco_graph::generators;
     use disco_sim::Engine;
 
@@ -922,7 +991,7 @@ mod tests {
         let g = generators::gnm_average_degree(n, 8.0, seed);
         let cfg = DiscoConfig::seeded(seed).with_fingers(fingers);
         let landmarks = select_landmarks(n, &cfg);
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = landmark_set(&landmarks);
         let mut engine = Engine::new(&g, |v| {
             DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
         });
@@ -940,7 +1009,7 @@ mod tests {
         let with_overlay = engine
             .nodes()
             .iter()
-            .filter(|p| !p.overlay_neighbors.is_empty())
+            .filter(|p| p.overlay_neighbor_count() > 0)
             .count();
         (report, group_counts, resolution_total, with_overlay)
     }
@@ -976,7 +1045,7 @@ mod tests {
         let g = generators::gnm_average_degree(n, 8.0, seed);
         let cfg = DiscoConfig::seeded(seed);
         let landmarks = select_landmarks(n, &cfg);
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = landmark_set(&landmarks);
         let mut engine = Engine::new(&g, |v| {
             DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
         });
@@ -1002,7 +1071,7 @@ mod tests {
         // synopsis gossip can fix them.
         let wrong = 4;
         let landmarks = select_landmarks_with_estimates(n, &cfg, |_| wrong);
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = landmark_set(&landmarks);
         let initial_landmarks = landmarks.len();
         let mut engine = Engine::new(&g, |v| {
             DiscoProtocol::new(v, lm_set.contains(&v), wrong, &cfg, PhaseTimers::default())
@@ -1057,7 +1126,7 @@ mod tests {
         let g = generators::gnm_average_degree(n, 6.0, seed);
         let cfg = DiscoConfig::seeded(seed).with_dynamic_n_estimation(true);
         let landmarks = crate::landmark::select_landmarks(n, &cfg);
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = landmark_set(&landmarks);
         let mut engine = Engine::new(&g, |v| {
             DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
         });
@@ -1127,7 +1196,7 @@ mod tests {
         let g = generators::gnm_average_degree(n, 8.0, seed);
         let cfg = DiscoConfig::seeded(seed).with_dynamic_n_estimation(true);
         let landmarks = crate::landmark::select_landmarks(n, &cfg);
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = landmark_set(&landmarks);
         let mut engine = Engine::new(&g, |v| {
             DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
         });
@@ -1189,7 +1258,7 @@ mod tests {
         let g = generators::gnm_average_degree(n, 8.0, seed);
         let cfg = DiscoConfig::seeded(seed).with_dynamic_n_estimation(true);
         let landmarks = crate::landmark::select_landmarks(n, &cfg);
-        let lm_set: std::collections::HashSet<NodeId> = landmarks.iter().copied().collect();
+        let lm_set = landmark_set(&landmarks);
         let mut engine = Engine::new(&g, |v| {
             DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
         });

@@ -14,11 +14,29 @@
 //!   a destination's candidate set down to the selected route plus a
 //!   bounded alternate set, remembering (per destination) that information
 //!   was discarded so the protocol can re-solicit it when needed
-//!   (paper §4.2, forgetful routing).
+//!   (paper §4.2, forgetful routing),
+//! * a per-destination **selection column** — the Loc-RIB as a *view* over
+//!   the store: `dest index → (neighbor, cost, landmark flag, landmark
+//!   distance, interned path id)` in dense parallel columns. The
+//!   path-vector node used to mirror every best route into a
+//!   `FxHashMap<NodeId, RouteEntry>` (~56 B payload per known destination
+//!   plus map overhead, duplicated on top of the slab candidates); the
+//!   column costs ~25 B per interned destination and `RouteEntry` is
+//!   materialized only at export/forwarding boundaries
+//!   ([`RibStore::selected_view`]).
+//!
+//! The selection columns are a *cache* of the selected candidate's fields,
+//! not a pointer into the slabs: after the backing candidate is withdrawn
+//! the cached values remain readable until the owner re-selects. That is
+//! deliberate — the repairing path vector reads the previous best while
+//! deciding how to heal (and, during a neighbor-down sweep, may transiently
+//! export a not-yet-reprocessed destination's old route, behavior the churn
+//! goldens bake in).
 //!
 //! The store is policy-free: which destinations are exempt from
-//! forgetting (landmarks, vicinity members) and when to send a
-//! route-refresh is decided by [`crate::path_vector::PathVectorNode`].
+//! forgetting (landmarks, vicinity members), when to send a
+//! route-refresh, and what landmark flag the selection carries (origin
+//! vs OR-merge) is decided by [`crate::path_vector::PathVectorNode`].
 //! Selection order is a pure function of the candidate *set* (the
 //! preference order is total), so replacing the nested maps cannot change
 //! protocol behavior — the churn golden test locks this.
@@ -159,22 +177,45 @@ pub struct RibStats {
     pub candidates: usize,
     /// Distinct destinations interned (live + holes awaiting compaction).
     pub dests_interned: usize,
+    /// Destinations with a selected route (the Loc-RIB view's occupancy).
+    pub selected: usize,
     /// Total path nodes across all candidates (each retains arena cells).
     pub path_nodes: usize,
-    /// Approximate heap bytes of the store itself (slabs + interner).
+    /// Approximate heap bytes of the Adj-RIB-In proper (slabs + interner;
+    /// the selection columns are accounted separately).
     pub approx_bytes: usize,
+    /// Approximate heap bytes of the per-destination selection columns —
+    /// the Loc-RIB-as-a-view component of `exp_memory`'s byte accounting.
+    pub selection_bytes: usize,
     /// Candidates evicted by the forgetful policy since construction.
     pub evictions: u64,
+}
+
+/// Borrowed view of the selected route for one destination — everything
+/// the forwarding / export path needs, materialized into a
+/// [`crate::path_vector::RouteEntry`] only at those boundaries.
+#[derive(Debug)]
+pub struct SelectedRoute<'a> {
+    /// Neighbor the selected route goes through.
+    pub next_hop: NodeId,
+    /// Distance to the destination via that neighbor.
+    pub dist: Weight,
+    /// Destination's distance to its own closest landmark.
+    pub dest_landmark_dist: Weight,
+    /// Effective landmark flag (set by the owner's flag policy).
+    pub dest_is_landmark: bool,
+    /// Path from this node to the destination (this node first).
+    pub path: &'a InternedPath,
 }
 
 /// The compact Adj-RIB-In: per-neighbor SoA slabs over interned
 /// destination indexes. See the module docs.
 #[derive(Debug, Clone, Default)]
 pub struct RibStore {
-    /// Destination index → id.
-    dests: Vec<NodeId>,
-    /// Destination id → index.
-    dest_idx: FxHashMap<NodeId, u32>,
+    /// Destination index → node id (compact: simulation node ids fit u32).
+    dests: Vec<u32>,
+    /// Destination node id → index.
+    dest_idx: FxHashMap<u32, u32>,
     /// Per-neighbor slabs.
     slabs: FxHashMap<NodeId, NeighborSlab>,
     /// Occupied candidates across all slabs.
@@ -184,9 +225,24 @@ pub struct RibStore {
     /// Per destination index: the forgetful policy discarded candidates
     /// for this destination since the flag was last taken.
     evicted: Vec<bool>,
-    /// Destinations with candidates or a pending evicted flag (the ones a
-    /// compaction must keep) — maintained incrementally so the compaction
-    /// trigger is O(1) per mutation.
+    /// Selection column (the Loc-RIB view), indexed by destination index:
+    /// the selected route's neighbor (`ABSENT` = none selected) and the
+    /// cached fields of its candidate. Cached, not dereferenced through
+    /// the slab — see the module docs for why staleness is load-bearing.
+    sel_nbr: Vec<u32>,
+    /// Selected route's distance.
+    sel_dist: Vec<Weight>,
+    /// Selected route's destination-landmark distance.
+    sel_lm_dist: Vec<Weight>,
+    /// Selected route's effective landmark flag (owner's flag policy).
+    sel_flag: Vec<bool>,
+    /// Selected route's path (a reference-count bump on the slab's path).
+    sel_path: Vec<Option<InternedPath>>,
+    /// Destinations with a selection (`sel_nbr[i] != ABSENT`).
+    sel_count: usize,
+    /// Destinations with candidates, a pending evicted flag or a selection
+    /// (the ones a compaction must keep) — maintained incrementally so the
+    /// compaction trigger is O(1) per mutation.
     live_dests: usize,
     /// Candidates evicted by [`RibStore::enforce`] since construction.
     evictions: u64,
@@ -198,17 +254,35 @@ impl RibStore {
         Self::default()
     }
 
+    /// Whether destination index `i` must survive compaction.
+    fn is_live_idx(&self, i: usize) -> bool {
+        self.cand_count[i] > 0 || self.evicted[i] || self.sel_nbr[i] != ABSENT
+    }
+
     /// Intern `d`, returning its dense index.
     fn dest_id(&mut self, d: NodeId) -> u32 {
-        if let Some(&i) = self.dest_idx.get(&d) {
+        let key = d.0 as u32;
+        debug_assert_eq!(key as usize, d.0, "node ids must fit u32");
+        if let Some(&i) = self.dest_idx.get(&key) {
             return i;
         }
         let i = self.dests.len() as u32;
-        self.dests.push(d);
+        self.dests.push(key);
         self.cand_count.push(0);
         self.evicted.push(false);
-        self.dest_idx.insert(d, i);
+        self.sel_nbr.push(ABSENT);
+        self.sel_dist.push(0.0);
+        self.sel_lm_dist.push(0.0);
+        self.sel_flag.push(false);
+        self.sel_path.push(None);
+        self.dest_idx.insert(key, i);
         i
+    }
+
+    /// Look up the interned index of `d`, if any.
+    #[inline]
+    fn idx_of(&self, d: NodeId) -> Option<usize> {
+        self.dest_idx.get(&(d.0 as u32)).map(|&i| i as usize)
     }
 
     /// Candidates currently held across all neighbors.
@@ -223,16 +297,14 @@ impl RibStore {
 
     /// Number of candidates held for destination `d` across neighbors.
     pub fn count_for(&self, d: NodeId) -> usize {
-        self.dest_idx
-            .get(&d)
-            .map_or(0, |&i| self.cand_count[i as usize] as usize)
+        self.idx_of(d).map_or(0, |i| self.cand_count[i] as usize)
     }
 
     /// The candidate neighbor `nbr` holds for `d`, if any (materialized;
     /// the path copy is a reference-count bump).
     pub fn get(&self, nbr: NodeId, d: NodeId) -> Option<Candidate> {
-        let &di = self.dest_idx.get(&d)?;
-        self.slabs.get(&nbr)?.get(di)
+        let di = self.idx_of(d)?;
+        self.slabs.get(&nbr)?.get(di as u32)
     }
 
     /// Insert or replace the candidate `nbr` announced for `d`. Returns the
@@ -242,8 +314,9 @@ impl RibStore {
         let old = self.slabs.entry(nbr).or_default().insert(di, cand);
         if old.is_none() {
             self.total += 1;
+            let was_live = self.is_live_idx(di as usize);
             self.cand_count[di as usize] += 1;
-            if self.cand_count[di as usize] == 1 && !self.evicted[di as usize] {
+            if !was_live {
                 self.live_dests += 1;
             }
         }
@@ -252,7 +325,7 @@ impl RibStore {
 
     /// Remove the candidate `nbr` holds for `d`; returns its landmark flag.
     pub fn remove(&mut self, nbr: NodeId, d: NodeId) -> Option<bool> {
-        let &di = self.dest_idx.get(&d)?;
+        let di = self.idx_of(d)? as u32;
         let old = self.slabs.get_mut(&nbr)?.remove(di)?;
         self.total -= 1;
         self.drop_count(di);
@@ -263,7 +336,7 @@ impl RibStore {
     /// Decrement a destination's candidate count, tracking liveness.
     fn drop_count(&mut self, di: u32) {
         self.cand_count[di as usize] -= 1;
-        if self.cand_count[di as usize] == 0 && !self.evicted[di as usize] {
+        if !self.is_live_idx(di as usize) {
             self.live_dests -= 1;
         }
     }
@@ -278,7 +351,7 @@ impl RibStore {
         let mut out: Vec<(NodeId, bool)> = Vec::with_capacity(slab.dest.len());
         for (&di, &lm) in slab.dest.iter().zip(&slab.lm_flag) {
             self.drop_count(di);
-            out.push((self.dests[di as usize], lm));
+            out.push((NodeId(self.dests[di as usize] as usize), lm));
         }
         self.total -= out.len();
         out.sort_unstable_by_key(|&(d, _)| d);
@@ -286,11 +359,10 @@ impl RibStore {
         out
     }
 
-    /// The most-preferred candidate for `d` over all neighbors, with the
-    /// neighbor that announced it. Deterministic: the preference order is
-    /// total, so the minimum is independent of slab iteration order.
-    pub fn best_for(&self, d: NodeId) -> Option<(NodeId, Candidate)> {
-        let &di = self.dest_idx.get(&d)?;
+    /// The most-preferred candidate's `(neighbor, slot)` for destination
+    /// index `di`. Deterministic: the preference order is total, so the
+    /// minimum is independent of slab iteration order.
+    fn best_slot(&self, di: u32) -> Option<(NodeId, usize)> {
         let mut best: Option<(NodeId, usize, &NeighborSlab)> = None;
         for (&nbr, slab) in &self.slabs {
             let Some(s) = slab.slot_of(di) else { continue };
@@ -307,17 +379,150 @@ impl RibStore {
                 best = Some((nbr, s, slab));
             }
         }
-        best.map(|(nbr, s, slab)| {
-            (
-                nbr,
-                Candidate {
-                    dist: slab.dist[s],
-                    path: slab.path[s].clone(),
-                    dest_is_landmark: slab.lm_flag[s],
-                    dest_landmark_dist: slab.lm_dist[s],
-                },
-            )
+        best.map(|(nbr, s, _)| (nbr, s))
+    }
+
+    /// The most-preferred candidate for `d` over all neighbors, with the
+    /// neighbor that announced it.
+    pub fn best_for(&self, d: NodeId) -> Option<(NodeId, Candidate)> {
+        let di = self.idx_of(d)? as u32;
+        let (nbr, s) = self.best_slot(di)?;
+        let slab = &self.slabs[&nbr];
+        Some((
+            nbr,
+            Candidate {
+                dist: slab.dist[s],
+                path: slab.path[s].clone(),
+                dest_is_landmark: slab.lm_flag[s],
+                dest_landmark_dist: slab.lm_dist[s],
+            },
+        ))
+    }
+
+    // ---- the Loc-RIB view (per-destination selection column) ----
+
+    /// Write the selection column for `di` from `nbr`'s slab slot `s`,
+    /// with the effective landmark flag `flag`.
+    fn write_selection(&mut self, di: usize, nbr: NodeId, s: usize, flag: bool) {
+        let slab = &self.slabs[&nbr];
+        let (dist, lm_dist) = (slab.dist[s], slab.lm_dist[s]);
+        let path = slab.path[s].clone();
+        if self.sel_nbr[di] == ABSENT {
+            self.sel_count += 1;
+        }
+        // A selected dest always has a candidate, so it was already live.
+        debug_assert!(self.cand_count[di] > 0);
+        self.sel_nbr[di] = nbr.0 as u32;
+        self.sel_dist[di] = dist;
+        self.sel_lm_dist[di] = lm_dist;
+        self.sel_flag[di] = flag;
+        self.sel_path[di] = Some(path);
+    }
+
+    /// Point the selection at `nbr`'s current candidate for `d` (which
+    /// must exist), caching its fields; `flag` is the effective landmark
+    /// flag under the owner's flag policy.
+    pub fn select(&mut self, d: NodeId, nbr: NodeId, flag: bool) {
+        let di = self.idx_of(d).expect("selecting an unknown destination");
+        let s = self.slabs[&nbr]
+            .slot_of(di as u32)
+            .expect("selected neighbor must hold a candidate");
+        self.write_selection(di, nbr, s, flag);
+    }
+
+    /// Recompute the selection for `d` as the most-preferred candidate
+    /// over all neighbors (cleared if none is left). The flag is the
+    /// winning candidate's own; the owner overrides it afterwards when it
+    /// runs the OR-merge policy. Returns whether a route is now selected.
+    pub fn select_best(&mut self, d: NodeId) -> bool {
+        let Some(di) = self.idx_of(d) else {
+            return false;
+        };
+        match self.best_slot(di as u32) {
+            Some((nbr, s)) => {
+                let flag = self.slabs[&nbr].lm_flag[s];
+                self.write_selection(di, nbr, s, flag);
+                true
+            }
+            None => {
+                self.clear_selected(d);
+                false
+            }
+        }
+    }
+
+    /// Drop the selection for `d`, if any.
+    pub fn clear_selected(&mut self, d: NodeId) {
+        let Some(di) = self.idx_of(d) else {
+            return;
+        };
+        if self.sel_nbr[di] == ABSENT {
+            return;
+        }
+        self.sel_nbr[di] = ABSENT;
+        self.sel_path[di] = None;
+        self.sel_count -= 1;
+        if !self.is_live_idx(di) {
+            self.live_dests -= 1;
+        }
+        self.maybe_compact();
+    }
+
+    /// The selected route's next hop for `d`, if a route is selected.
+    #[inline]
+    pub fn selected_hop(&self, d: NodeId) -> Option<NodeId> {
+        let di = self.idx_of(d)?;
+        let nbr = self.sel_nbr[di];
+        (nbr != ABSENT).then_some(NodeId(nbr as usize))
+    }
+
+    /// The full selected-route view for `d` (one interner probe).
+    #[inline]
+    pub fn selected_view(&self, d: NodeId) -> Option<SelectedRoute<'_>> {
+        let di = self.idx_of(d)?;
+        let nbr = self.sel_nbr[di];
+        if nbr == ABSENT {
+            return None;
+        }
+        Some(SelectedRoute {
+            next_hop: NodeId(nbr as usize),
+            dist: self.sel_dist[di],
+            dest_landmark_dist: self.sel_lm_dist[di],
+            dest_is_landmark: self.sel_flag[di],
+            path: self.sel_path[di].as_ref().expect("selection holds a path"),
         })
+    }
+
+    /// The selected route's `(distance, landmark flag)` for `d` — the two
+    /// fields the owner's ordered mirrors key on.
+    #[inline]
+    pub fn selected_parts(&self, d: NodeId) -> Option<(Weight, bool)> {
+        let di = self.idx_of(d)?;
+        (self.sel_nbr[di] != ABSENT).then(|| (self.sel_dist[di], self.sel_flag[di]))
+    }
+
+    /// Approximate heap bytes of the selection columns alone — the
+    /// Loc-RIB view: ~25 B per interned destination (4 nbr + 8 dist +
+    /// 8 lm-dist + 1 flag + 4 `Option<path id>`; the path handle's
+    /// `NonZeroU32` niche keeps the `Option` at 4 bytes), vs the ~56 B
+    /// payload plus hash-map overhead per *known* destination of the
+    /// deleted `best: FxHashMap<NodeId, RouteEntry>`.
+    pub fn selection_bytes(&self) -> usize {
+        self.sel_nbr.capacity() * 4
+            + self.sel_dist.capacity() * 8
+            + self.sel_lm_dist.capacity() * 8
+            + self.sel_flag.capacity()
+            + self.sel_path.capacity() * std::mem::size_of::<Option<InternedPath>>()
+    }
+
+    /// Re-write the selection's effective landmark flag (the route itself
+    /// is untouched). No-op if nothing is selected.
+    pub fn set_selected_flag(&mut self, d: NodeId, flag: bool) {
+        if let Some(di) = self.idx_of(d) {
+            if self.sel_nbr[di] != ABSENT {
+                self.sel_flag[di] = flag;
+            }
+        }
     }
 
     /// All candidates for `d` as `(neighbor, candidate)`, sorted by
@@ -332,13 +537,13 @@ impl RibStore {
     /// [`RibStore::enforce`] force-keeps the *selected* candidate
     /// regardless of rank, so a near-tie can only reorder alternates.
     pub fn candidates_for(&self, d: NodeId) -> Vec<(NodeId, Candidate)> {
-        let Some(&di) = self.dest_idx.get(&d) else {
+        let Some(di) = self.idx_of(d) else {
             return Vec::new();
         };
         let mut out: Vec<(NodeId, Candidate)> = self
             .slabs
             .iter()
-            .filter_map(|(&nbr, slab)| slab.get(di).map(|c| (nbr, c)))
+            .filter_map(|(&nbr, slab)| slab.get(di as u32).map(|c| (nbr, c)))
             .collect();
         out.sort_unstable_by(|a, b| {
             a.1.dist
@@ -349,25 +554,22 @@ impl RibStore {
     }
 
     /// Forgetful eviction (§4.2): keep at most `keep` candidates for `d` —
-    /// always including `keep_hop`'s candidate if present — evicting the
-    /// least-preferred rest. Marks `d` as having forgotten information and
-    /// returns the evicted `(neighbor, landmark flag)` pairs so the caller
-    /// can fix up its flag counters.
-    pub fn enforce(
-        &mut self,
-        d: NodeId,
-        keep: usize,
-        keep_hop: Option<NodeId>,
-    ) -> Vec<(NodeId, bool)> {
-        let Some(&di) = self.dest_idx.get(&d) else {
+    /// always including the *selected* candidate (read from the selection
+    /// column), whatever its rank — evicting the least-preferred rest.
+    /// Marks `d` as having forgotten information and returns the evicted
+    /// `(neighbor, landmark flag)` pairs so the caller can fix up its flag
+    /// counters.
+    pub fn enforce(&mut self, d: NodeId, keep: usize) -> Vec<(NodeId, bool)> {
+        let Some(di) = self.idx_of(d) else {
             return Vec::new();
         };
+        let di = di as u32;
         if (self.cand_count[di as usize] as usize) <= keep {
             return Vec::new();
         }
         let mut ranked = self.candidates_for(d);
         // The selected route is never evicted, whatever its rank.
-        if let Some(hop) = keep_hop {
+        if let Some(hop) = self.selected_hop(d) {
             if let Some(p) = ranked.iter().position(|&(nbr, _)| nbr == hop) {
                 let sel = ranked.remove(p);
                 ranked.insert(0, sel);
@@ -396,10 +598,10 @@ impl RibStore {
     /// the flag was last taken; clears the flag. The caller re-solicits
     /// (route-refresh) exactly when this returns true after a loss.
     pub fn take_evicted(&mut self, d: NodeId) -> bool {
-        match self.dest_idx.get(&d) {
-            Some(&di) => {
-                let was = std::mem::replace(&mut self.evicted[di as usize], false);
-                if was && self.cand_count[di as usize] == 0 {
+        match self.idx_of(d) {
+            Some(di) => {
+                let was = std::mem::replace(&mut self.evicted[di], false);
+                if was && !self.is_live_idx(di) {
                     self.live_dests -= 1;
                 }
                 was
@@ -421,15 +623,18 @@ impl RibStore {
             .values()
             .map(NeighborSlab::approx_bytes)
             .sum::<usize>()
-            + self.dests.capacity() * 8
+            + self.dests.capacity() * 4
             + self.cand_count.capacity() * 4
             + self.evicted.capacity()
-            + self.dest_idx.len() * 16;
+            + self.dest_idx.len() * 12;
+        let selection_bytes = self.selection_bytes();
         RibStats {
             candidates: self.total,
             dests_interned: self.dests.len(),
+            selected: self.sel_count,
             path_nodes,
             approx_bytes,
+            selection_bytes,
             evictions: self.evictions,
         }
     }
@@ -443,10 +648,8 @@ impl RibStore {
         let live = self.live_dests;
         debug_assert_eq!(
             live,
-            self.cand_count
-                .iter()
-                .zip(&self.evicted)
-                .filter(|&(&c, &e)| c > 0 || e)
+            (0..self.dests.len())
+                .filter(|&i| self.is_live_idx(i))
                 .count()
         );
         if self.dests.len() < 64 || live * 4 >= self.dests.len() {
@@ -456,17 +659,30 @@ impl RibStore {
         let mut dests = Vec::with_capacity(live);
         let mut cand_count = Vec::with_capacity(live);
         let mut evicted = Vec::with_capacity(live);
+        let mut sel_nbr = Vec::with_capacity(live);
+        let mut sel_dist = Vec::with_capacity(live);
+        let mut sel_lm_dist = Vec::with_capacity(live);
+        let mut sel_flag = Vec::with_capacity(live);
+        let mut sel_path = Vec::with_capacity(live);
         let mut dest_idx = FxHashMap::default();
-        for (i, &d) in self.dests.iter().enumerate() {
-            if self.cand_count[i] == 0 && !self.evicted[i] {
+        // (Indexing, not iterators: the loop reads five parallel columns
+        // and writes `remap` by the same index.)
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.dests.len() {
+            if !self.is_live_idx(i) {
                 continue;
             }
             let ni = dests.len() as u32;
             remap[i] = ni;
-            dests.push(d);
+            dests.push(self.dests[i]);
             cand_count.push(self.cand_count[i]);
             evicted.push(self.evicted[i]);
-            dest_idx.insert(d, ni);
+            sel_nbr.push(self.sel_nbr[i]);
+            sel_dist.push(self.sel_dist[i]);
+            sel_lm_dist.push(self.sel_lm_dist[i]);
+            sel_flag.push(self.sel_flag[i]);
+            sel_path.push(self.sel_path[i].take());
+            dest_idx.insert(self.dests[i], ni);
         }
         for slab in self.slabs.values_mut() {
             let mut pos = FxHashMap::default();
@@ -482,6 +698,11 @@ impl RibStore {
         self.dests = dests;
         self.cand_count = cand_count;
         self.evicted = evicted;
+        self.sel_nbr = sel_nbr;
+        self.sel_dist = sel_dist;
+        self.sel_lm_dist = sel_lm_dist;
+        self.sel_flag = sel_flag;
+        self.sel_path = sel_path;
         self.dest_idx = dest_idx;
     }
 }
@@ -559,8 +780,9 @@ mod tests {
             rib.insert(NodeId(i), d, &cand(&[0, i, 9], dist, false));
         }
         // Keep 2 (selected + 1 alternate); the selected hop is the worst
-        // candidate (forced survivor).
-        let removed = rib.enforce(d, 2, Some(NodeId(1)));
+        // candidate (forced survivor, read from the selection column).
+        rib.select(d, NodeId(1), false);
+        let removed = rib.enforce(d, 2);
         let removed_nbrs: Vec<NodeId> = removed.iter().map(|&(n, _)| n).collect();
         assert_eq!(removed_nbrs, vec![NodeId(3), NodeId(4)]);
         assert!(rib.get(NodeId(1), d).is_some(), "selected survives");
@@ -569,9 +791,88 @@ mod tests {
         assert!(rib.take_evicted(d));
         assert!(!rib.take_evicted(d), "flag is taken once");
         // Under budget: no-op, flag untouched.
-        assert!(rib.enforce(d, 2, Some(NodeId(1))).is_empty());
+        assert!(rib.enforce(d, 2).is_empty());
         assert!(!rib.take_evicted(d));
         assert_eq!(rib.stats().evictions, 2);
+    }
+
+    #[test]
+    fn selection_view_tracks_select_and_clear() {
+        let mut rib = RibStore::new();
+        let d = NodeId(9);
+        rib.insert(NodeId(1), d, &cand(&[0, 1, 9], 2.0, false));
+        rib.insert(NodeId(2), d, &cand(&[0, 2, 9], 1.0, true));
+        assert!(rib.selected_hop(d).is_none());
+        assert!(rib.select_best(d));
+        assert_eq!(rib.selected_hop(d), Some(NodeId(2)));
+        let v = rib.selected_view(d).unwrap();
+        assert_eq!(v.dist, 1.0);
+        assert!(v.dest_is_landmark);
+        assert_eq!(v.path.to_vec(), vec![NodeId(0), NodeId(2), NodeId(9)]);
+        assert_eq!(rib.selected_parts(d), Some((1.0, true)));
+        // The owner's flag policy can override the cached flag.
+        rib.set_selected_flag(d, false);
+        assert_eq!(rib.selected_parts(d), Some((1.0, false)));
+        // Explicit selection of a non-best candidate is allowed (the owner
+        // decides); stats count the occupancy.
+        rib.select(d, NodeId(1), false);
+        assert_eq!(rib.selected_hop(d), Some(NodeId(1)));
+        assert_eq!(rib.stats().selected, 1);
+        rib.clear_selected(d);
+        assert!(rib.selected_view(d).is_none());
+        assert_eq!(rib.stats().selected, 0);
+        assert!(rib.stats().selection_bytes > 0);
+    }
+
+    /// The selection column is a cache: after the backing candidate is
+    /// removed the cached fields stay readable (the repairing path vector
+    /// reads the previous best while healing), until a reselect.
+    #[test]
+    fn selection_survives_candidate_removal_until_reselect() {
+        let mut rib = RibStore::new();
+        let d = NodeId(9);
+        rib.insert(NodeId(1), d, &cand(&[0, 1, 9], 2.0, false));
+        rib.insert(NodeId(2), d, &cand(&[0, 2, 9], 3.0, false));
+        assert!(rib.select_best(d));
+        assert_eq!(rib.selected_hop(d), Some(NodeId(1)));
+        rib.remove(NodeId(1), d);
+        let v = rib.selected_view(d).expect("stale view still readable");
+        assert_eq!(v.next_hop, NodeId(1));
+        assert_eq!(v.dist, 2.0);
+        assert!(rib.select_best(d), "reselect falls back to the alternate");
+        assert_eq!(rib.selected_hop(d), Some(NodeId(2)));
+        // Total loss clears the selection.
+        rib.remove_neighbor(NodeId(2));
+        assert!(!rib.select_best(d));
+        assert!(rib.selected_hop(d).is_none());
+    }
+
+    /// Compaction must keep destinations whose only liveness is a (stale)
+    /// selection, and carry the selection columns across the remap.
+    #[test]
+    fn compaction_preserves_selections() {
+        let mut rib = RibStore::new();
+        let nbr = NodeId(1);
+        for i in 0..200 {
+            rib.insert(nbr, NodeId(1000 + i), &cand(&[0, 1, 1000 + i], 2.0, false));
+        }
+        rib.select_best(NodeId(1000));
+        rib.select_best(NodeId(1199));
+        // Removing the neighbor wholesale leaves the two selections as the
+        // only liveness of their destinations; the sweep's removals push
+        // occupancy below the compaction threshold.
+        rib.remove_neighbor(nbr);
+        assert!(rib.stats().dests_interned < 64, "compaction must have run");
+        for d in [NodeId(1000), NodeId(1199)] {
+            let v = rib.selected_view(d).expect("selection survives compaction");
+            assert_eq!(v.next_hop, nbr);
+            assert_eq!(v.path.last(), d);
+        }
+        assert_eq!(rib.stats().selected, 2);
+        // Reselecting after total loss clears them and frees the dests.
+        assert!(!rib.select_best(NodeId(1000)));
+        assert!(!rib.select_best(NodeId(1199)));
+        assert_eq!(rib.stats().selected, 0);
     }
 
     #[test]

@@ -26,8 +26,7 @@ use crate::overlay::Overlay;
 use crate::resolution::{ResolutionDatabase, ResolutionRing};
 use crate::sloppy_group::SloppyGrouping;
 use crate::vicinity::{self, Vicinity};
-use disco_graph::{dijkstra, multi_source_dijkstra, Graph, NodeId, Path, Weight};
-use std::collections::HashMap;
+use disco_graph::{dijkstra, multi_source_dijkstra, FxHashMap, Graph, NodeId, Path, Weight};
 
 /// Post-convergence Disco state for an entire network.
 #[derive(Debug, Clone)]
@@ -41,7 +40,10 @@ pub struct DiscoState {
     /// Landmark ids in increasing order.
     landmarks: Vec<NodeId>,
     is_landmark: Vec<bool>,
-    landmark_index: HashMap<NodeId, usize>,
+    /// Landmark id → index into the per-landmark vectors (`FxHashMap`
+    /// like every other simulator-internal map: deterministic iteration
+    /// and no SipHash cost on the per-address path reconstructions).
+    landmark_index: FxHashMap<NodeId, usize>,
     /// Closest landmark of each node.
     closest_landmark: Vec<NodeId>,
     /// Distance to the closest landmark.
@@ -122,7 +124,7 @@ impl DiscoState {
         for &lm in &landmarks {
             is_landmark[lm.0] = true;
         }
-        let landmark_index: HashMap<NodeId, usize> = landmarks
+        let landmark_index: FxHashMap<NodeId, usize> = landmarks
             .iter()
             .enumerate()
             .map(|(i, &lm)| (lm, i))

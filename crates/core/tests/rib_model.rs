@@ -1,20 +1,24 @@
-//! Property test: the forgetful [`RibStore`] protocol — select, withdraw,
-//! evict, refresh — agrees with a naive full-RIB reference model over
-//! random update sequences.
+//! Property test: the [`RibStore`] protocol — select, withdraw, evict,
+//! refresh — and its derived Loc-RIB *view* (the per-destination selection
+//! column) agree with a naive full-RIB reference model over random update
+//! sequences, in both full and forgetful modes.
 //!
-//! The harness mirrors how `PathVectorNode` drives the store (incremental
-//! best maintenance, budget enforcement after inserts, refresh on total
-//! loss with the evicted flag set) and answers each refresh from the
-//! reference model, the way neighbors answer from their tables. Invariants
-//! checked after every operation:
+//! The harness mirrors how `PathVectorNode` drives the store since the
+//! Loc-RIB became a view: the selection lives *in* the store (written via
+//! `select` / `select_best`, read via `selected_view`), budget enforcement
+//! runs after inserts, and a refresh is answered from the reference model
+//! the way neighbors answer from their tables. The naive model tracks its
+//! own best-route selection; invariants checked after every operation:
 //!
-//! 1. the forgetful side never *loses* a destination the full RIB can
-//!    still reach (refresh recovers it within the same step),
-//! 2. any selected candidate is one the full model also holds, verbatim,
-//! 3. the per-destination candidate budget is respected,
-//! 4. after a settle round (every neighbor re-announces, as their
-//!    periodic table-change exports would), the selected route equals the
-//!    full model's selection exactly.
+//! 1. the store never *loses* a destination the full RIB can still reach
+//!    (in forgetful mode, refresh recovers it within the same step),
+//! 2. any selected candidate is one the full model also holds, verbatim
+//!    (the selection column is a faithful cache of a real candidate),
+//! 3. the per-destination candidate budget is respected (forgetful mode),
+//! 4. the derived Loc-RIB view equals the model's best selection — after
+//!    *every* op in full mode, and after a settle round (every neighbor
+//!    re-announces, as their periodic table-change exports would) in
+//!    forgetful mode.
 
 use disco_core::rib::{Candidate, RibStore};
 use disco_graph::{InternedPath, NodeId, Weight};
@@ -34,7 +38,8 @@ fn better(a: &Candidate, b: &Candidate) -> bool {
     a.path.cmp_route(&b.path) == std::cmp::Ordering::Less
 }
 
-/// Naive reference: every candidate ever announced and not withdrawn.
+/// Naive reference: every candidate ever announced and not withdrawn,
+/// with best-route selection recomputed from scratch on demand.
 #[derive(Default)]
 struct FullRib {
     cands: BTreeMap<(NodeId, NodeId), Candidate>, // (nbr, dest) → candidate
@@ -60,16 +65,17 @@ impl FullRib {
     }
 }
 
-/// The forgetful side, driven exactly like `PathVectorNode` drives its
-/// store: incremental best, enforcement after inserts, refresh on total
-/// loss when the evicted flag is set.
-struct Forgetful {
+/// The driven side, exercised exactly like `PathVectorNode` drives its
+/// store: the selection column is the only best-route state (no shadow
+/// map), enforcement after inserts when forgetful, refresh on total loss
+/// when the evicted flag is set.
+struct Driven {
     rib: RibStore,
-    best: BTreeMap<NodeId, NodeId>, // dest → selected neighbor
+    forgetful: bool,
     refreshes: u64,
 }
 
-impl Forgetful {
+impl Driven {
     fn keep(d: NodeId) -> usize {
         // Stand-in for table residency (landmarks + vicinity): even
         // destinations are "resident" and keep alternates, odd ones keep
@@ -82,47 +88,52 @@ impl Forgetful {
     }
 
     fn reselect(&mut self, d: NodeId, model: &FullRib) {
-        match self.rib.best_for(d) {
-            Some((nbr, _)) => {
-                self.best.insert(d, nbr);
-            }
-            None => {
-                self.best.remove(&d);
-                // Total loss: re-solicit if the policy forgot candidates.
-                if self.rib.take_evicted(d) {
-                    self.refreshes += 1;
-                    for (nbr, c) in model.for_dest(d) {
-                        self.insert(nbr, d, c, model);
-                    }
+        if !self.rib.select_best(d) {
+            // Total loss: re-solicit if the policy forgot candidates.
+            if self.rib.take_evicted(d) {
+                self.refreshes += 1;
+                for (nbr, c) in model.for_dest(d) {
+                    self.insert(nbr, d, c, model);
                 }
             }
         }
     }
 
     fn insert(&mut self, nbr: NodeId, d: NodeId, c: Candidate, model: &FullRib) {
-        let promote = match self.best.get(&d).and_then(|h| self.rib.get(*h, d)) {
+        let cur_hop = self.rib.selected_hop(d);
+        let promote = match self.rib.selected_view(d) {
             None => true,
-            Some(cur) => better(&c, &cur),
+            Some(cur) => {
+                let held = Candidate {
+                    dist: cur.dist,
+                    path: cur.path.clone(),
+                    dest_is_landmark: cur.dest_is_landmark,
+                    dest_landmark_dist: cur.dest_landmark_dist,
+                };
+                better(&c, &held)
+            }
         };
+        let flag = c.dest_is_landmark;
         self.rib.insert(nbr, d, &c);
         if promote {
-            self.best.insert(d, nbr);
-        } else if self.best.get(&d) == Some(&nbr) {
+            self.rib.select(d, nbr, flag);
+        } else if cur_hop == Some(nbr) {
             self.reselect(d, model);
         }
-        let keep_hop = self.best.get(&d).copied();
-        self.rib.enforce(d, Self::keep(d), keep_hop);
+        if self.forgetful {
+            self.rib.enforce(d, Self::keep(d));
+        }
     }
 
     fn remove(&mut self, nbr: NodeId, d: NodeId, model: &FullRib) {
-        if self.rib.remove(nbr, d).is_some() && self.best.get(&d) == Some(&nbr) {
+        if self.rib.remove(nbr, d).is_some() && self.rib.selected_hop(d) == Some(nbr) {
             self.reselect(d, model);
         }
     }
 
     fn neighbor_down(&mut self, nbr: NodeId, model: &FullRib) {
         for (d, _) in self.rib.remove_neighbor(nbr) {
-            if self.best.get(&d) == Some(&nbr) {
+            if self.rib.selected_hop(d) == Some(nbr) {
                 self.reselect(d, model);
             }
         }
@@ -137,45 +148,130 @@ fn splitmix(x: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn check_invariants(fg: &Forgetful, model: &FullRib, dests: &[NodeId], settled: bool) {
+fn check_invariants(dr: &Driven, model: &FullRib, dests: &[NodeId], settled: bool) {
+    // In full mode the incremental selection is the exact minimum at all
+    // times; in forgetful mode eviction can hide the global best until a
+    // settle round re-announces it.
+    let view_exact = settled || !dr.forgetful;
     for &d in dests {
         let model_best = model.best(d);
-        let fg_hop = fg.best.get(&d).copied();
+        let view = dr.rib.selected_view(d);
         // (1) never lose a reachable destination.
         assert_eq!(
             model_best.is_some(),
-            fg_hop.is_some(),
-            "reachability diverged for {d}: model {:?} vs forgetful {:?}",
+            view.is_some(),
+            "reachability diverged for {d}: model {:?} vs view {:?}",
             model_best.map(|(n, _)| n),
-            fg_hop
+            view.as_ref().map(|v| v.next_hop)
         );
-        // (2) a selected candidate is a verbatim model candidate.
-        if let Some(hop) = fg_hop {
-            let held = fg.rib.get(hop, d).expect("selected candidate in store");
+        if let Some(v) = &view {
+            // (2) the view is a faithful cache of a real model candidate.
             let model_c = model
                 .cands
-                .get(&(hop, d))
+                .get(&(v.next_hop, d))
                 .expect("selected candidate must exist in the full model");
-            assert_eq!(held.dist, model_c.dist, "stale distance for {d} via {hop}");
-            assert_eq!(held.path, model_c.path, "stale path for {d} via {hop}");
+            assert_eq!(v.dist, model_c.dist, "stale distance for {d}");
+            assert_eq!(*v.path, model_c.path, "stale path for {d}");
+            // The candidate is also physically retained in the store.
+            let held = dr
+                .rib
+                .get(v.next_hop, d)
+                .expect("selected candidate in store");
+            assert_eq!(held.dist, v.dist);
+            assert_eq!(held.path, *v.path);
         }
         // (3) budget respected.
-        assert!(
-            fg.rib.count_for(d) <= Forgetful::keep(d),
-            "budget exceeded for {d}: {}",
-            fg.rib.count_for(d)
-        );
-        // (4) after a settle round, selection matches the model exactly.
-        if settled {
-            if let (Some((mn, mc)), Some(hop)) = (model_best, fg_hop) {
-                let held = fg.rib.get(hop, d).unwrap();
+        if dr.forgetful {
+            assert!(
+                dr.rib.count_for(d) <= Driven::keep(d),
+                "budget exceeded for {d}: {}",
+                dr.rib.count_for(d)
+            );
+        }
+        // (4) the derived Loc-RIB view equals the model's best selection.
+        if view_exact {
+            if let (Some((mn, mc)), Some(v)) = (model_best, &view) {
                 assert_eq!(
-                    (held.dist, held.path.to_vec()),
-                    (mc.dist, mc.path.to_vec()),
-                    "settled selection diverged for {d}: model via {mn}, forgetful via {hop}"
+                    (v.next_hop, v.dist, v.path.to_vec()),
+                    (mn, mc.dist, mc.path.to_vec()),
+                    "selection diverged for {d}"
                 );
             }
         }
+    }
+}
+
+fn run_model(seed: u64, forgetful: bool) -> u64 {
+    let mut rng = seed;
+    let neighbors: Vec<NodeId> = (1..=6).map(NodeId).collect();
+    let dests: Vec<NodeId> = (100..116).map(NodeId).collect();
+    let mut model = FullRib::default();
+    let mut dr = Driven {
+        rib: RibStore::new(),
+        forgetful,
+        refreshes: 0,
+    };
+
+    for step in 0..400 {
+        let r = splitmix(&mut rng);
+        let nbr = neighbors[(r % neighbors.len() as u64) as usize];
+        let d = dests[((r >> 8) % dests.len() as u64) as usize];
+        match (r >> 16) % 10 {
+            // Announce: route me → nbr → (salt) → d, salted so
+            // re-announcements change the path, not just the distance.
+            0..=5 => {
+                let dist = 1.0 + ((r >> 24) % 32) as Weight;
+                let salt = 200 + ((r >> 32) % 8) as usize;
+                let path = InternedPath::from_slice(&[NodeId(ME), nbr, NodeId(salt), d]);
+                let c = Candidate {
+                    dist,
+                    path,
+                    dest_is_landmark: false,
+                    dest_landmark_dist: Weight::INFINITY,
+                };
+                model.cands.insert((nbr, d), c.clone());
+                dr.insert(nbr, d, c, &model);
+            }
+            // Withdraw one candidate.
+            6..=8 => {
+                model.cands.remove(&(nbr, d));
+                dr.remove(nbr, d, &model);
+            }
+            // Link loss: the neighbor's whole slab goes.
+            _ => {
+                model.cands.retain(|&(n, _), _| n != nbr);
+                dr.neighbor_down(nbr, &model);
+            }
+        }
+        let settle = step % 25 == 24;
+        if settle {
+            // Periodic exports: every neighbor re-announces its
+            // current route for every destination it still has.
+            let all: Vec<(NodeId, NodeId, Candidate)> = model
+                .cands
+                .iter()
+                .map(|(&(n, dd), c)| (n, dd, c.clone()))
+                .collect();
+            for (n, dd, c) in all {
+                dr.insert(n, dd, c, &model);
+            }
+        }
+        check_invariants(&dr, &model, &dests, settle);
+    }
+    let stats = dr.rib.stats();
+    assert_eq!(
+        stats.selected,
+        dests
+            .iter()
+            .filter(|&&d| dr.rib.selected_hop(d).is_some())
+            .count(),
+        "selection occupancy gauge out of sync"
+    );
+    if forgetful {
+        stats.evictions
+    } else {
+        assert_eq!(stats.evictions, 0, "full mode must not evict");
+        dr.refreshes
     }
 }
 
@@ -183,61 +279,14 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 16, max_shrink_iters: 0 })]
     #[test]
     fn forgetful_rib_agrees_with_full_rib_model(seed in 0u64..1_000_000) {
-        let mut rng = seed;
-        let neighbors: Vec<NodeId> = (1..=6).map(NodeId).collect();
-        let dests: Vec<NodeId> = (100..116).map(NodeId).collect();
-        let mut model = FullRib::default();
-        let mut fg = Forgetful { rib: RibStore::new(), best: BTreeMap::new(), refreshes: 0 };
-
-        for step in 0..400 {
-            let r = splitmix(&mut rng);
-            let nbr = neighbors[(r % neighbors.len() as u64) as usize];
-            let d = dests[((r >> 8) % dests.len() as u64) as usize];
-            match (r >> 16) % 10 {
-                // Announce: route me → nbr → (salt) → d, salted so
-                // re-announcements change the path, not just the distance.
-                0..=5 => {
-                    let dist = 1.0 + ((r >> 24) % 32) as Weight;
-                    let salt = 200 + ((r >> 32) % 8) as usize;
-                    let path = InternedPath::from_slice(&[
-                        NodeId(ME), nbr, NodeId(salt), d,
-                    ]);
-                    let c = Candidate {
-                        dist,
-                        path,
-                        dest_is_landmark: false,
-                        dest_landmark_dist: Weight::INFINITY,
-                    };
-                    model.cands.insert((nbr, d), c.clone());
-                    fg.insert(nbr, d, c, &model);
-                }
-                // Withdraw one candidate.
-                6..=8 => {
-                    model.cands.remove(&(nbr, d));
-                    fg.remove(nbr, d, &model);
-                }
-                // Link loss: the neighbor's whole slab goes.
-                _ => {
-                    model.cands.retain(|&(n, _), _| n != nbr);
-                    fg.neighbor_down(nbr, &model);
-                }
-            }
-            let settle = step % 25 == 24;
-            if settle {
-                // Periodic exports: every neighbor re-announces its
-                // current route for every destination it still has.
-                let all: Vec<(NodeId, NodeId, Candidate)> = model
-                    .cands
-                    .iter()
-                    .map(|(&(n, dd), c)| (n, dd, c.clone()))
-                    .collect();
-                for (n, dd, c) in all {
-                    fg.insert(n, dd, c, &model);
-                }
-            }
-            check_invariants(&fg, &model, &dests, settle);
-        }
+        let evictions = run_model(seed, true);
         // The run must actually have exercised the forgetful machinery.
-        prop_assert!(fg.rib.stats().evictions > 0, "no evictions happened");
+        prop_assert!(evictions > 0, "no evictions happened");
+    }
+
+    #[test]
+    fn full_rib_view_is_always_the_exact_best(seed in 0u64..1_000_000) {
+        let refreshes = run_model(seed, false);
+        prop_assert_eq!(refreshes, 0, "full mode must never re-solicit");
     }
 }

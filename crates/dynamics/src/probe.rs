@@ -171,7 +171,7 @@ pub fn disco_first_packet_route(nodes: &[DiscoProtocol], s: NodeId, t: NodeId) -
         candidates.push(direct.path.to_vec());
     }
     // Sloppy-group proxy: the source may already know the address.
-    if let Some(addr) = src.group_addresses.get(&t) {
+    if let Some(addr) = src.group_address(t) {
         candidates.extend(src.route_to(t, Some(addr)).map(|p| p.to_vec()));
     }
     // Name resolution: the owner landmark of H(t) must be reachable from s

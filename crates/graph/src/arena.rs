@@ -29,13 +29,173 @@
 //! accordingly `!Send`; materialize with [`InternedPath::to_vec`] to move
 //! path data across threads.
 
-use crate::fxhash::FxHashMap;
 use crate::graph::NodeId;
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::fmt;
 
 const NIL: u32 = u32::MAX;
+
+/// Open-addressed intern table over the cell slab: `slots[i]` holds a cell
+/// id or `NIL`. The cell *is* the key — a probe hashes `(head, tail)` and
+/// compares against `cells[id]` in place — so the table stores 4 bytes per
+/// slot instead of the ~28 B/cell a separate `FxHashMap<(u32, u32), u32>`
+/// cost (12 B key+value, doubled capacity, control bytes). Linear probing
+/// with backward-shift deletion (no tombstones); occupancy stays ≤ 3/4.
+///
+/// Slots are mapped with the multiply-shift (Lemire) reduction instead of
+/// a power-of-two mask, so the table can grow ×1.5 to *exact* sizes: on a
+/// 10M-cell churn run, power-of-two doubling would round a needed 8.9M
+/// slots up to 16.8M — at table sizes in the tens of megabytes that
+/// rounding is a measurable slice of peak RSS.
+#[derive(Debug, Default)]
+struct InternTable {
+    /// Slot array of cell ids (`NIL` = empty); any size ≥ 16.
+    slots: Vec<u32>,
+    /// Occupied slots.
+    len: usize,
+}
+
+/// Mix `(head, tail)` into a uniform 64-bit hash (splitmix64 finalizer;
+/// the multiply-shift reduction uses the *high* bits, which this mixes
+/// well even for the sequential ids the arena hands out).
+#[inline]
+fn intern_hash(head: u32, tail: u32) -> u64 {
+    let mut z = ((head as u64) << 32) | (tail as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map a hash onto `0..size` without division or masking:
+/// `(h * size) >> 64` is uniform for uniform `h` and works for any size.
+#[inline]
+fn reduce(h: u64, size: usize) -> usize {
+    ((h as u128 * size as u128) >> 64) as usize
+}
+
+impl InternTable {
+    /// Slot holding the cell keyed `(head, tail)`, or the empty slot where
+    /// it would be inserted.
+    #[inline]
+    fn probe(&self, head: u32, tail: u32, cells: &[Cell]) -> Result<usize, usize> {
+        let size = self.slots.len();
+        debug_assert!(size > 0);
+        let mut i = reduce(intern_hash(head, tail), size);
+        loop {
+            let id = self.slots[i];
+            if id == NIL {
+                return Err(i);
+            }
+            let c = &cells[id as usize];
+            if c.head == head && c.tail == tail {
+                return Ok(i);
+            }
+            i += 1;
+            if i == size {
+                i = 0;
+            }
+        }
+    }
+
+    /// Cell id interned for `(head, tail)`, if any.
+    #[inline]
+    fn get(&self, head: u32, tail: u32, cells: &[Cell]) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        self.probe(head, tail, cells).ok().map(|i| self.slots[i])
+    }
+
+    /// Intern `id` (whose key is read from `cells[id]`). The key must not
+    /// already be present.
+    fn insert(&mut self, id: u32, cells: &[Cell]) {
+        // Keep occupancy ≤ 3/4 so probe chains stay short; grow ×1.5
+        // (geometric, so inserts stay amortized O(1), but with 25% less
+        // worst-case slack than doubling).
+        if self.slots.len() * 3 <= (self.len + 1) * 4 {
+            let cap = (self.slots.len() + self.slots.len() / 2).max(16);
+            self.rebuild(cap, cells);
+        }
+        let c = &cells[id as usize];
+        let slot = self
+            .probe(c.head, c.tail, cells)
+            .expect_err("interning a key that is already present");
+        self.slots[slot] = id;
+        self.len += 1;
+    }
+
+    /// Remove the entry keyed `(head, tail)`. Backward-shift deletion: the
+    /// displaced tail of the probe chain moves up so lookups never need
+    /// tombstones. Whether a later entry may fill the hole is decided from
+    /// its *ideal* slot, recomputed from the cell slab.
+    fn remove(&mut self, head: u32, tail: u32, cells: &[Cell]) {
+        let Ok(slot) = self.probe(head, tail, cells) else {
+            unreachable!("releasing a cell that was never interned");
+        };
+        let size = self.slots.len();
+        let cyc = |from: usize, to: usize| (to + size - from) % size;
+        let mut hole = slot;
+        let mut j = slot;
+        loop {
+            j += 1;
+            if j == size {
+                j = 0;
+            }
+            let id = self.slots[j];
+            if id == NIL {
+                break;
+            }
+            let c = &cells[id as usize];
+            let ideal = reduce(intern_hash(c.head, c.tail), size);
+            // `id` may move into the hole iff its ideal slot is cyclically
+            // at or before the hole (i.e. not within `(hole, j]`).
+            if cyc(ideal, j) >= cyc(hole, j) {
+                self.slots[hole] = id;
+                hole = j;
+            }
+        }
+        self.slots[hole] = NIL;
+        self.len -= 1;
+    }
+
+    /// Re-probe every entry into a fresh table of exactly `cap` slots
+    /// (which must keep occupancy ≤ 3/4).
+    fn rebuild(&mut self, cap: usize, cells: &[Cell]) {
+        assert!(self.len * 4 <= cap * 3, "intern table rebuild under-sized");
+        let old = std::mem::replace(&mut self.slots, vec![NIL; cap]);
+        for id in old {
+            if id == NIL {
+                continue;
+            }
+            let c = &cells[id as usize];
+            let mut i = reduce(intern_hash(c.head, c.tail), cap);
+            while self.slots[i] != NIL {
+                i += 1;
+                if i == cap {
+                    i = 0;
+                }
+            }
+            self.slots[i] = id;
+        }
+    }
+
+    /// Shrink the slot array close to the smallest size the occupancy
+    /// allows (post-churn compaction). Targets 3/2 of the occupancy, not
+    /// the exact 4/3 grow threshold: a threshold-exact table would pay a
+    /// full O(n) rebuild on the very next insert.
+    fn shrink_to_fit(&mut self, cells: &[Cell]) {
+        let want = (self.len * 3 / 2).max(16);
+        if want < self.slots.len() {
+            self.rebuild(want, cells);
+        }
+    }
+
+    /// Heap bytes held by the slot array.
+    fn bytes(&self) -> usize {
+        self.slots.capacity() * 4
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Cell {
@@ -58,8 +218,8 @@ struct Cell {
 pub struct PathArena {
     cells: Vec<Cell>,
     free: Vec<u32>,
-    /// `(head, tail)` → cell id.
-    intern: FxHashMap<(u32, u32), u32>,
+    /// `(head, tail)` → cell id, open-addressed directly over `cells`.
+    intern: InternTable,
     live: usize,
     peak_live: usize,
     interned_total: u64,
@@ -81,8 +241,13 @@ pub struct PathArenaStats {
     /// per-thread "live path bytes" gauge `exp_memory` charts.
     pub live_bytes: usize,
     /// Heap bytes held by the arena's backing storage (cell vector +
-    /// free list; the intern map adds a comparable amount on top).
+    /// free list + intern table).
     pub capacity_bytes: usize,
+    /// Heap bytes of the open-addressed intern table alone (the
+    /// "intern bytes" column of `exp_memory`'s per-component accounting;
+    /// the separate hash map this table replaced cost ~28 B per live
+    /// cell, ~5× this).
+    pub intern_bytes: usize,
 }
 
 thread_local! {
@@ -101,7 +266,9 @@ impl PathArena {
                 capacity_cells: p.cells.len(),
                 live_bytes: p.live * std::mem::size_of::<Cell>(),
                 capacity_bytes: p.cells.capacity() * std::mem::size_of::<Cell>()
-                    + p.free.capacity() * 4,
+                    + p.free.capacity() * 4
+                    + p.intern.bytes(),
+                intern_bytes: p.intern.bytes(),
             }
         })
     }
@@ -131,7 +298,7 @@ impl PathArena {
         self.free.retain(|&f| f < kept);
         self.cells.shrink_to_fit();
         self.free.shrink_to_fit();
-        self.intern.shrink_to_fit();
+        self.intern.shrink_to_fit(&self.cells);
         before - self.cells.len()
     }
 
@@ -149,7 +316,7 @@ impl PathArena {
     /// when a new cell is created (the cell itself then owns that
     /// reference).
     fn acquire(&mut self, head: u32, tail: u32, len: u32, last: u32) -> u32 {
-        if let Some(&id) = self.intern.get(&(head, tail)) {
+        if let Some(id) = self.intern.get(head, tail, &self.cells) {
             self.cells[id as usize].rc += 1;
             return id;
         }
@@ -172,7 +339,7 @@ impl PathArena {
             self.cells.push(cell);
             id
         };
-        self.intern.insert((head, tail), id);
+        self.intern.insert(id, &self.cells);
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
         self.interned_total += 1;
@@ -191,7 +358,7 @@ impl PathArena {
                 return;
             }
             let Cell { head, tail, .. } = *cell;
-            self.intern.remove(&(head, tail));
+            self.intern.remove(head, tail, &self.cells);
             self.free.push(id);
             self.live -= 1;
             id = tail; // drop the cell's reference to its tail
@@ -208,7 +375,11 @@ impl PathArena {
 /// means something to the arena of the thread that created it, and
 /// retain/release on another thread's arena would corrupt both.
 pub struct InternedPath {
-    id: u32,
+    /// Cell id plus one (`NonZeroU32` so `Option<InternedPath>` is 4
+    /// bytes — the `RibStore` selection column stores one per interned
+    /// destination). The arena's raw id space is `0..u32::MAX - 1`
+    /// (`acquire` asserts), so the +1 cannot wrap.
+    id: std::num::NonZeroU32,
     /// Pins the value to its creating thread (raw pointers are `!Send`
     /// and `!Sync`).
     _pool_local: std::marker::PhantomData<*const ()>,
@@ -218,9 +389,15 @@ impl InternedPath {
     /// Wrap an id whose reference this handle takes ownership of.
     fn wrap(id: u32) -> Self {
         InternedPath {
-            id,
+            id: std::num::NonZeroU32::new(id + 1).expect("cell id overflow"),
             _pool_local: std::marker::PhantomData,
         }
+    }
+
+    /// The arena cell id this handle owns a reference to.
+    #[inline]
+    fn raw(&self) -> u32 {
+        self.id.get() - 1
     }
 
     /// The single-node path `[node]`.
@@ -256,8 +433,8 @@ impl InternedPath {
     pub fn prepend(&self, node: NodeId) -> Self {
         let id = POOL.with(|p| {
             let mut p = p.borrow_mut();
-            let cell = p.cells[self.id as usize];
-            p.acquire(node.0 as u32, self.id, cell.len + 1, cell.last)
+            let cell = p.cells[self.raw() as usize];
+            p.acquire(node.0 as u32, self.raw(), cell.len + 1, cell.last)
         });
         InternedPath::wrap(id)
     }
@@ -267,7 +444,7 @@ impl InternedPath {
     pub fn tail(&self) -> Option<Self> {
         POOL.with(|p| {
             let mut p = p.borrow_mut();
-            let tail = p.cells[self.id as usize].tail;
+            let tail = p.cells[self.raw() as usize].tail;
             if tail == NIL {
                 None
             } else {
@@ -279,14 +456,14 @@ impl InternedPath {
 
     /// First node (the source).
     pub fn first(&self) -> NodeId {
-        POOL.with(|p| NodeId(p.borrow().cells[self.id as usize].head as usize))
+        POOL.with(|p| NodeId(p.borrow().cells[self.raw() as usize].head as usize))
     }
 
     /// Second node (the next hop of a source route), if any.
     pub fn second(&self) -> Option<NodeId> {
         POOL.with(|p| {
             let p = p.borrow();
-            let tail = p.cells[self.id as usize].tail;
+            let tail = p.cells[self.raw() as usize].tail;
             if tail == NIL {
                 None
             } else {
@@ -297,12 +474,12 @@ impl InternedPath {
 
     /// Last node (the destination). O(1).
     pub fn last(&self) -> NodeId {
-        POOL.with(|p| NodeId(p.borrow().cells[self.id as usize].last as usize))
+        POOL.with(|p| NodeId(p.borrow().cells[self.raw() as usize].last as usize))
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        POOL.with(|p| p.borrow().cells[self.id as usize].len as usize)
+        POOL.with(|p| p.borrow().cells[self.raw() as usize].len as usize)
     }
 
     /// Interned paths are never empty; this exists for clippy symmetry.
@@ -315,7 +492,7 @@ impl InternedPath {
         let needle = node.0 as u32;
         POOL.with(|p| {
             let p = p.borrow();
-            let mut id = self.id;
+            let mut id = self.raw();
             while id != NIL {
                 let cell = &p.cells[id as usize];
                 if cell.head == needle {
@@ -331,7 +508,7 @@ impl InternedPath {
     pub fn for_each(&self, mut f: impl FnMut(NodeId)) {
         POOL.with(|p| {
             let p = p.borrow();
-            let mut id = self.id;
+            let mut id = self.raw();
             while id != NIL {
                 let cell = &p.cells[id as usize];
                 f(NodeId(cell.head as usize));
@@ -361,13 +538,14 @@ impl InternedPath {
         POOL.with(|p| {
             let mut p = p.borrow_mut();
             assert_eq!(
-                p.cells[self.id as usize].last, p.cells[other.id as usize].head,
+                p.cells[self.raw() as usize].last,
+                p.cells[other.raw() as usize].head,
                 "cannot concatenate paths that do not chain"
             );
             // Collect self's nodes except the last, then prepend them onto
             // `other` back to front.
-            let mut nodes = Vec::with_capacity(p.cells[self.id as usize].len as usize);
-            let mut id = self.id;
+            let mut nodes = Vec::with_capacity(p.cells[self.raw() as usize].len as usize);
+            let mut id = self.raw();
             while id != NIL {
                 let cell = &p.cells[id as usize];
                 if cell.tail != NIL {
@@ -375,10 +553,10 @@ impl InternedPath {
                 }
                 id = cell.tail;
             }
-            let mut id = other.id;
+            let mut id = other.raw();
             p.retain(id);
-            let last = p.cells[other.id as usize].last;
-            let mut len = p.cells[other.id as usize].len;
+            let last = p.cells[other.raw() as usize].last;
+            let mut len = p.cells[other.raw() as usize].len;
             for &head in nodes.iter().rev() {
                 len += 1;
                 let next = p.acquire(head, id, len, last);
@@ -398,9 +576,12 @@ impl InternedPath {
         }
         POOL.with(|p| {
             let p = p.borrow();
-            let (a, b) = (&p.cells[self.id as usize], &p.cells[other.id as usize]);
+            let (a, b) = (
+                &p.cells[self.raw() as usize],
+                &p.cells[other.raw() as usize],
+            );
             a.len.cmp(&b.len).then_with(|| {
-                let (mut x, mut y) = (self.id, other.id);
+                let (mut x, mut y) = (self.raw(), other.raw());
                 while x != NIL && y != NIL {
                     if x == y {
                         return Ordering::Equal; // shared suffix
@@ -422,8 +603,11 @@ impl InternedPath {
 
 impl Clone for InternedPath {
     fn clone(&self) -> Self {
-        POOL.with(|p| p.borrow_mut().retain(self.id));
-        InternedPath::wrap(self.id)
+        POOL.with(|p| p.borrow_mut().retain(self.raw()));
+        InternedPath {
+            id: self.id,
+            _pool_local: std::marker::PhantomData,
+        }
     }
 }
 
@@ -431,7 +615,7 @@ impl Drop for InternedPath {
     fn drop(&mut self) {
         // `try_with`: during thread teardown the pool may already be gone,
         // in which case there is nothing left to release.
-        let _ = POOL.try_with(|p| p.borrow_mut().release(self.id));
+        let _ = POOL.try_with(|p| p.borrow_mut().release(self.raw()));
     }
 }
 
@@ -591,6 +775,78 @@ mod tests {
         // The arena still works after shrinking: interning, prepend, drop.
         let p = keep.prepend(NodeId(400));
         assert_eq!(p.to_vec(), ids(&[400, 401, 402]));
+    }
+
+    /// Stress the open-addressed intern table against a map model through
+    /// interleaved interning and dropping: every lookup/insert/remove path
+    /// (including backward-shift deletion and grow/shrink rebuilds) must
+    /// agree with hash-consing semantics — identical sequences share a
+    /// cell, distinct sequences do not, dropped paths really free.
+    #[test]
+    fn intern_table_survives_random_churn() {
+        let mut rng: u64 = 0x5eed;
+        let mut next = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let before = PathArena::stats().live_cells;
+        let mut held: Vec<(Vec<NodeId>, InternedPath)> = Vec::new();
+        for _ in 0..4000 {
+            let r = next();
+            if r % 3 != 0 || held.is_empty() {
+                // Intern a path of 1..=6 nodes drawn from a small universe
+                // so suffix sharing and exact duplicates both occur often.
+                let len = 1 + (next() % 6) as usize;
+                let nodes: Vec<NodeId> = (0..len)
+                    .map(|_| NodeId(800 + (next() % 24) as usize))
+                    .collect();
+                let p = InternedPath::from_slice(&nodes);
+                assert_eq!(p.to_vec(), nodes);
+                // Hash-consing: re-interning must hit the same cell.
+                let q = InternedPath::from_slice(&nodes);
+                assert_eq!(p.id, q.id);
+                held.push((nodes, p));
+            } else {
+                let i = (next() as usize) % held.len();
+                let (nodes, p) = held.swap_remove(i);
+                assert_eq!(p.to_vec(), nodes);
+                drop(p);
+            }
+        }
+        // Every held path still reads back; drop the rest and the arena
+        // returns to its pre-test live count (all cells released through
+        // the table's remove path).
+        for (nodes, p) in held.drain(..) {
+            assert_eq!(p.to_vec(), nodes);
+            drop(p);
+        }
+        assert_eq!(PathArena::stats().live_cells, before);
+    }
+
+    #[test]
+    fn option_interned_path_has_a_niche() {
+        // The RibStore selection column stores one Option<InternedPath>
+        // per interned destination; the NonZeroU32 id keeps it at 4 bytes.
+        assert_eq!(std::mem::size_of::<Option<InternedPath>>(), 4);
+        assert_eq!(std::mem::size_of::<InternedPath>(), 4);
+    }
+
+    #[test]
+    fn stats_report_intern_table_bytes() {
+        let _keep: Vec<InternedPath> = (0..64)
+            .map(|i| InternedPath::from_slice(&ids(&[900 + i, 901 + i])))
+            .collect();
+        let st = PathArena::stats();
+        assert!(st.intern_bytes >= 16 * 4, "table must be allocated");
+        assert!(
+            st.capacity_bytes >= st.intern_bytes,
+            "capacity bytes include the intern table"
+        );
+        // 4 bytes per slot at ≤ 3/4 occupancy: far below the ~28 B/cell of
+        // the map this replaced.
+        assert!(st.intern_bytes < st.capacity_cells * 16);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 pub mod cdf;
 pub mod congestion;
+pub mod control;
 pub mod experiment;
 pub mod report;
 pub mod sampling;
