@@ -241,20 +241,14 @@ impl Protocol for GossipEstimator {
 
     fn on_start(&mut self, ctx: &mut Context<'_, GossipMsg>) {
         let bytes = self.union.wire_bytes();
-        let msg = GossipMsg(self.union.clone());
-        for nb in ctx.neighbors() {
-            ctx.send_sized(nb, msg.clone(), bytes);
-        }
+        ctx.flood_sized(GossipMsg(self.union.clone()), bytes);
     }
 
     fn on_message(&mut self, _from: NodeId, msg: GossipMsg, ctx: &mut Context<'_, GossipMsg>) {
         if self.union.would_grow(&msg.0) {
             self.union.union(&msg.0);
             let bytes = self.union.wire_bytes();
-            let fwd = GossipMsg(self.union.clone());
-            for nb in ctx.neighbors() {
-                ctx.send_sized(nb, fwd.clone(), bytes);
-            }
+            ctx.flood_sized(GossipMsg(self.union.clone()), bytes);
         }
     }
 }

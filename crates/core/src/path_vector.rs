@@ -219,7 +219,11 @@ pub struct PathVectorNode {
     own_landmark_dist: Weight,
     /// Destinations whose exported state changed since the last flush
     /// (flushed by the batch timer, BGP-MRAI style — see `BATCH_TIMER`).
-    pending: std::collections::BTreeSet<NodeId>,
+    /// An unordered set: per-change inserts are the hot side (every table
+    /// admission/eviction under convergence), so membership is hashed and
+    /// the deterministic export order is imposed once per flush by
+    /// sorting into the reusable dump scratch.
+    pending: disco_graph::FxHashSet<NodeId>,
     /// Bumped whenever a landmark-flagged table entry is added, removed or
     /// updated. Composite protocols watch this to notice that the landmark
     /// set (consistent-hashing ownership of resolution shards) or this
@@ -234,6 +238,11 @@ pub struct PathVectorNode {
     origin_landmark_flags: bool,
     /// Whether a batch flush timer is armed.
     batch_armed: bool,
+    /// Reusable scratch for [`Self::send_table_to`]: the sorted export
+    /// order of the table's destinations, rebuilt in place per dump
+    /// instead of allocating a fresh key vector for every new peer (a
+    /// joiner with `k` links triggers `2k` full-table dumps).
+    dump_scratch: Vec<NodeId>,
     /// Minimum interval between export floods. Batching is what keeps
     /// withdrawal cascades polynomial: without it, path hunting explores
     /// exponentially many stale alternatives one message at a time; with
@@ -267,9 +276,10 @@ impl PathVectorNode {
             cand_lm: FxHashMap::default(),
             origin_landmark_flags: false,
             own_landmark_dist: if is_landmark { 0.0 } else { Weight::INFINITY },
-            pending: std::collections::BTreeSet::new(),
+            pending: disco_graph::FxHashSet::default(),
             landmark_version: 0,
             batch_armed: false,
+            dump_scratch: Vec::new(),
             batch_delay: 2.0,
         }
     }
@@ -422,7 +432,14 @@ impl PathVectorNode {
     /// Drop the current selection's mirror key (call before any mutation
     /// of the selection for `d`).
     fn unmirror_best(&mut self, d: NodeId) {
-        if let Some((dist, flag)) = self.rib.selected_parts(d) {
+        if let Some(di) = self.rib.idx(d) {
+            self.unmirror_best_at(d, di);
+        }
+    }
+
+    /// [`Self::unmirror_best`] with the destination index in hand.
+    fn unmirror_best_at(&mut self, d: NodeId, di: u32) {
+        if let Some((dist, flag)) = self.rib.selected_parts_at(di) {
             let k = (OrdW(dist), Self::dkey(d));
             if flag {
                 self.lm_best.remove(&k);
@@ -435,7 +452,14 @@ impl PathVectorNode {
     /// Mirror the current selection for `d` (call after the selection
     /// mutation; a destination resident in the table is never `waiting`).
     fn mirror_best(&mut self, d: NodeId) {
-        if let Some((dist, flag)) = self.rib.selected_parts(d) {
+        if let Some(di) = self.rib.idx(d) {
+            self.mirror_best_at(d, di);
+        }
+    }
+
+    /// [`Self::mirror_best`] with the destination index in hand.
+    fn mirror_best_at(&mut self, d: NodeId, di: u32) {
+        if let Some((dist, flag)) = self.rib.selected_parts_at(di) {
             let k = (OrdW(dist), Self::dkey(d));
             if flag {
                 self.lm_best.insert(k);
@@ -445,18 +469,20 @@ impl PathVectorNode {
         }
     }
 
-    /// Point the Loc-RIB selection at `nbr`'s current candidate for `d`
+    /// Point the Loc-RIB selection at `nbr`'s candidate `cand` for `d`
     /// (the flag policy decides between the candidate's own flag and the
-    /// OR-merge), keeping the mirrors consistent.
-    fn select_candidate(&mut self, d: NodeId, nbr: NodeId, cand_flag: bool) {
+    /// OR-merge), keeping the mirrors consistent. `cand` is the candidate
+    /// just recorded in `nbr`'s slab, so the selection columns are written
+    /// straight from it — no slab re-probe.
+    fn select_candidate(&mut self, d: NodeId, di: u32, nbr: NodeId, cand: Candidate) {
         let flag = if self.origin_landmark_flags {
-            cand_flag
+            cand.dest_is_landmark
         } else {
             self.cand_is_lm(d)
         };
-        self.unmirror_best(d);
-        self.rib.select(d, nbr, flag);
-        self.mirror_best(d);
+        self.unmirror_best_at(d, di);
+        self.rib.select_from_at(di, nbr, cand, flag);
+        self.mirror_best_at(d, di);
     }
 
     /// Promote this node to a landmark at runtime (emergency self-election
@@ -594,26 +620,34 @@ impl PathVectorNode {
         from: NodeId,
         link_weight: Weight,
         ann: &Announcement,
-    ) -> (NodeId, Option<Candidate>) {
+    ) -> (NodeId, Option<Candidate>, Option<u32>) {
         let d = ann.dest;
-        // Withdrawals and routes through this node (loop prevention) make
-        // the neighbor unusable for that destination.
-        if ann.withdrawn || d == self.id || ann.path.contains(self.id) {
-            if self.rib.remove(from, d) == Some(true) {
-                self.cand_lm_adjust(d, true, false);
+        // The usable case first: not a withdrawal, not our own id, and we
+        // are not already on the path (loop prevention) — in which case
+        // the containment scan and the prepend share one arena pass.
+        if !ann.withdrawn && d != self.id {
+            if let Some(path) = ann.path.prepend_unless_contains(self.id) {
+                let cand = Candidate {
+                    dist: ann.dist + link_weight,
+                    // Shares the announced path, prefixed with this node.
+                    path,
+                    dest_is_landmark: ann.dest_is_landmark,
+                    dest_landmark_dist: ann.dest_landmark_dist,
+                };
+                let di = self.rib.intern(d);
+                let was_lm = self.rib.insert_at(from, di, &cand) == Some(true);
+                self.cand_lm_adjust(d, was_lm, ann.dest_is_landmark);
+                return (d, Some(cand), Some(di));
             }
-            return (d, None);
         }
-        let cand = Candidate {
-            dist: ann.dist + link_weight,
-            // O(1): shares the announced path, prefixed with this node.
-            path: ann.path.prepend(self.id),
-            dest_is_landmark: ann.dest_is_landmark,
-            dest_landmark_dist: ann.dest_landmark_dist,
-        };
-        let was_lm = self.rib.insert(from, d, &cand) == Some(true);
-        self.cand_lm_adjust(d, was_lm, ann.dest_is_landmark);
-        (d, Some(cand))
+        // Withdrawals and routes through this node make the neighbor
+        // unusable for that destination.
+        if self.rib.remove(from, d) == Some(true) {
+            self.cand_lm_adjust(d, true, false);
+        }
+        // A removal can compact the interner, so no index survives this
+        // branch; the (cold) caller path re-resolves.
+        (d, None, None)
     }
 
     /// Recompute the Loc-RIB best route for `d` by scanning every
@@ -639,18 +673,30 @@ impl PathVectorNode {
     /// changed (the route itself is untouched). Under origin-authoritative
     /// flags this is a no-op: the flag belongs to the selected candidate,
     /// and a non-selected neighbor's word cannot change it.
-    fn refresh_best_flag(&mut self, d: NodeId) {
+    /// Returns whether the selection's flag actually changed.
+    fn refresh_best_flag(&mut self, d: NodeId) -> bool {
+        let di = self.rib.idx(d);
+        self.refresh_best_flag_at(d, di)
+    }
+
+    /// [`Self::refresh_best_flag`] with the destination index in hand.
+    fn refresh_best_flag_at(&mut self, d: NodeId, di: Option<u32>) -> bool {
         if self.origin_landmark_flags {
-            return;
+            return false;
         }
+        let Some(di) = di else {
+            return false;
+        };
         let is_lm = self.cand_is_lm(d);
-        if let Some((_, flag)) = self.rib.selected_parts(d) {
+        if let Some((_, flag)) = self.rib.selected_parts_at(di) {
             if flag != is_lm {
-                self.unmirror_best(d);
+                self.unmirror_best_at(d, di);
                 self.rib.set_selected_flag(d, is_lm);
-                self.mirror_best(d);
+                self.mirror_best_at(d, di);
+                return true;
             }
         }
+        false
     }
 
     /// Update the Loc-RIB best route for `d` after the candidate from
@@ -662,27 +708,34 @@ impl PathVectorNode {
     /// the preference order is total, so the minimum moves only when a
     /// better candidate arrives (it becomes the minimum) or the minimum
     /// itself degrades (rescan).
-    fn update_dest(&mut self, d: NodeId, from: NodeId, new: Option<Candidate>) {
+    fn update_dest(&mut self, d: NodeId, from: NodeId, new: Option<Candidate>, di: Option<u32>) {
         if d == self.id {
             return;
         }
-        let cur_hop = self.rib.selected_hop(d);
+        let cur_hop = match di {
+            Some(i) => self.rib.selected_hop_at(i),
+            None => self.rib.selected_hop(d),
+        };
         if let Some(cand) = new {
+            // An inserted candidate always has its index in hand.
+            let di = di.expect("insertions carry the destination index");
             // Compare against the selection's *cached* route: when `from`
             // re-announced over its own selected candidate, the cache still
             // holds the pre-update values, exactly like the deleted `best`
             // map did.
-            let promote = match self.rib.selected_view(d) {
+            let promote = match self.rib.selected_view_at(di) {
                 None => true,
                 Some(cur) => preferred_parts(cand.dist, &cand.path, cur.dist, cur.path),
             };
             if promote {
-                self.select_candidate(d, from, cand.dest_is_landmark);
-                self.apply_selection(d);
+                self.select_candidate(d, di, from, cand);
+                self.apply_selection(d, Some(di));
                 return;
             }
         }
         if cur_hop == Some(from) {
+            // Re-selection can clear the last selection and compact the
+            // interner; `di` is dead past this point.
             self.rescan_best(d);
             // The selected route vanished with no retained alternate left.
             // If the forgetful policy discarded candidates for this
@@ -701,10 +754,30 @@ impl PathVectorNode {
             }
         } else {
             // The selected route is untouched; only the OR-merged landmark
-            // flag can have changed.
-            self.refresh_best_flag(d);
+            // flag can have changed. When it did not, the table derivation
+            // is already at a fixed point — the selection, the limit and
+            // the table are all exactly as the last `apply_selection` left
+            // them — so re-deriving is pure overhead on the most common
+            // message (a non-improving announcement from a non-selected
+            // neighbor). Only the landmark-version bump `apply_selection`
+            // makes for a still-pending landmark entry is replicated, so
+            // the composite protocol's repair triggers fire identically.
+            // On the withdrawal / neighbor-down path no index is in hand
+            // (and any pre-removal index would be compaction-stale) —
+            // resolve it here so the flag refresh actually runs.
+            let di = di.or_else(|| self.rib.idx(d));
+            if !self.refresh_best_flag_at(d, di) {
+                if self.table.get(&d).is_some_and(|e| e.dest_is_landmark)
+                    && self.pending.contains(&d)
+                {
+                    self.landmark_version += 1;
+                }
+                return;
+            }
+            self.apply_selection(d, di);
+            return;
         }
-        self.apply_selection(d);
+        self.apply_selection(d, None);
     }
 
     /// Trim `d`'s candidate set to the forgetful budget (no-op unless
@@ -742,7 +815,7 @@ impl PathVectorNode {
         // stale flag alive.
         if lm_removed && !self.origin_landmark_flags {
             self.refresh_best_flag(d);
-            self.apply_selection(d);
+            self.apply_selection(d, None);
         }
     }
 
@@ -795,10 +868,33 @@ impl PathVectorNode {
     /// recording export changes in `pending`. Handles the single admission
     /// / eviction the change can cause under [`TableLimit::VicinityCap`],
     /// and keeps `own_landmark_dist` (exported on the self entry) current.
-    fn apply_selection(&mut self, d: NodeId) {
+    fn apply_selection(&mut self, d: NodeId, di: Option<u32>) {
+        let di = di.or_else(|| self.rib.idx(d));
+        // Cap-reject fast path: the overwhelmingly common apply during
+        // convergence at scale is "a non-landmark selected route for a
+        // destination outside the table that does not beat the cap's
+        // worst resident". That case is provably a no-op on the table,
+        // the ordered mirrors, the landmark version and the exported
+        // own-landmark distance (`desired` derives to `None`, the old
+        // entry is `None`, and no landmark flag is involved) — bail
+        // before the full re-derivation pays half a dozen hash probes
+        // and a materialized-entry compare.
+        let parts = di.and_then(|i| self.rib.selected_parts_at(i));
+        if let TableLimit::VicinityCap { size } = self.limit {
+            if let Some((dist, flag)) = parts {
+                if !flag && self.locals.len() >= size && !self.table.contains_key(&d) {
+                    if let Some(&(OrdW(wd), wkey)) = self.locals.last() {
+                        if !Self::cap_less(Self::cap_key(d, dist), (wd, NodeId(wkey as usize))) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
         let was_landmark_entry = self.table.get(&d).is_some_and(|e| e.dest_is_landmark);
-        let best_is_landmark = self.rib.selected_parts(d).is_some_and(|(_, f)| f);
-        let desired: Option<RouteEntry> = match (self.rib.selected_view(d), self.limit) {
+        let best_is_landmark = parts.is_some_and(|(_, f)| f);
+        let view = di.and_then(|i| self.rib.selected_view_at(i));
+        let desired: Option<RouteEntry> = match (view, self.limit) {
             (None, _) => None,
             (Some(v), TableLimit::Unlimited) => Some(view_entry(&v)),
             (Some(v), TableLimit::Cluster) => {
@@ -946,13 +1042,18 @@ impl PathVectorNode {
 
     /// Export the coalesced state of every pending destination to all
     /// neighbors: the current table entry, or a withdrawal if the
-    /// destination dropped out of the table since the last flush.
+    /// destination dropped out of the table since the last flush. Each
+    /// destination is one [`disco_sim::context::Action::Flood`]: the
+    /// engine performs the neighbor walk (one refcount bump per edge)
+    /// instead of this node resolving the same adjacency `degree` times
+    /// per announcement.
     fn flush(&mut self, ctx: &mut Context<'_, Announcement>) {
         self.batch_armed = false;
-        let pending = std::mem::take(&mut self.pending);
-        let graph = ctx.graph();
-        let me = ctx.node_id();
-        for d in pending {
+        self.dump_scratch.clear();
+        self.dump_scratch.extend(self.pending.drain());
+        self.dump_scratch.sort_unstable();
+        let pending = std::mem::take(&mut self.dump_scratch);
+        for &d in &pending {
             let ann = match self.table.get(&d) {
                 Some(e) => Self::export(d, e, false),
                 None => Announcement {
@@ -965,11 +1066,9 @@ impl PathVectorNode {
                     refresh: false,
                 },
             };
-            let size = announcement_bytes(&ann);
-            for nb in graph.neighbors(me) {
-                ctx.send_sized(nb.node, ann.clone(), size);
-            }
+            Self::flood(&ann, ctx);
         }
+        self.dump_scratch = pending;
         // Re-solicit forgotten alternates (forgetful routing): one
         // refresh request per destination, flooded to all neighbors.
         let refresh = std::mem::take(&mut self.pending_refresh);
@@ -984,34 +1083,37 @@ impl PathVectorNode {
                 withdrawn: false,
                 refresh: true,
             };
-            let size = announcement_bytes(&ann);
-            for nb in graph.neighbors(me) {
-                ctx.send_sized(nb.node, ann.clone(), size);
-            }
+            Self::flood(&ann, ctx);
         }
     }
 
     /// Send this node's entire table (the paper's "the entire routing table
-    /// is then exported") to one neighbor, in deterministic order.
-    fn send_table_to(&self, peer: NodeId, ctx: &mut Context<'_, Announcement>) {
-        let mut dests: Vec<&NodeId> = self.table.keys().collect();
-        dests.sort_unstable();
-        for d in dests {
-            let ann = Self::export(*d, &self.table[d], false);
+    /// is then exported") to one neighbor, in deterministic order, as a
+    /// single batched delivery: one queue entry for the whole dump instead
+    /// of one per announcement, with identical per-announcement processing
+    /// order and statistics. The sort order is rebuilt in a reusable
+    /// scratch vector.
+    fn send_table_to(&mut self, peer: NodeId, ctx: &mut Context<'_, Announcement>) {
+        self.dump_scratch.clear();
+        self.dump_scratch.extend(self.table.keys().copied());
+        self.dump_scratch.sort_unstable();
+        let mut batch = Vec::with_capacity(self.dump_scratch.len());
+        for &d in &self.dump_scratch {
+            let ann = Self::export(d, &self.table[&d], false);
             let size = announcement_bytes(&ann);
-            ctx.send_sized(peer, ann, size);
+            batch.push((ann, size));
         }
+        ctx.send_batch(peer, batch);
     }
 
-    /// Send `ann` to every neighbor without allocating a neighbor list.
+    /// Flood `ann` to every neighbor: one engine-expanded action, no
+    /// neighbor list allocation and no per-neighbor adjacency scans.
     fn flood(ann: &Announcement, ctx: &mut Context<'_, Announcement>) {
         let size = announcement_bytes(ann);
-        let graph = ctx.graph();
-        for nb in graph.neighbors(ctx.node_id()) {
-            ctx.send_sized(nb.node, ann.clone(), size);
-        }
+        ctx.flood_sized(ann.clone(), size);
     }
 }
+
 
 impl Protocol for PathVectorNode {
     type Message = Announcement;
@@ -1038,19 +1140,22 @@ impl Protocol for PathVectorNode {
         };
         if msg.refresh {
             // Route-refresh request: answer with the current export state
-            // for that destination, unicast to the requester. Nothing to
-            // say if we hold no route (the requester's slot for us is
-            // already empty).
+            // for that destination, unicast to the requester (over the
+            // already-resolved arrival link). Nothing to say if we hold no
+            // route (the requester's slot for us is already empty).
             if let Some(e) = self.table.get(&msg.dest) {
                 self.refreshes_answered += 1;
                 let ann = Self::export(msg.dest, e, false);
                 let size = announcement_bytes(&ann);
-                ctx.send_sized(from, ann, size);
+                match ctx.via() {
+                    Some(via) if via.node == from => ctx.send_resolved(via, ann, size),
+                    _ => ctx.send_sized(from, ann, size),
+                }
             }
             return;
         }
-        let (d, removed) = self.absorb(from, w, &msg);
-        self.update_dest(d, from, removed);
+        let (d, removed, di) = self.absorb(from, w, &msg);
+        self.update_dest(d, from, removed, di);
         self.enforce_forgetful(d);
         self.arm_batch(ctx);
     }
@@ -1082,7 +1187,7 @@ impl Protocol for PathVectorNode {
             if was_lm {
                 self.cand_lm_adjust(d, true, false);
             }
-            self.update_dest(d, peer, None);
+            self.update_dest(d, peer, None, None);
         }
         self.arm_batch(ctx);
     }
@@ -1589,6 +1694,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Regression: withdrawing the *non-selected* neighbor's candidate —
+    /// the only landmark-flagged one — must clear the OR-merged landmark
+    /// flag on the selection and the table entry (the index-threaded
+    /// refresh once bailed out on the withdrawal path, where no
+    /// destination index is in hand, leaving the stale flag alive).
+    #[test]
+    fn withdrawing_nonselected_landmark_candidate_clears_or_merged_flag() {
+        use disco_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(0), NodeId(2), 1.0);
+        let g = b.build();
+        let mut pv = PathVectorNode::new(NodeId(0), false, TableLimit::Unlimited);
+        let mut ctx: disco_sim::Context<'_, Announcement> =
+            disco_sim::Context::new(NodeId(0), 0.0, &g, 64);
+        pv.on_start(&mut ctx);
+        let ann = |dist: f64, path: &[NodeId], lm: bool, withdrawn: bool| Announcement {
+            dest: NodeId(3),
+            dist,
+            path: InternedPath::from_slice(path),
+            dest_is_landmark: lm,
+            dest_landmark_dist: if lm { 0.0 } else { f64::INFINITY },
+            withdrawn,
+            refresh: false,
+        };
+        // Neighbor 1: the better route, not landmark-flagged.
+        pv.on_message(NodeId(1), ann(1.0, &[NodeId(1), NodeId(3)], false, false), &mut ctx);
+        // Neighbor 2: worse route, landmark-flagged (transient disagreement
+        // while a promotion floods). The OR-merge flags the selection.
+        pv.on_message(NodeId(2), ann(2.0, &[NodeId(2), NodeId(3)], true, false), &mut ctx);
+        assert!(pv.table[&NodeId(3)].dest_is_landmark, "OR-merge must flag");
+        assert_eq!(pv.own_landmark_distance(), 2.0);
+        // Neighbor 2 withdraws: the only landmark-flagged candidate is
+        // gone; the selection (still via neighbor 1) must lose the flag.
+        pv.on_message(NodeId(2), ann(2.0, &[NodeId(2), NodeId(3)], true, true), &mut ctx);
+        assert!(
+            !pv.table[&NodeId(3)].dest_is_landmark,
+            "stale OR-merged landmark flag survived the withdrawal"
+        );
+        assert!(pv.own_landmark_distance().is_infinite());
     }
 
     #[test]

@@ -231,6 +231,11 @@ pub struct DiscoProtocol {
     /// reachable; salts the election RNG and doubles its probability per
     /// attempt. Reset whenever a landmark is known.
     election_attempts: u64,
+    /// Recycled action buffer for the embedded path-vector context
+    /// ([`Self::run_pv`]): the inner upcall records into this scratch and
+    /// the translation loop drains it in place, so composing the two
+    /// protocols costs no per-upcall allocation.
+    pv_scratch: Vec<Action<Announcement>>,
 }
 
 impl DiscoProtocol {
@@ -283,6 +288,7 @@ impl DiscoProtocol {
             bootstrapped: false,
             repair_epoch: 0,
             election_attempts: 0,
+            pv_scratch: Vec::new(),
         }
     }
 
@@ -384,15 +390,22 @@ impl DiscoProtocol {
         );
     }
 
+    /// Flood this node's synopsis union to every neighbor (one
+    /// engine-expanded flood action).
+    fn gossip_flood(&self, ctx: &mut Context<'_, DiscoMsg>) {
+        ctx.flood_sized(
+            DiscoMsg::Gossip(self.synopsis.clone()),
+            self.synopsis.wire_bytes(),
+        );
+    }
+
     /// Flood path-vector announcements (a landmark promotion) to every
-    /// neighbor, wrapped as [`DiscoMsg::Route`].
+    /// neighbor, wrapped as [`DiscoMsg::Route`] — one flood action per
+    /// announcement, replicated by the engine at the adjacency walk.
     fn flood_route_announcements(anns: &[Announcement], ctx: &mut Context<'_, DiscoMsg>) {
-        let graph = ctx.graph();
         for ann in anns {
             let size = crate::path_vector::announcement_bytes(ann);
-            for nb in graph.neighbors(ctx.node_id()) {
-                ctx.send_sized(nb.node, DiscoMsg::Route(ann.clone()), size);
-            }
+            ctx.flood_sized(DiscoMsg::Route(ann.clone()), size);
         }
     }
 
@@ -500,17 +513,17 @@ impl DiscoProtocol {
         Some(lm_entry.path.concat(&addr.path))
     }
 
-    /// Send `payload` along `route` (this node first).
+    /// Send `payload` along `route` (this node first). The next hop is
+    /// resolved once (validation and scheduling share the lookup).
     fn send_along(&self, route: InternedPath, payload: Payload, ctx: &mut Context<'_, DiscoMsg>) {
         let Some(remaining) = route.tail() else {
             return;
         };
-        let next = remaining.first();
-        if ctx.link_weight(next).is_none() {
+        let Some(next) = ctx.neighbor(remaining.first()) else {
             return; // stale route; drop
-        }
+        };
         let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
-        ctx.send_sized(
+        ctx.send_resolved(
             next,
             DiscoMsg::Forward {
                 route: remaining,
@@ -722,23 +735,40 @@ impl DiscoProtocol {
     }
 
     /// Run one upcall of the embedded path-vector machinery and re-wrap its
-    /// outgoing announcements as [`DiscoMsg::Route`].
+    /// outgoing announcements as [`DiscoMsg::Route`]. The inner context
+    /// records into this instance's recycled scratch buffer, and the
+    /// relayed sends reuse the neighbor handles the inner context already
+    /// resolved (same graph snapshot) — no second adjacency scan.
     fn run_pv(
         &mut self,
         upcall: impl FnOnce(&mut PathVectorNode, &mut Context<'_, Announcement>),
         ctx: &mut Context<'_, DiscoMsg>,
     ) {
+        let buffer = std::mem::take(&mut self.pv_scratch);
         let mut inner: Context<'_, Announcement> =
-            Context::new(ctx.node_id(), ctx.now(), ctx.graph(), 64);
+            Context::with_buffer(ctx.node_id(), ctx.now(), ctx.graph(), 64, buffer);
+        inner.set_via(ctx.via());
         upcall(&mut self.pv, &mut inner);
-        for action in inner.take_actions() {
+        let mut actions = inner.into_buffer();
+        for action in actions.drain(..) {
             match action {
                 Action::Send {
                     to,
                     msg,
                     size_bytes,
                 } => {
-                    ctx.send_sized(to, DiscoMsg::Route(msg), size_bytes);
+                    ctx.send_resolved(to, DiscoMsg::Route(msg), size_bytes);
+                }
+                Action::SendBatch { to, msgs } => {
+                    let wrapped = msgs
+                        .into_vec()
+                        .into_iter()
+                        .map(|(m, size)| (DiscoMsg::Route(m), size))
+                        .collect();
+                    ctx.send_batch_resolved(to, wrapped);
+                }
+                Action::Flood { msg, size_bytes } => {
+                    ctx.flood_sized(DiscoMsg::Route(msg), size_bytes);
                 }
                 // Path-vector timers (the export batch flush) ride on this
                 // protocol's timer space; `on_timer` routes unknown tokens
@@ -746,6 +776,7 @@ impl DiscoProtocol {
                 Action::Timer { delay, token } => ctx.set_timer(delay, token),
             }
         }
+        self.pv_scratch = actions;
     }
 
     /// Debounce a repair pass: the first neighbor change arms one timer;
@@ -796,9 +827,7 @@ impl DiscoProtocol {
                 self.synopsis = self.my_sketch.clone();
                 self.synopsis.set_epoch(next);
                 self.epoch_started = ctx.now();
-                for nb in ctx.neighbors() {
-                    self.gossip_to(nb, ctx);
-                }
+                self.gossip_flood(ctx);
                 self.schedule_repair(ctx);
             }
         }
@@ -856,9 +885,7 @@ impl Protocol for DiscoProtocol {
     fn on_start(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
         self.run_pv(|pv, c| pv.on_start(c), ctx);
         if self.cfg.dynamic_n_estimation {
-            for nb in ctx.neighbors() {
-                self.gossip_to(nb, ctx);
-            }
+            self.gossip_flood(ctx);
         }
         ctx.set_timer(self.timers.insert_at, TIMER_INSERT);
         ctx.set_timer(self.timers.lookup_at, TIMER_LOOKUP);
@@ -888,12 +915,11 @@ impl Protocol for DiscoProtocol {
                     self.deliver(payload, ctx);
                     return;
                 };
-                let next = remaining.first();
-                if ctx.link_weight(next).is_none() {
+                let Some(next) = ctx.neighbor(remaining.first()) else {
                     return;
-                }
+                };
                 let size = 16 + 4 * remaining.len() + payload_bytes(&payload);
-                ctx.send_sized(
+                ctx.send_resolved(
                     next,
                     DiscoMsg::Forward {
                         route: remaining,
@@ -917,18 +943,14 @@ impl Protocol for DiscoProtocol {
                     self.synopsis.set_epoch(s.epoch());
                     self.synopsis.union(&s);
                     self.epoch_started = ctx.now();
-                    for nb in ctx.neighbors() {
-                        self.gossip_to(nb, ctx);
-                    }
+                    self.gossip_flood(ctx);
                     self.apply_estimate(ctx);
                 } else if s.epoch() == self.synopsis.epoch() && self.synopsis.would_grow(&s) {
                     // Synopsis diffusion: re-flood only when the union
                     // grew, so gossip quiesces once every node holds the
                     // epoch's global union. Stale-epoch gossip is ignored.
                     self.synopsis.union(&s);
-                    for nb in ctx.neighbors() {
-                        self.gossip_to(nb, ctx);
-                    }
+                    self.gossip_flood(ctx);
                     self.apply_estimate(ctx);
                 }
             }

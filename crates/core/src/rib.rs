@@ -216,8 +216,13 @@ pub struct RibStore {
     dests: Vec<u32>,
     /// Destination node id → index.
     dest_idx: FxHashMap<u32, u32>,
-    /// Per-neighbor slabs.
-    slabs: FxHashMap<NodeId, NeighborSlab>,
+    /// Per-neighbor slabs. A linear-scan vector, not a map: a node has
+    /// `degree` slabs (≈8–20 on the evaluation topologies), and the
+    /// per-message slab lookup beats hashing at that size while keeping
+    /// perfect cache locality. All outputs derived from iteration are
+    /// order-independent (the preference order is total), so the layout
+    /// cannot change behavior.
+    slabs: Vec<(NodeId, NeighborSlab)>,
     /// Occupied candidates across all slabs.
     total: usize,
     /// Per destination index: candidate count across neighbors.
@@ -285,6 +290,53 @@ impl RibStore {
         self.dest_idx.get(&(d.0 as u32)).map(|&i| i as usize)
     }
 
+    /// Intern `d` and return its dense destination index — the handle the
+    /// hot message path threads through `insert_at` / `selected_*_at` /
+    /// `select_from_at` so one interner probe serves the whole
+    /// absorb→select→apply chain instead of one per accessor.
+    ///
+    /// Validity: indexes are stable under insertions and selections but
+    /// remapped by the occupancy-triggered compaction, which only the
+    /// *removal* paths ([`RibStore::remove`], [`RibStore::remove_neighbor`],
+    /// [`RibStore::enforce`], [`RibStore::clear_selected`] via
+    /// [`RibStore::select_best`]) can trigger — so a handle must not be
+    /// held across those.
+    #[inline]
+    pub fn intern(&mut self, d: NodeId) -> u32 {
+        self.dest_id(d)
+    }
+
+    /// The interned index of `d`, if any (see [`RibStore::intern`] for the
+    /// validity rules).
+    #[inline]
+    pub fn idx(&self, d: NodeId) -> Option<u32> {
+        self.idx_of(d).map(|i| i as u32)
+    }
+
+    #[inline]
+    fn slab_of(&self, nbr: NodeId) -> Option<&NeighborSlab> {
+        self.slabs.iter().find(|(n, _)| *n == nbr).map(|(_, s)| s)
+    }
+
+    #[inline]
+    fn slab_mut(&mut self, nbr: NodeId) -> Option<&mut NeighborSlab> {
+        self.slabs
+            .iter_mut()
+            .find(|(n, _)| *n == nbr)
+            .map(|(_, s)| s)
+    }
+
+    /// The slab for `nbr`, created on first use.
+    fn slab_entry(&mut self, nbr: NodeId) -> &mut NeighborSlab {
+        match self.slabs.iter().position(|(n, _)| *n == nbr) {
+            Some(i) => &mut self.slabs[i].1,
+            None => {
+                self.slabs.push((nbr, NeighborSlab::default()));
+                &mut self.slabs.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
     /// Candidates currently held across all neighbors.
     pub fn len(&self) -> usize {
         self.total
@@ -304,14 +356,19 @@ impl RibStore {
     /// the path copy is a reference-count bump).
     pub fn get(&self, nbr: NodeId, d: NodeId) -> Option<Candidate> {
         let di = self.idx_of(d)?;
-        self.slabs.get(&nbr)?.get(di as u32)
+        self.slab_of(nbr)?.get(di as u32)
     }
 
     /// Insert or replace the candidate `nbr` announced for `d`. Returns the
     /// replaced candidate's landmark flag, like `HashMap::insert`.
     pub fn insert(&mut self, nbr: NodeId, d: NodeId, cand: &Candidate) -> Option<bool> {
         let di = self.dest_id(d);
-        let old = self.slabs.entry(nbr).or_default().insert(di, cand);
+        self.insert_at(nbr, di, cand)
+    }
+
+    /// [`RibStore::insert`] for an already-interned destination index.
+    pub fn insert_at(&mut self, nbr: NodeId, di: u32, cand: &Candidate) -> Option<bool> {
+        let old = self.slab_entry(nbr).insert(di, cand);
         if old.is_none() {
             self.total += 1;
             let was_live = self.is_live_idx(di as usize);
@@ -326,7 +383,7 @@ impl RibStore {
     /// Remove the candidate `nbr` holds for `d`; returns its landmark flag.
     pub fn remove(&mut self, nbr: NodeId, d: NodeId) -> Option<bool> {
         let di = self.idx_of(d)? as u32;
-        let old = self.slabs.get_mut(&nbr)?.remove(di)?;
+        let old = self.slab_mut(nbr)?.remove(di)?;
         self.total -= 1;
         self.drop_count(di);
         self.maybe_compact();
@@ -345,9 +402,10 @@ impl RibStore {
     /// `(destination, landmark flag)` pairs sorted by destination id
     /// (deterministic re-selection order for the caller).
     pub fn remove_neighbor(&mut self, nbr: NodeId) -> Vec<(NodeId, bool)> {
-        let Some(slab) = self.slabs.remove(&nbr) else {
+        let Some(i) = self.slabs.iter().position(|(n, _)| *n == nbr) else {
             return Vec::new();
         };
+        let (_, slab) = self.slabs.swap_remove(i);
         let mut out: Vec<(NodeId, bool)> = Vec::with_capacity(slab.dest.len());
         for (&di, &lm) in slab.dest.iter().zip(&slab.lm_flag) {
             self.drop_count(di);
@@ -364,7 +422,7 @@ impl RibStore {
     /// minimum is independent of slab iteration order.
     fn best_slot(&self, di: u32) -> Option<(NodeId, usize)> {
         let mut best: Option<(NodeId, usize, &NeighborSlab)> = None;
-        for (&nbr, slab) in &self.slabs {
+        for &(nbr, ref slab) in &self.slabs {
             let Some(s) = slab.slot_of(di) else { continue };
             let better = match &best {
                 None => true,
@@ -387,7 +445,7 @@ impl RibStore {
     pub fn best_for(&self, d: NodeId) -> Option<(NodeId, Candidate)> {
         let di = self.idx_of(d)? as u32;
         let (nbr, s) = self.best_slot(di)?;
-        let slab = &self.slabs[&nbr];
+        let slab = self.slab_of(nbr).expect("selected neighbor has a slab");
         Some((
             nbr,
             Candidate {
@@ -404,7 +462,7 @@ impl RibStore {
     /// Write the selection column for `di` from `nbr`'s slab slot `s`,
     /// with the effective landmark flag `flag`.
     fn write_selection(&mut self, di: usize, nbr: NodeId, s: usize, flag: bool) {
-        let slab = &self.slabs[&nbr];
+        let slab = self.slab_of(nbr).expect("selected neighbor has a slab");
         let (dist, lm_dist) = (slab.dist[s], slab.lm_dist[s]);
         let path = slab.path[s].clone();
         if self.sel_nbr[di] == ABSENT {
@@ -424,10 +482,36 @@ impl RibStore {
     /// flag under the owner's flag policy.
     pub fn select(&mut self, d: NodeId, nbr: NodeId, flag: bool) {
         let di = self.idx_of(d).expect("selecting an unknown destination");
-        let s = self.slabs[&nbr]
+        let s = self
+            .slab_of(nbr)
+            .expect("selected neighbor has a slab")
             .slot_of(di as u32)
             .expect("selected neighbor must hold a candidate");
         self.write_selection(di, nbr, s, flag);
+    }
+
+    /// Like [`RibStore::select`], but taking the selected candidate's
+    /// fields from `cand` — which the caller just inserted into `nbr`'s
+    /// slab for the destination indexed `di` — instead of re-reading the
+    /// slab (two probes on the hottest protocol path, promotion of a
+    /// fresh announcement). Takes the candidate by value: its path handle
+    /// moves into the selection column instead of paying a
+    /// reference-count round trip.
+    pub fn select_from_at(&mut self, di: u32, nbr: NodeId, cand: Candidate, flag: bool) {
+        let di = di as usize;
+        debug_assert!(
+            self.slab_of(nbr).is_some_and(|s| s.slot_of(di as u32).is_some()),
+            "selected neighbor must hold a candidate"
+        );
+        if self.sel_nbr[di] == ABSENT {
+            self.sel_count += 1;
+        }
+        debug_assert!(self.cand_count[di] > 0);
+        self.sel_nbr[di] = nbr.0 as u32;
+        self.sel_dist[di] = cand.dist;
+        self.sel_lm_dist[di] = cand.dest_landmark_dist;
+        self.sel_flag[di] = flag;
+        self.sel_path[di] = Some(cand.path);
     }
 
     /// Recompute the selection for `d` as the most-preferred candidate
@@ -440,7 +524,7 @@ impl RibStore {
         };
         match self.best_slot(di as u32) {
             Some((nbr, s)) => {
-                let flag = self.slabs[&nbr].lm_flag[s];
+                let flag = self.slab_of(nbr).expect("best slab exists").lm_flag[s];
                 self.write_selection(di, nbr, s, flag);
                 true
             }
@@ -471,15 +555,26 @@ impl RibStore {
     /// The selected route's next hop for `d`, if a route is selected.
     #[inline]
     pub fn selected_hop(&self, d: NodeId) -> Option<NodeId> {
-        let di = self.idx_of(d)?;
-        let nbr = self.sel_nbr[di];
+        self.selected_hop_at(self.idx_of(d)? as u32)
+    }
+
+    /// [`RibStore::selected_hop`] by destination index.
+    #[inline]
+    pub fn selected_hop_at(&self, di: u32) -> Option<NodeId> {
+        let nbr = self.sel_nbr[di as usize];
         (nbr != ABSENT).then_some(NodeId(nbr as usize))
     }
 
     /// The full selected-route view for `d` (one interner probe).
     #[inline]
     pub fn selected_view(&self, d: NodeId) -> Option<SelectedRoute<'_>> {
-        let di = self.idx_of(d)?;
+        self.selected_view_at(self.idx_of(d)? as u32)
+    }
+
+    /// [`RibStore::selected_view`] by destination index.
+    #[inline]
+    pub fn selected_view_at(&self, di: u32) -> Option<SelectedRoute<'_>> {
+        let di = di as usize;
         let nbr = self.sel_nbr[di];
         if nbr == ABSENT {
             return None;
@@ -497,7 +592,13 @@ impl RibStore {
     /// fields the owner's ordered mirrors key on.
     #[inline]
     pub fn selected_parts(&self, d: NodeId) -> Option<(Weight, bool)> {
-        let di = self.idx_of(d)?;
+        self.selected_parts_at(self.idx_of(d)? as u32)
+    }
+
+    /// [`RibStore::selected_parts`] by destination index.
+    #[inline]
+    pub fn selected_parts_at(&self, di: u32) -> Option<(Weight, bool)> {
+        let di = di as usize;
         (self.sel_nbr[di] != ABSENT).then(|| (self.sel_dist[di], self.sel_flag[di]))
     }
 
@@ -543,7 +644,7 @@ impl RibStore {
         let mut out: Vec<(NodeId, Candidate)> = self
             .slabs
             .iter()
-            .filter_map(|(&nbr, slab)| slab.get(di as u32).map(|c| (nbr, c)))
+            .filter_map(|&(nbr, ref slab)| slab.get(di as u32).map(|c| (nbr, c)))
             .collect();
         out.sort_unstable_by(|a, b| {
             a.1.dist
@@ -578,8 +679,7 @@ impl RibStore {
         let mut removed = Vec::with_capacity(ranked.len().saturating_sub(keep));
         for (nbr, _) in ranked.drain(keep.max(1)..) {
             let was_lm = self
-                .slabs
-                .get_mut(&nbr)
+                .slab_mut(nbr)
                 .and_then(|s| s.remove(di))
                 .expect("ranked candidate must exist");
             self.total -= 1;
@@ -614,14 +714,14 @@ impl RibStore {
     pub fn stats(&self) -> RibStats {
         let path_nodes = self
             .slabs
-            .values()
-            .flat_map(|s| s.path.iter())
+            .iter()
+            .flat_map(|(_, s)| s.path.iter())
             .map(InternedPath::len)
             .sum();
         let approx_bytes = self
             .slabs
-            .values()
-            .map(NeighborSlab::approx_bytes)
+            .iter()
+            .map(|(_, s)| s.approx_bytes())
             .sum::<usize>()
             + self.dests.capacity() * 4
             + self.cand_count.capacity() * 4
@@ -684,7 +784,7 @@ impl RibStore {
             sel_path.push(self.sel_path[i].take());
             dest_idx.insert(self.dests[i], ni);
         }
-        for slab in self.slabs.values_mut() {
+        for (_, slab) in self.slabs.iter_mut() {
             let mut pos = FxHashMap::default();
             for s in 0..slab.dest.len() {
                 let ni = remap[slab.dest[s] as usize];

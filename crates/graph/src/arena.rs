@@ -429,6 +429,28 @@ impl InternedPath {
         })
     }
 
+    /// [`InternedPath::contains`] and [`InternedPath::prepend`] fused into
+    /// one pool borrow — the path-vector's per-announcement loop check
+    /// plus prepend: `None` when `node` already appears in the path,
+    /// otherwise the prepended path. O(len) for the scan, O(1) to build.
+    pub fn prepend_unless_contains(&self, node: NodeId) -> Option<Self> {
+        let needle = node.0 as u32;
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            let mut id = self.raw();
+            while id != NIL {
+                let cell = &p.cells[id as usize];
+                if cell.head == needle {
+                    return None;
+                }
+                id = cell.tail;
+            }
+            let cell = p.cells[self.raw() as usize];
+            let id = p.acquire(needle, self.raw(), cell.len + 1, cell.last);
+            Some(InternedPath::wrap(id))
+        })
+    }
+
     /// The path `[node] ; self` — the path-vector prepend. O(1).
     pub fn prepend(&self, node: NodeId) -> Self {
         let id = POOL.with(|p| {

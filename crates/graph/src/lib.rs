@@ -49,7 +49,7 @@ pub mod shortest_path;
 pub use arena::{InternedPath, PathArena, PathArenaStats};
 pub use builder::GraphBuilder;
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use graph::{EdgeId, Graph, NodeId, Weight};
+pub use graph::{EdgeId, Graph, Neighbor, NodeId, Weight};
 pub use path::Path;
 pub use shortest_path::{
     dijkstra, dijkstra_bounded, dijkstra_to_targets, k_nearest, multi_source_dijkstra,

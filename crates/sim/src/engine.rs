@@ -10,7 +10,7 @@ use crate::context::{Action, Context};
 use crate::event::{EventKind, EventQueue, SimTime, TimerWheel, TopologyEvent};
 use crate::stats::MessageStats;
 use crate::Protocol;
-use disco_graph::{Graph, NodeId};
+use disco_graph::{EdgeId, Graph, NodeId};
 
 /// Summary of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,11 @@ pub struct RunReport {
     /// Messages lost in flight (link failed or receiver left before
     /// delivery) plus stale-incarnation timers discarded.
     pub messages_dropped: u64,
+    /// Messages delivered to `on_message` upcalls. Counts every message —
+    /// a delivered batch contributes its full length — so it measures
+    /// protocol work independently of how deliveries are packed into
+    /// queue entries (an event can carry a whole table dump).
+    pub messages_delivered: u64,
     /// Message statistics collected during the run.
     pub stats: MessageStats,
 }
@@ -55,11 +60,16 @@ pub struct Engine<'f, P: Protocol, Q: EventQueue<P::Message> = TimerWheel<<P as 
     /// of letting epoch-dead timers sit in the queue until popped.
     pending_timers: Vec<Vec<Q::Id>>,
     stats: MessageStats,
+    /// Recycled action buffer handed to every upcall's [`Context`] and
+    /// drained in place afterwards — the zero-allocation upcall path (the
+    /// buffer's capacity survives across upcalls).
+    action_scratch: Vec<Action<P::Message>>,
     now: SimTime,
     started: bool,
     events_processed: u64,
     topology_events: u64,
     messages_dropped: u64,
+    messages_delivered: u64,
     /// Timers that reached their pop time while their node was inactive or
     /// from a previous incarnation — i.e. epoch-dead timers that the eager
     /// cancellation missed. The reclamation regression tests assert this
@@ -108,11 +118,13 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
             queue,
             pending_timers: (0..n).map(|_| Vec::new()).collect(),
             stats: MessageStats::new(n),
+            action_scratch: Vec::new(),
             now: 0.0,
             started: false,
             events_processed: 0,
             topology_events: 0,
             messages_dropped: 0,
+            messages_delivered: 0,
             stale_timer_pops: 0,
             max_events: 200_000_000,
             max_time: f64::INFINITY,
@@ -174,6 +186,12 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
         self.messages_dropped
     }
 
+    /// Messages delivered to `on_message` upcalls so far (batch members
+    /// counted individually — see [`RunReport::messages_delivered`]).
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
     /// Epoch-dead timers that slipped past eager cancellation and were
     /// only discarded when popped (see the field docs; 0 when eager
     /// reclamation is airtight).
@@ -184,6 +202,13 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
     /// Topology events applied so far.
     pub fn topology_events(&self) -> u64 {
         self.topology_events
+    }
+
+    /// Events (queue pops) processed so far. A batched delivery counts
+    /// once however many messages it carries; see
+    /// [`Engine::messages_delivered`] for the per-message count.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Schedule a topology mutation at absolute simulation time `at`
@@ -204,6 +229,20 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
         (self.queue.len(), self.queue.dead_refs())
     }
 
+    /// Whether an in-flight message riding `edge` toward `to` was lost:
+    /// the link failed or the receiver departed while it was on the wire.
+    /// Edge ids are retired permanently on removal and a departing node
+    /// loses all incident edges, so one O(1) liveness-bit read replaces
+    /// the former O(degree) `find_edge` scan per delivery: a *live* edge
+    /// id still connects the endpoints it was minted for, and a link that
+    /// failed and was re-established mid-flight (or a receiver that
+    /// rejoined on the same anchor) carries a fresh id, leaving the
+    /// message's own edge dead.
+    #[inline]
+    fn link_died_in_flight(&self, to: NodeId, edge: EdgeId) -> bool {
+        !self.is_active(to) || !self.graph.edge_is_live(edge)
+    }
+
     /// Cancel every pending timer of `node`, reclaiming the queue entries
     /// eagerly. Each cancelled timer counts as dropped, exactly as it would
     /// have when popped lazily under the old scheme.
@@ -215,30 +254,93 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
         }
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P::Message>>) {
-        for a in actions {
+    /// Turn the actions one upcall recorded into scheduled events,
+    /// draining the buffer in place (its capacity is recycled). Sends are
+    /// already edge-resolved by the [`Context`], so no per-send adjacency
+    /// scan happens here; floods walk the adjacency list exactly once.
+    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action<P::Message>>) {
+        for a in actions.drain(..) {
             match a {
                 Action::Send {
                     to,
                     msg,
                     size_bytes,
                 } => {
-                    let nb = *self
-                        .graph
-                        .neighbors(node)
-                        .iter()
-                        .find(|nb| nb.node == to)
-                        .expect("context already validated neighbor");
                     self.stats.record_send(node, size_bytes);
                     let _ = self.queue.push(
-                        self.now + nb.weight + self.processing_delay,
+                        self.now + to.weight + self.processing_delay,
                         EventKind::Deliver {
                             from: node,
-                            to,
-                            edge: nb.edge,
+                            to: to.node,
+                            edge: to.edge,
                             msg,
                         },
                     );
+                }
+                Action::SendBatch { to, msgs } => {
+                    for (_, size_bytes) in msgs.iter() {
+                        self.stats.record_send(node, *size_bytes);
+                    }
+                    let _ = self.queue.push(
+                        self.now + to.weight + self.processing_delay,
+                        EventKind::DeliverBatch {
+                            from: node,
+                            to: to.node,
+                            edge: to.edge,
+                            msgs,
+                        },
+                    );
+                }
+                Action::Flood { msg, size_bytes } => {
+                    // Split borrows: walk the graph's adjacency while
+                    // pushing to the queue and counting into the stats.
+                    let (now, delay) = (self.now, self.processing_delay);
+                    let Engine {
+                        graph,
+                        queue,
+                        stats,
+                        ..
+                    } = self;
+                    let nbrs = graph.neighbors(node);
+                    let Some(first) = nbrs.first() else {
+                        continue; // no neighbors, nothing to send
+                    };
+                    if nbrs.iter().all(|nb| nb.weight == first.weight) {
+                        // Uniform link latency (the common case: unit-weight
+                        // graphs): every copy arrives at the same instant
+                        // with consecutive seqs, so the whole flood is ONE
+                        // queue entry carrying the payload once, replicated
+                        // at the pop — the fan-out point.
+                        for _ in nbrs {
+                            stats.record_send(node, size_bytes);
+                        }
+                        let targets: Box<[(NodeId, EdgeId)]> =
+                            nbrs.iter().map(|nb| (nb.node, nb.edge)).collect();
+                        let _ = queue.push(
+                            now + first.weight + delay,
+                            EventKind::DeliverFlood {
+                                from: node,
+                                msg,
+                                targets,
+                            },
+                        );
+                    } else {
+                        // Mixed latencies: arrivals spread over distinct
+                        // times; fall back to per-neighbor entries (same
+                        // schedule as a manual clone-and-send loop).
+                        for nb in nbrs {
+                            stats.record_send(node, size_bytes);
+                            let _ = queue.push(
+                                now + nb.weight + delay,
+                                EventKind::Deliver {
+                                    from: node,
+                                    to: nb.node,
+                                    edge: nb.edge,
+                                    msg: msg.clone(),
+                                },
+                            );
+                        }
+                    }
                 }
                 Action::Timer { delay, token } => {
                     let id = self.queue.push(
@@ -255,13 +357,41 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
         }
     }
 
-    /// Run `upcall` on node `v` with a fresh context and apply the actions
-    /// it records.
+    /// Run `upcall` on node `v` with a context over the engine's recycled
+    /// action buffer and apply the actions it records. No allocation after
+    /// the buffer's capacity warms up.
     fn upcall(&mut self, v: NodeId, upcall: impl FnOnce(&mut P, &mut Context<'_, P::Message>)) {
-        let mut ctx = Context::new(v, self.now, &self.graph, self.default_msg_size);
+        self.upcall_via(v, None, upcall);
+    }
+
+    /// [`Self::upcall`] with the arrival link pre-resolved (message
+    /// deliveries): the context answers `link_weight(sender)` and reply
+    /// resolution in O(1) instead of re-scanning the adjacency list.
+    fn upcall_via(
+        &mut self,
+        v: NodeId,
+        via: Option<disco_graph::Neighbor>,
+        upcall: impl FnOnce(&mut P, &mut Context<'_, P::Message>),
+    ) {
+        let buffer = std::mem::take(&mut self.action_scratch);
+        let mut ctx = Context::with_buffer(v, self.now, &self.graph, self.default_msg_size, buffer);
+        ctx.set_via(via);
         upcall(&mut self.nodes[v.0], &mut ctx);
-        let actions = std::mem::take(&mut ctx.actions);
-        self.apply_actions(v, actions);
+        let mut actions = ctx.into_buffer();
+        self.apply_actions(v, &mut actions);
+        self.action_scratch = actions;
+    }
+
+    /// The resolved arrival link for a delivery that just passed the
+    /// liveness check: the edge is live, so its record still describes
+    /// the current link between sender and receiver.
+    #[inline]
+    fn via_of(&self, from: NodeId, edge: EdgeId) -> disco_graph::Neighbor {
+        disco_graph::Neighbor {
+            node: from,
+            edge,
+            weight: self.graph.edge(edge).weight,
+        }
     }
 
     /// Apply one topology mutation and deliver the resulting neighbor
@@ -387,6 +517,7 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
             events_processed: self.events_processed,
             topology_events: self.topology_events,
             messages_dropped: self.messages_dropped,
+            messages_delivered: self.messages_delivered,
             stats: self.stats.clone(),
         }
     }
@@ -422,17 +553,54 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                 edge,
                 msg,
             } => {
-                // In-flight messages are lost if the link failed or the
-                // receiver departed while they were on the wire. Comparing
-                // the edge *id* (not mere existence) also drops messages
-                // whose link failed and was re-established mid-flight, and
-                // pre-leave messages to a node that rejoined on the same
-                // anchor — both get fresh edge ids.
-                if !self.is_active(to) || self.graph.find_edge(from, to) != Some(edge) {
+                if self.link_died_in_flight(to, edge) {
                     self.messages_dropped += 1;
                 } else {
                     self.stats.record_receive(to);
-                    self.upcall(to, |p, ctx| p.on_message(from, msg, ctx));
+                    self.messages_delivered += 1;
+                    let via = self.via_of(from, edge);
+                    self.upcall_via(to, Some(via), |p, ctx| p.on_message(from, msg, ctx));
+                }
+            }
+            EventKind::DeliverBatch {
+                from,
+                to,
+                edge,
+                msgs,
+            } => {
+                // One liveness check covers the whole batch: its messages
+                // would have popped back-to-back (consecutive seqs at one
+                // timestamp), so no topology event can interleave — the
+                // per-message checks of singleton delivery are provably
+                // equal. A lost batch loses every message in it.
+                if self.link_died_in_flight(to, edge) {
+                    self.messages_dropped += msgs.len() as u64;
+                } else {
+                    let via = self.via_of(from, edge);
+                    for (msg, _) in msgs.into_vec() {
+                        self.stats.record_receive(to);
+                        self.messages_delivered += 1;
+                        self.upcall_via(to, Some(via), |p, ctx| p.on_message(from, msg, ctx));
+                    }
+                }
+            }
+            EventKind::DeliverFlood { from, msg, targets } => {
+                // Replicate at the fan-out point: one payload, one clone
+                // (refcount bump for interned payloads) per live target,
+                // in adjacency order at send time — the order the
+                // per-neighbor entries popped in before packing. Liveness
+                // stays per target: a single failed link loses only that
+                // copy.
+                for (to, edge) in targets.into_vec() {
+                    if self.link_died_in_flight(to, edge) {
+                        self.messages_dropped += 1;
+                    } else {
+                        self.stats.record_receive(to);
+                        self.messages_delivered += 1;
+                        let m = msg.clone();
+                        let via = self.via_of(from, edge);
+                        self.upcall_via(to, Some(via), |p, ctx| p.on_message(from, m, ctx));
+                    }
                 }
             }
             EventKind::Timer { node, token, epoch } => {
@@ -875,6 +1043,89 @@ mod tests {
         assert_eq!(e.nodes()[2].ups, vec![NodeId(0), NodeId(1)]);
         assert_eq!(e.nodes()[0].ups, vec![NodeId(2)]);
         assert_eq!(e.nodes()[1].ups, vec![NodeId(2)]);
+    }
+
+    /// Accounting audit: a batched send must record exactly the same
+    /// per-message counts and byte sizes in [`MessageStats`] as the same
+    /// messages sent one by one — the churn goldens' `msgs/node` lines
+    /// depend on it.
+    #[test]
+    fn batched_sends_record_identical_per_message_stats() {
+        struct Sender {
+            batched: bool,
+        }
+        impl Protocol for Sender {
+            type Message = u8;
+            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+                if ctx.node_id() != NodeId(0) {
+                    return;
+                }
+                let msgs = vec![(1u8, 10), (2u8, 25), (3u8, 100)];
+                if self.batched {
+                    ctx.send_batch(NodeId(1), msgs);
+                    ctx.flood_sized(9, 7);
+                } else {
+                    for (m, s) in msgs {
+                        ctx.send_sized(NodeId(1), m, s);
+                    }
+                    for nb in ctx.neighbors() {
+                        ctx.send_sized(nb, 9, 7);
+                    }
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u8, _c: &mut Context<'_, u8>) {}
+        }
+        let g = generators::star(4); // hub 0, leaves 1..3
+        let run = |batched| {
+            let mut e = Engine::new(&g, move |_| Sender { batched });
+            e.run()
+        };
+        let single = run(false);
+        let batch = run(true);
+        assert_eq!(single.stats, batch.stats);
+        assert_eq!(batch.stats.sent_by(NodeId(0)), 6); // 3 batched + 3 flooded
+        assert_eq!(batch.stats.bytes_sent_by(NodeId(0)), 10 + 25 + 100 + 3 * 7);
+        assert_eq!(batch.stats.received_by(NodeId(1)), 4);
+        assert_eq!(batch.stats.received_by(NodeId(2)), 1);
+        assert_eq!(single.messages_delivered, batch.messages_delivered);
+        assert_eq!(batch.messages_delivered, 6);
+        // The whole point: the batched run needed fewer queue entries.
+        assert!(batch.events_processed < single.events_processed);
+    }
+
+    /// A batch whose link dies while it is on the wire loses *every*
+    /// message in it — one drop per message, like singleton deliveries.
+    #[test]
+    fn in_flight_batch_loss_counts_every_message() {
+        use disco_graph::GraphBuilder;
+        struct BatchSender;
+        impl Protocol for BatchSender {
+            type Message = u8;
+            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+                if ctx.node_id() == NodeId(0) {
+                    ctx.send_batch(NodeId(1), (0..5).map(|i| (i, 8)).collect());
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: u8, _c: &mut Context<'_, u8>) {
+                panic!("batch should have been lost with the link");
+            }
+        }
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 10.0); // slow link: batch in flight
+        let g = b.build();
+        let mut e = Engine::new(&g, |_| BatchSender);
+        e.schedule_topology(
+            1.0,
+            TopologyEvent::LinkDown {
+                u: NodeId(0),
+                v: NodeId(1),
+            },
+        );
+        let report = e.run();
+        assert!(report.converged);
+        assert_eq!(report.stats.total_sent(), 5, "sends recorded per message");
+        assert_eq!(report.messages_dropped, 5, "losses counted per message");
+        assert_eq!(report.messages_delivered, 0);
     }
 
     #[test]

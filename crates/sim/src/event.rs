@@ -82,6 +82,40 @@ pub enum EventKind<M> {
         edge: EdgeId,
         msg: M,
     },
+    /// Deliver a whole batch of messages from `from` to `to` over the link
+    /// that was `edge` at send time, as **one** queue entry: the engine
+    /// pops the batch once and processes the messages in order, exactly as
+    /// if each had been a separate [`EventKind::Deliver`] scheduled
+    /// back-to-back (same deliver time, consecutive sequence numbers).
+    /// Each message carries its accounted wire size, recorded per message
+    /// at send time; if the link fails (or the receiver departs) while the
+    /// batch is in flight, *every* message in it counts as dropped —
+    /// identical loss accounting to per-message delivery, because the
+    /// whole batch rides one edge and the engine's liveness checks cannot
+    /// change between consecutive same-time pops.
+    DeliverBatch {
+        from: NodeId,
+        to: NodeId,
+        edge: EdgeId,
+        msgs: Box<[(M, usize)]>,
+    },
+    /// Deliver one message from `from` to *every* listed target over the
+    /// edges captured at send time, as **one** queue entry — the in-queue
+    /// form of a flood over uniform-latency links (the engine falls back
+    /// to per-neighbor [`EventKind::Deliver`] entries when link weights
+    /// differ, where arrivals spread over distinct times). All targets
+    /// share one timestamp, and a flood's per-neighbor sends carry
+    /// consecutive sequence numbers today, so popping the entry once and
+    /// walking the targets in adjacency order reproduces the singleton
+    /// pop order exactly; liveness is checked per target at pop time, so
+    /// losses stay per-message.
+    DeliverFlood {
+        from: NodeId,
+        msg: M,
+        /// `(receiver, edge at send time)`, in adjacency order at send
+        /// time.
+        targets: Box<[(NodeId, EdgeId)]>,
+    },
     /// Fire a timer at `node` with the caller-chosen `token`. `epoch` is the
     /// node's incarnation when the timer was set; timers from a previous
     /// incarnation (before a leave/rejoin) are discarded on delivery.

@@ -1,0 +1,174 @@
+//! Batched-vs-singleton message-plane equivalence.
+//!
+//! The batched message plane (`Action::SendBatch` → `EventKind::DeliverBatch`,
+//! `Action::Flood`) must be *observationally identical* to sending every
+//! message as its own queue entry: same per-node receive logs (times,
+//! senders, payloads, order), same `MessageStats` (per-message send/receive
+//! counts and byte totals), same in-flight loss accounting — including a
+//! batch whose link dies between send and delivery losing every message in
+//! it, one drop per message — and the same end time, under churn. The only
+//! permitted difference is the number of queue pops (`events_processed`):
+//! a batch is one entry.
+//!
+//! The property drives a gossiping protocol through random topologies and
+//! seeded churn twice — once recording fan-out as batches/floods, once as
+//! per-message sends — and compares the full observable trace.
+
+use disco_graph::{generators, NodeId};
+use disco_sim::rng::rng_for;
+use disco_sim::{Context, Engine, Protocol, RunReport, TopologyEvent};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// `(hops-to-live, tag)` — hops drive a bounded re-flood cascade so the
+/// two runs stay busy while churn events land.
+type Msg = (u8, u32);
+
+/// One receive-log entry: `(arrival time bits, sender, hops, tag)`.
+type LogEntry = (u64, NodeId, u8, u32);
+
+struct Blaster {
+    batched: bool,
+    log: Vec<LogEntry>,
+}
+
+impl Blaster {
+    fn fan_out(&self, msg: Msg, size: usize, ctx: &mut Context<'_, Msg>) {
+        if self.batched {
+            ctx.flood_sized(msg, size);
+        } else {
+            // The pre-batching idiom: clone-and-send per neighbor, in
+            // adjacency order.
+            for nb in ctx.neighbors() {
+                ctx.send_sized(nb, msg, size);
+            }
+        }
+    }
+
+    fn dump_to(&self, peer: NodeId, msgs: Vec<(Msg, usize)>, ctx: &mut Context<'_, Msg>) {
+        if self.batched {
+            ctx.send_batch(peer, msgs);
+        } else {
+            for (m, s) in msgs {
+                ctx.send_sized(peer, m, s);
+            }
+        }
+    }
+}
+
+impl Protocol for Blaster {
+    type Message = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        let me = ctx.node_id();
+        if !me.0.is_multiple_of(7) {
+            return;
+        }
+        // A table-dump-like batch of individually-sized messages to the
+        // first neighbor…
+        if let Some(&peer) = ctx.neighbors().first() {
+            let dump: Vec<(Msg, usize)> = (0..12u32)
+                .map(|i| ((0u8, 1000 + i), 10 + i as usize))
+                .collect();
+            self.dump_to(peer, dump, ctx);
+        }
+        // …and a flood seeding the cascade.
+        self.fan_out((2, me.0 as u32), 33, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        self.log.push((ctx.now().to_bits(), from, msg.0, msg.1));
+        let (hops, tag) = msg;
+        if hops == 0 {
+            return;
+        }
+        // Re-flood with one hop less, and answer the sender with a small
+        // batch (the link exists right now: delivery just validated it).
+        self.fan_out((hops - 1, tag.wrapping_mul(31).wrapping_add(7)), 21, ctx);
+        let reply: Vec<(Msg, usize)> = (0..3u32).map(|i| ((0u8, tag ^ i), 5)).collect();
+        self.dump_to(from, reply, ctx);
+    }
+}
+
+/// Seeded churn aimed at in-flight messages: cut the batch sender's first
+/// link mid-flight (per-message loss inside a batch), bounce another link
+/// down and up before delivery (edge-id mismatch), then random link cuts
+/// and node departures through the cascade.
+fn churn_events(g: &disco_graph::Graph, seed: u64) -> Vec<(f64, TopologyEvent)> {
+    let mut ev = Vec::new();
+    // Node 0 dumped a 12-message batch to its first neighbor at t=0; the
+    // delivery is at 1.01 (unit weight + processing delay). Cutting the
+    // link at 0.5 loses the whole batch in flight.
+    let nb0 = g.neighbors(NodeId(0))[0].node;
+    ev.push((0.5, TopologyEvent::LinkDown { u: NodeId(0), v: nb0 }));
+    // Node 7's first link dies and comes back before delivery: the fresh
+    // edge id must not resurrect the in-flight messages.
+    if g.node_count() > 7 {
+        let nb7 = g.neighbors(NodeId(7))[0].node;
+        ev.push((0.3, TopologyEvent::LinkDown { u: NodeId(7), v: nb7 }));
+        ev.push((
+            0.6,
+            TopologyEvent::LinkUp {
+                u: NodeId(7),
+                v: nb7,
+                weight: 1.0,
+            },
+        ));
+    }
+    let mut rng = rng_for(seed, 0xba7c, 0);
+    for k in 0..6u64 {
+        let t = 0.2 + rng.gen::<f64>() * 6.0;
+        let v = NodeId(rng.gen_range(0..g.node_count()));
+        if k % 3 == 2 {
+            ev.push((t, TopologyEvent::NodeLeave { node: v }));
+        } else if g.degree(v) > 0 {
+            let peer = g.neighbors(v)[rng.gen_range(0..g.degree(v))].node;
+            ev.push((t, TopologyEvent::LinkDown { u: v, v: peer }));
+        }
+    }
+    ev
+}
+
+fn run(seed: u64, batched: bool) -> (RunReport, Vec<Vec<LogEntry>>) {
+    let n = 24 + (seed as usize % 17);
+    let g = generators::gnm_connected(n, n * 3, seed);
+    let mut engine = Engine::new(&g, |_| Blaster {
+        batched,
+        log: Vec::new(),
+    });
+    for (t, ev) in churn_events(&g, seed) {
+        engine.schedule_topology(t, ev);
+    }
+    let report = engine.run();
+    let logs = engine.nodes().iter().map(|b| b.log.clone()).collect();
+    (report, logs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Same seed, batched vs singleton fan-out: every observable of the
+    /// run must match — only the queue-pop count may differ.
+    #[test]
+    fn batched_run_is_observationally_identical(seed in 0u64..10_000) {
+        let (single, single_logs) = run(seed, false);
+        let (batched, batched_logs) = run(seed, true);
+        prop_assert_eq!(&single_logs, &batched_logs, "receive logs diverged");
+        prop_assert_eq!(&single.stats, &batched.stats, "MessageStats diverged");
+        prop_assert_eq!(single.messages_dropped, batched.messages_dropped);
+        prop_assert_eq!(single.messages_delivered, batched.messages_delivered);
+        prop_assert_eq!(single.topology_events, batched.topology_events);
+        prop_assert_eq!(single.end_time.to_bits(), batched.end_time.to_bits());
+        prop_assert!(single.converged && batched.converged);
+        // The 12-message dump was cut mid-flight: per-message loss inside
+        // the batch, so both runs drop at least those 12.
+        prop_assert!(batched.messages_dropped >= 12, "expected in-flight batch loss");
+        // Batching must actually reduce queue entries.
+        prop_assert!(
+            batched.events_processed < single.events_processed,
+            "batched run popped {} events vs {} — nothing was batched",
+            batched.events_processed,
+            single.events_processed
+        );
+    }
+}
