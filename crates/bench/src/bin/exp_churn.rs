@@ -8,29 +8,108 @@
 //!
 //! Run with: `cargo run --release -p disco-bench --bin exp_churn`
 //! (defaults: 512 nodes, seed 1).
-
+//!
 //! Pass `--forgetful` to run the path-vector layer with forgetful
 //! eviction (`DiscoConfig::forgetful_dynamic`); the summary then carries a
 //! `forgetful=on` marker and is locked by its own golden file.
+//!
+//! Telemetry flags (all optional; with none of them the engine runs the
+//! no-op recorder and the output is the golden-locked summary alone):
+//!
+//! * `--telemetry` — run with the full recorder and append the
+//!   deterministic telemetry summary (msgs by class, repair latency
+//!   quantiles).
+//! * `--trace PATH` — additionally export the run as a Chrome
+//!   `trace_event` JSON timeline (open in `chrome://tracing` or perfetto).
+//! * `--smoke` — CI mode: small run (192 nodes unless `--nodes` is given),
+//!   asserts quiescence/availability, validates the emitted trace JSON and
+//!   its phase spans, dumps the flight recorder and exits non-zero on
+//!   failure.
 
-use disco_bench::churn::{churn_experiment, ChurnParams};
+use disco_bench::churn::{churn_experiment, churn_experiment_with, ChurnParams};
 use disco_bench::CommonArgs;
+use disco_telemetry::{validate_json, FullRecorder};
 
 fn main() {
     let mut forgetful = false;
-    let rest: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| {
-            if a == "--forgetful" {
-                forgetful = true;
-                false
-            } else {
-                true
-            }
-        })
-        .collect();
-    let args = CommonArgs::parse_from(rest, 512);
+    let mut telemetry = false;
+    let mut smoke = false;
+    let mut trace: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--forgetful" => forgetful = true,
+            "--telemetry" => telemetry = true,
+            "--smoke" => smoke = true,
+            "--trace" => trace = Some(it.next().expect("missing value for --trace")),
+            _ => rest.push(a),
+        }
+    }
+    let default_nodes = if smoke { 192 } else { 512 };
+    let args = CommonArgs::parse_from(rest, default_nodes);
     let params = ChurnParams::sized(args.nodes, args.seed).with_forgetful(forgetful);
-    let outcome = churn_experiment(&params);
+
+    if !(telemetry || smoke || trace.is_some()) {
+        // Telemetry off: the engine monomorphizes with the no-op recorder —
+        // exactly the golden-locked code path.
+        let outcome = churn_experiment(&params);
+        print!("{}", outcome.summary(&params));
+        return;
+    }
+
+    let (outcome, rec) = churn_experiment_with(&params, FullRecorder::new());
     print!("{}", outcome.summary(&params));
+    print!("{}", rec.summary_lines());
+
+    if let Some(path) = &trace {
+        let json = rec.chrome_trace_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("trace written to {path} ({} bytes)", json.len());
+    }
+
+    if smoke {
+        let mut failures: Vec<String> = Vec::new();
+        if !outcome.quiesced {
+            failures.push("network failed to quiesce after churn".into());
+        }
+        if outcome.availability < 0.90 {
+            failures.push(format!(
+                "availability under churn {:.4} < 0.90",
+                outcome.availability
+            ));
+        }
+        if outcome.final_availability < 0.99 {
+            failures.push(format!(
+                "post-repair availability {:.4} < 0.99",
+                outcome.final_availability
+            ));
+        }
+        if rec.repair.latencies().is_empty() {
+            failures.push("repair probe recorded no windows despite churn".into());
+        }
+        if let Some(path) = &trace {
+            match std::fs::read_to_string(path) {
+                Ok(json) => {
+                    if let Err(e) = validate_json(&json) {
+                        failures.push(format!("trace JSON invalid: {e}"));
+                    }
+                    for phase in ["\"build\"", "\"boot\"", "\"churn\"", "\"drain\""] {
+                        if !json.contains(phase) {
+                            failures.push(format!("trace missing phase span {phase}"));
+                        }
+                    }
+                }
+                Err(e) => failures.push(format!("re-reading trace {path}: {e}")),
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("smoke FAIL: {f}");
+            }
+            eprint!("{}", rec.flight.dump());
+            std::process::exit(1);
+        }
+        println!("smoke OK");
+    }
 }

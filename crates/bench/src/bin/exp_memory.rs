@@ -15,6 +15,9 @@
 //! --horizon T          churn-window length (default 500)
 //! --json PATH          write the JSON report to PATH
 //! --in-process         run legs in-process (no RSS isolation; CI-friendly)
+//! --trace PATH         run one in-process leg (first size/rate, forgetful)
+//!                      with full telemetry and export a Chrome trace_event
+//!                      timeline of its build/boot/churn/drain phases
 //! --smoke              gate: one forgetful leg at n=512 under high churn,
 //!                      asserting candidates/node stays under the
 //!                      configured bound; exits non-zero on violation
@@ -24,8 +27,8 @@
 //! Run with: `cargo run --release -p disco-bench --bin exp_memory`
 
 use disco_bench::memory::{
-    candidate_bound, control_bytes_per_dest_bound, run_leg, sqrt_n_log_n, MemoryParams,
-    MemoryResult,
+    candidate_bound, control_bytes_per_dest_bound, run_leg, run_leg_traced, sqrt_n_log_n,
+    MemoryParams, MemoryResult,
 };
 use std::fmt::Write as _;
 use std::process::Command;
@@ -38,6 +41,7 @@ struct Args {
     json: Option<String>,
     in_process: bool,
     smoke: bool,
+    trace: Option<String>,
     leg: Option<MemoryParams>,
 }
 
@@ -50,6 +54,7 @@ fn parse_args() -> Args {
         json: Some("BENCH_exp_memory.json".to_string()),
         in_process: false,
         smoke: false,
+        trace: None,
         leg: None,
     };
     let mut it = std::env::args().skip(1).peekable();
@@ -76,6 +81,7 @@ fn parse_args() -> Args {
             "--json" => out.json = Some(value("--json")),
             "--in-process" => out.in_process = true,
             "--smoke" => out.smoke = true,
+            "--trace" => out.trace = Some(value("--trace")),
             "--leg" => {
                 // Internal: --leg n=4096 rate=0.0002 forgetful=1 seed=1 horizon=500
                 let mut p = MemoryParams::grid_point(512, 1, 0.0002, false);
@@ -95,7 +101,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --sizes a,b,c --rates a,b --seed S --horizon T --json PATH \
-                     --in-process --smoke"
+                     --in-process --smoke --trace PATH"
                 );
                 std::process::exit(0);
             }
@@ -256,6 +262,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("smoke OK");
+        return;
+    }
+
+    // Trace mode: one in-process leg with the full recorder, exporting a
+    // phase-span timeline. Traced numbers include the recorder overhead
+    // and are not comparable to the sweep's, so this mode stands alone.
+    if let Some(path) = &args.trace {
+        let mut p = MemoryParams::grid_point(args.sizes[0], args.seed, args.rates[0], true);
+        p.horizon = args.horizon;
+        let r = run_leg_traced(&p, path);
+        println!(
+            "traced leg: n={} rate={} forgetful=true availability={:.4} quiesced={}",
+            r.n, r.leave_rate, r.availability, r.quiesced
+        );
         return;
     }
 

@@ -25,6 +25,9 @@
 //! --threads T           static-build worker threads (default 0 = one/CPU)
 //! --queue wheel|heap    event-queue implementation (default wheel)
 //! --json PATH           write the JSON report to PATH
+//! --trace PATH          export the first sweep size's engine leg as a
+//!                       Chrome trace_event timeline (adds recorder
+//!                       overhead to that leg's numbers)
 //! --smoke [BASELINE]    n=1024 regression gate: read
 //!                       `min_announcements_per_sec` from BASELINE
 //!                       (default BENCH_exp_scale.json) and exit non-zero
@@ -47,6 +50,7 @@ struct Args {
     heap_queue: bool,
     json: Option<String>,
     smoke: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +62,7 @@ fn parse_args() -> Args {
         heap_queue: false,
         json: None,
         smoke: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
@@ -84,6 +89,7 @@ fn parse_args() -> Args {
                 };
             }
             "--json" => out.json = Some(value("--json")),
+            "--trace" => out.trace = Some(value("--trace")),
             "--smoke" => {
                 out.sizes = vec![1024];
                 out.budget = out.budget.min(1_000_000);
@@ -92,7 +98,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --sizes a,b,c --full --seed S --events N --threads T \
-                     --queue wheel|heap --json PATH --smoke"
+                     --queue wheel|heap --json PATH --trace PATH --smoke"
                 );
                 std::process::exit(0);
             }
@@ -177,6 +183,9 @@ fn main() {
             announcement_budget: args.budget,
             build_threads: args.threads,
             heap_queue: args.heap_queue,
+            // Trace only the first size in the sweep (the file would
+            // otherwise be overwritten per size).
+            trace: args.trace.clone().filter(|_| results.is_empty()),
         };
         let r = run_one(&cfg);
         // Speedup in *delivered announcements*/sec against the pre-batching

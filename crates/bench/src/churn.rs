@@ -14,7 +14,7 @@ use disco_core::protocol::{DiscoProtocol, PhaseTimers};
 use disco_dynamics::models::PoissonChurn;
 use disco_dynamics::probe::{disco_first_packet_route, probe, sample_live_pairs};
 use disco_graph::generators;
-use disco_sim::Engine;
+use disco_sim::{Engine, NoopRecorder, Phase, Recorder, TimerWheel};
 use std::fmt::Write as _;
 
 /// Parameters of one churn run.
@@ -97,6 +97,21 @@ pub struct ChurnOutcome {
     pub repair_msgs_per_node: f64,
     /// Whether the simulation reached quiescence after the churn window.
     pub quiesced: bool,
+    /// Messages delivered to `on_message` upcalls (batch members counted
+    /// individually).
+    pub messages_delivered: u64,
+    /// Epoch-dead timers that slipped past eager cancellation (0 when the
+    /// engine's eager timer reclamation is airtight).
+    pub stale_timer_pops: u64,
+    /// Live event-queue entries at the end of the run (0 once quiesced).
+    pub queue_live: usize,
+    /// Cancelled-but-unreclaimed queue residue at the end of the run.
+    pub queue_dead: usize,
+    /// Total control bytes sent.
+    pub bytes_sent: u64,
+    /// Total control bytes received (differs from sent by exactly the
+    /// bytes lost in flight).
+    pub bytes_received: u64,
 }
 
 impl ChurnOutcome {
@@ -148,24 +163,59 @@ impl ChurnOutcome {
             "control msgs/node: {:.1} (convergence) + {:.1} (repair)   quiesced: {}",
             self.convergence_msgs_per_node, self.repair_msgs_per_node, self.quiesced
         );
+        let _ = writeln!(
+            out,
+            "engine gauges: delivered={} stale_timer_pops={} queue={} live / {} dead",
+            self.messages_delivered, self.stale_timer_pops, self.queue_live, self.queue_dead
+        );
+        let _ = writeln!(
+            out,
+            "bytes: sent={} received={} lost_in_flight={}",
+            self.bytes_sent,
+            self.bytes_received,
+            self.bytes_sent - self.bytes_received
+        );
         out
     }
 }
 
-/// Run the churn experiment.
+/// Run the churn experiment (no telemetry: the engine monomorphizes with
+/// the no-op recorder, compiling to exactly the un-instrumented hot path).
 pub fn churn_experiment(params: &ChurnParams) -> ChurnOutcome {
+    churn_experiment_with(params, NoopRecorder).0
+}
+
+/// Run the churn experiment reporting into `recorder`, returning the
+/// outcome together with the recorder (carrying counters, phase spans,
+/// repair-latency windows and the flight ring).
+///
+/// The run is identical to [`churn_experiment`]'s whatever recorder is
+/// attached: recorders only observe. The observer-effect test compares
+/// this run's summary under a full recorder against the no-op golden.
+pub fn churn_experiment_with<R: Recorder>(
+    params: &ChurnParams,
+    mut recorder: R,
+) -> (ChurnOutcome, R) {
     let n = params.nodes;
+    recorder.phase_begin(Phase::Build, 0.0);
     let graph = generators::gnm_average_degree(n, 8.0, params.seed);
     let cfg = DiscoConfig::seeded(params.seed).with_forgetful_dynamic(params.forgetful);
     let landmarks = select_landmarks(n, &cfg);
     let lm_set = landmark_set(&landmarks);
+    recorder.phase_end(Phase::Build, 0.0);
 
-    let mut engine = Engine::new(&graph, |v| {
-        DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
-    });
+    let mut engine = Engine::with_recorder(
+        &graph,
+        |v| DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default()),
+        TimerWheel::new(),
+        recorder,
+    );
+    engine.recorder_mut().phase_begin(Phase::Boot, 0.0);
     let report = engine.run();
     assert!(report.converged, "initial convergence failed");
     let convergence_msgs = engine.stats().total_sent();
+    let boot_end = engine.now();
+    engine.recorder_mut().phase_end(Phase::Boot, boot_end);
 
     // Compile and inject the churn schedule relative to "now".
     let model = PoissonChurn {
@@ -177,6 +227,7 @@ pub fn churn_experiment(params: &ChurnParams) -> ChurnOutcome {
     let schedule = model.compile(&graph, params.seed);
     let start = engine.now();
     schedule.apply_to(&mut engine);
+    engine.recorder_mut().phase_begin(Phase::Churn, start);
 
     // Probe at fixed times through the churn window.
     let mut timeline = Vec::with_capacity(params.probes + 1);
@@ -202,6 +253,9 @@ pub fn churn_experiment(params: &ChurnParams) -> ChurnOutcome {
     } else {
         delivered_total as f64 / routable_total as f64
     };
+    let churn_end = engine.now();
+    engine.recorder_mut().phase_end(Phase::Churn, churn_end);
+    engine.recorder_mut().phase_begin(Phase::Drain, churn_end);
 
     // Let the network fully quiesce, then probe once more.
     let quiesced = engine.run_until(|_| false);
@@ -215,8 +269,12 @@ pub fn churn_experiment(params: &ChurnParams) -> ChurnOutcome {
         delivered: p.delivered,
         mean_stretch: p.mean_stretch(),
     });
+    let end = engine.now();
+    engine.recorder_mut().phase_end(Phase::Drain, end);
+    engine.recorder_mut().finish(end);
 
-    ChurnOutcome {
+    let (queue_live, queue_dead) = engine.queue_stats();
+    let outcome = ChurnOutcome {
         timeline,
         availability,
         final_availability,
@@ -225,7 +283,14 @@ pub fn churn_experiment(params: &ChurnParams) -> ChurnOutcome {
         convergence_msgs_per_node: convergence_msgs as f64 / n as f64,
         repair_msgs_per_node: (engine.stats().total_sent() - convergence_msgs) as f64 / n as f64,
         quiesced,
-    }
+        messages_delivered: engine.messages_delivered(),
+        stale_timer_pops: engine.stale_timer_pops(),
+        queue_live,
+        queue_dead,
+        bytes_sent: engine.stats().total_bytes(),
+        bytes_received: engine.stats().total_bytes_received(),
+    };
+    (outcome, engine.into_recorder())
 }
 
 #[cfg(test)]

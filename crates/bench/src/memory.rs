@@ -22,7 +22,8 @@ use disco_dynamics::models::PoissonChurn;
 use disco_dynamics::probe::{disco_first_packet_route, probe, sample_live_pairs};
 use disco_graph::{generators, PathArena};
 use disco_metrics::control::{legacy_intern_bytes, ControlAccounting, ControlBytes, ControlCounts};
-use disco_sim::Engine;
+use disco_sim::{Engine, NoopRecorder, Phase, Recorder, TimerWheel};
+use disco_telemetry::FullRecorder;
 use std::time::Instant;
 
 /// Parameters of one `exp_memory` leg.
@@ -209,7 +210,26 @@ pub fn peak_rss_bytes() -> u64 {
 /// the parameters; `peak_rss_bytes` reflects everything this process did
 /// before, so sweep legs run in child processes.
 pub fn run_leg(p: &MemoryParams) -> MemoryResult {
+    // The no-op recorder monomorphizes the leg to the uninstrumented
+    // engine — this is the measured configuration.
+    run_leg_impl(p, NoopRecorder).0
+}
+
+/// [`run_leg`] with the full telemetry recorder, exporting a Chrome
+/// `trace_event` timeline of the leg to `trace_path`. The timeline carries
+/// the leg's phase spans (build/boot/churn/drain) with wall-clock and RSS
+/// deltas — the memory story of the leg, phase by phase.
+pub fn run_leg_traced(p: &MemoryParams, trace_path: &str) -> MemoryResult {
+    let (result, rec) = run_leg_impl(p, FullRecorder::new());
+    let json = rec.chrome_trace_json();
+    std::fs::write(trace_path, &json).unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
+    eprintln!("trace written to {trace_path} ({} bytes)", json.len());
+    result
+}
+
+fn run_leg_impl<R: Recorder>(p: &MemoryParams, mut recorder: R) -> (MemoryResult, R) {
     let t0 = Instant::now();
+    recorder.phase_begin(Phase::Build, 0.0);
     let graph = generators::gnm_average_degree(p.n, 8.0, p.seed);
     let cfg = DiscoConfig::seeded(p.seed)
         .with_forgetful_dynamic(p.forgetful)
@@ -218,11 +238,18 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
     let lm_set = landmark_set(&landmarks);
 
     PathArena::reset_peak();
-    let mut engine = Engine::new(&graph, |v| {
-        DiscoProtocol::new(v, lm_set.contains(&v), p.n, &cfg, PhaseTimers::default())
-    });
+    recorder.phase_end(Phase::Build, 0.0);
+    recorder.phase_begin(Phase::Boot, 0.0);
+    let mut engine = Engine::with_recorder(
+        &graph,
+        |v| DiscoProtocol::new(v, lm_set.contains(&v), p.n, &cfg, PhaseTimers::default()),
+        TimerWheel::new(),
+        recorder,
+    );
     let report = engine.run();
     assert!(report.converged, "initial convergence failed");
+    let boot_end = engine.now();
+    engine.recorder_mut().phase_end(Phase::Boot, boot_end);
     let convergence_msgs = engine.stats().total_sent();
     let boot_rss = peak_rss_bytes();
     reset_peak_rss();
@@ -235,6 +262,7 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
     };
     let schedule = model.compile(&graph, p.seed);
     let start = engine.now();
+    engine.recorder_mut().phase_begin(Phase::Churn, start);
     schedule.apply_to(&mut engine);
 
     let mut routable_total = 0usize;
@@ -253,7 +281,13 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
         delivered_total as f64 / routable_total as f64
     };
 
+    let churn_end = engine.now();
+    engine.recorder_mut().phase_end(Phase::Churn, churn_end);
+    engine.recorder_mut().phase_begin(Phase::Drain, churn_end);
     let quiesced = engine.run_until(|_| false);
+    let drain_end = engine.now();
+    engine.recorder_mut().phase_end(Phase::Drain, drain_end);
+    engine.recorder_mut().finish(drain_end);
     let pairs = sample_live_pairs(&engine, p.pairs_per_probe, p.seed ^ 0xf17a1);
     let pr = probe(&engine, &pairs, disco_first_packet_route);
     let final_availability = pr.availability();
@@ -312,10 +346,10 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
     let topology_events = engine.topology_events();
     // Post-churn compaction: drop the run's state, then let the arena
     // release the capacity the churn peak left free-listed.
-    drop(engine);
+    let recorder = engine.into_recorder();
     let arena_shrunk_cells = PathArena::shrink();
 
-    MemoryResult {
+    let result = MemoryResult {
         n: p.n,
         leave_rate: p.leave_rate_per_node,
         forgetful: p.forgetful,
@@ -343,7 +377,8 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
         boot_rss_bytes: boot_rss,
         wall_secs: t0.elapsed().as_secs_f64(),
         quiesced,
-    }
+    };
+    (result, recorder)
 }
 
 impl MemoryResult {

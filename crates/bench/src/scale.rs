@@ -20,7 +20,10 @@ use disco_core::protocol::{DiscoProtocol, PhaseTimers};
 use disco_core::static_state::DiscoState;
 use disco_dynamics::models::PoissonChurn;
 use disco_graph::{generators, NodeId, PathArena};
-use disco_sim::{BinaryHeapQueue, Engine, EventQueue, Protocol};
+use disco_sim::{
+    BinaryHeapQueue, Engine, EventQueue, NoopRecorder, Phase, Protocol, Recorder, TimerWheel,
+};
+use disco_telemetry::FullRecorder;
 use std::time::Instant;
 
 /// Parameters of one `exp_scale` leg.
@@ -38,6 +41,10 @@ pub struct ScaleConfig {
     /// Use the legacy `BinaryHeap` event queue instead of the timer wheel
     /// (for queue-only comparisons).
     pub heap_queue: bool,
+    /// Export the throughput leg as a Chrome `trace_event` timeline to this
+    /// path (runs the full telemetry recorder; `None` = no-op recorder,
+    /// the measured configuration).
+    pub trace: Option<String>,
 }
 
 /// Measurements of one `exp_scale` leg.
@@ -146,8 +153,8 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
         DiscoProtocol::new(v, lm_set.contains(&v), cfg.n, &dcfg, PhaseTimers::default())
     };
 
-    fn drive<P: Protocol, Q: EventQueue<P::Message>>(
-        engine: &mut Engine<'_, P, Q>,
+    fn drive<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
+        engine: &mut Engine<'_, P, Q, R>,
         budget: u64,
     ) -> (u64, u64, f64, u64) {
         let t1 = Instant::now();
@@ -162,12 +169,31 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
         )
     }
 
-    let (events, announcements, engine_secs, topology_events) = if cfg.heap_queue {
+    let (events, announcements, engine_secs, topology_events) = if let Some(path) = &cfg.trace {
+        // Traced leg: full recorder, wheel queue. The throughput numbers of
+        // a traced run include the recorder's overhead — the gate always
+        // runs untraced (NoopRecorder, below).
+        let mut rec = FullRecorder::new();
+        rec.phase_begin(Phase::Build, 0.0);
+        rec.phase_end(Phase::Build, 0.0); // static build happened above
+        let mut engine = Engine::with_recorder(&graph, factory, TimerWheel::new(), rec);
+        schedule.apply_to(&mut engine);
+        engine.recorder_mut().phase_begin(Phase::Churn, 0.0);
+        let out = drive(&mut engine, cfg.announcement_budget);
+        let end = engine.now();
+        engine.recorder_mut().phase_end(Phase::Churn, end);
+        engine.recorder_mut().finish(end);
+        let rec = engine.into_recorder();
+        let json = rec.chrome_trace_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("trace written to {path} ({} bytes)", json.len());
+        out
+    } else if cfg.heap_queue {
         let mut engine = Engine::with_queue(&graph, factory, BinaryHeapQueue::new());
         schedule.apply_to(&mut engine);
         drive(&mut engine, cfg.announcement_budget)
     } else {
-        let mut engine = Engine::new(&graph, factory);
+        let mut engine = Engine::with_recorder(&graph, factory, TimerWheel::new(), NoopRecorder);
         schedule.apply_to(&mut engine);
         drive(&mut engine, cfg.announcement_budget)
     };
@@ -202,6 +228,7 @@ mod tests {
             announcement_budget: 50_000,
             build_threads: 2,
             heap_queue: false,
+            trace: None,
         });
         assert_eq!(r.n, 128);
         assert!(r.landmarks > 0);
@@ -228,6 +255,7 @@ mod tests {
             announcement_budget: 40_000,
             build_threads: 1,
             heap_queue: heap,
+            trace: None,
         };
         let a = run_one(&mk(false));
         let b = run_one(&mk(true));
@@ -236,4 +264,3 @@ mod tests {
         assert_eq!(a.topology_events, b.topology_events);
     }
 }
-

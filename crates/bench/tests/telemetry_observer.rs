@@ -1,0 +1,70 @@
+//! Observer-effect freedom: attaching the full telemetry recorder must not
+//! change anything the protocol can see. The engine's instrumentation is
+//! guarded by `R::ENABLED`, consumes no RNG, and never touches event
+//! ordering — so a churn run observed by [`FullRecorder`] must produce a
+//! summary byte-identical to the [`NoopRecorder`] (golden-locked) run, and
+//! the telemetry itself (histograms, repair quantiles) must be a pure
+//! function of `(nodes, seed)`.
+
+use disco_bench::churn::{churn_experiment, churn_experiment_with, ChurnParams};
+use disco_sim::NoopRecorder;
+use disco_telemetry::{validate_json, FullRecorder};
+
+/// The full recorder observes without perturbing: summary bytes match the
+/// no-op run (which is itself locked by `churn_golden.rs`).
+#[test]
+fn full_recorder_is_observer_effect_free() {
+    let params = ChurnParams::sized(96, 11);
+    let baseline = churn_experiment(&params).summary(&params);
+    let (observed, rec) = churn_experiment_with(&params, FullRecorder::new());
+    assert_eq!(
+        observed.summary(&params),
+        baseline,
+        "attaching the full recorder changed protocol-visible output"
+    );
+    // And the recorder actually saw the run.
+    assert!(rec.registry.messages_delivered() > 0);
+    assert!(!rec.repair.latencies().is_empty());
+}
+
+/// Telemetry is deterministic: two same-seed runs yield byte-identical
+/// summary lines (message-class counters, wall-free repair quantiles) and
+/// identical repair-latency samples.
+#[test]
+fn telemetry_is_deterministic_across_same_seed_runs() {
+    let params = ChurnParams::sized(96, 11);
+    let (_, a) = churn_experiment_with(&params, FullRecorder::new());
+    let (_, b) = churn_experiment_with(&params, FullRecorder::new());
+    assert_eq!(a.repair.latencies(), b.repair.latencies());
+    assert_eq!(a.summary_lines(), b.summary_lines());
+    assert_eq!(
+        a.registry.delivered_by_class(),
+        b.registry.delivered_by_class()
+    );
+}
+
+/// The explicit-noop path and the default-generic path are the same
+/// monomorphization: `churn_experiment` delegates to
+/// `churn_experiment_with(.., NoopRecorder)`.
+#[test]
+fn noop_recorder_path_matches_default() {
+    let params = ChurnParams::sized(96, 11);
+    let a = churn_experiment(&params).summary(&params);
+    let (b, NoopRecorder) = churn_experiment_with(&params, NoopRecorder);
+    assert_eq!(a, b.summary(&params));
+}
+
+/// The exported Chrome trace is valid JSON and carries all four phase
+/// spans plus the deterministic summary object.
+#[test]
+fn chrome_trace_is_valid_and_carries_phases() {
+    let params = ChurnParams::sized(96, 11);
+    let (_, rec) = churn_experiment_with(&params, FullRecorder::new());
+    let json = rec.chrome_trace_json();
+    validate_json(&json).expect("trace must be valid JSON");
+    for phase in ["\"build\"", "\"boot\"", "\"churn\"", "\"drain\""] {
+        assert!(json.contains(phase), "trace missing phase span {phase}");
+    }
+    assert!(json.contains("\"disco_summary\""));
+    assert!(json.contains("\"traceEvents\""));
+}

@@ -230,6 +230,11 @@ pub struct PathVectorNode {
     /// node's own address (closest landmark + path) may have changed,
     /// without recomputing either per message.
     landmark_version: u64,
+    /// Bumped whenever a selection column is (re)written — i.e. whenever
+    /// this node's selected next hop for some destination may have moved.
+    /// The engine samples it around upcalls to feed the repair-latency
+    /// telemetry probe; it never influences protocol behavior.
+    selection_revision: u64,
     /// Whether the landmark flag of a table entry follows the *selected*
     /// route (origin-authoritative, see
     /// [`Self::set_origin_landmark_flags`]) instead of the legacy OR-merge
@@ -278,6 +283,7 @@ impl PathVectorNode {
             own_landmark_dist: if is_landmark { 0.0 } else { Weight::INFINITY },
             pending: disco_graph::FxHashSet::default(),
             landmark_version: 0,
+            selection_revision: 0,
             batch_armed: false,
             dump_scratch: Vec::new(),
             batch_delay: 2.0,
@@ -288,6 +294,13 @@ impl PathVectorNode {
     /// a landmark appears in or disappears from the table).
     pub fn landmark_version(&self) -> u64 {
         self.landmark_version
+    }
+
+    /// Monotone counter of selection-column writes (route selection
+    /// changes); the engine's telemetry layer reads this through
+    /// [`Protocol::control_revision`].
+    pub fn selection_revision(&self) -> u64 {
+        self.selection_revision
     }
 
     /// This node's id.
@@ -475,6 +488,7 @@ impl PathVectorNode {
     /// just recorded in `nbr`'s slab, so the selection columns are written
     /// straight from it — no slab re-probe.
     fn select_candidate(&mut self, d: NodeId, di: u32, nbr: NodeId, cand: Candidate) {
+        self.selection_revision += 1;
         let flag = if self.origin_landmark_flags {
             cand.dest_is_landmark
         } else {
@@ -656,6 +670,7 @@ impl PathVectorNode {
     /// a pure function of the candidate set (the preference order is
     /// total), so equal-seed runs reselect identically.
     fn rescan_best(&mut self, d: NodeId) {
+        self.selection_revision += 1;
         // Best candidate over neighbors, written straight into the
         // selection column (nothing materialized). The landmark flag is
         // OR-merged (via the incremental counter): it is intrinsic to the
@@ -1114,9 +1129,22 @@ impl PathVectorNode {
     }
 }
 
-
 impl Protocol for PathVectorNode {
     type Message = Announcement;
+
+    fn classify(msg: &Announcement) -> disco_sim::MessageClass {
+        if msg.withdrawn {
+            disco_sim::MessageClass::Withdraw
+        } else if msg.refresh {
+            disco_sim::MessageClass::Refresh
+        } else {
+            disco_sim::MessageClass::Deliver
+        }
+    }
+
+    fn control_revision(&self) -> u64 {
+        self.selection_revision
+    }
 
     fn on_start(&mut self, ctx: &mut Context<'_, Announcement>) {
         // Install the self route.
@@ -1722,15 +1750,27 @@ mod tests {
             refresh: false,
         };
         // Neighbor 1: the better route, not landmark-flagged.
-        pv.on_message(NodeId(1), ann(1.0, &[NodeId(1), NodeId(3)], false, false), &mut ctx);
+        pv.on_message(
+            NodeId(1),
+            ann(1.0, &[NodeId(1), NodeId(3)], false, false),
+            &mut ctx,
+        );
         // Neighbor 2: worse route, landmark-flagged (transient disagreement
         // while a promotion floods). The OR-merge flags the selection.
-        pv.on_message(NodeId(2), ann(2.0, &[NodeId(2), NodeId(3)], true, false), &mut ctx);
+        pv.on_message(
+            NodeId(2),
+            ann(2.0, &[NodeId(2), NodeId(3)], true, false),
+            &mut ctx,
+        );
         assert!(pv.table[&NodeId(3)].dest_is_landmark, "OR-merge must flag");
         assert_eq!(pv.own_landmark_distance(), 2.0);
         // Neighbor 2 withdraws: the only landmark-flagged candidate is
         // gone; the selection (still via neighbor 1) must lose the flag.
-        pv.on_message(NodeId(2), ann(2.0, &[NodeId(2), NodeId(3)], true, true), &mut ctx);
+        pv.on_message(
+            NodeId(2),
+            ann(2.0, &[NodeId(2), NodeId(3)], true, true),
+            &mut ctx,
+        );
         assert!(
             !pv.table[&NodeId(3)].dest_is_landmark,
             "stale OR-merged landmark flag survived the withdrawal"

@@ -882,6 +882,18 @@ fn payload_bytes(p: &Payload) -> usize {
 impl Protocol for DiscoProtocol {
     type Message = DiscoMsg;
 
+    fn classify(msg: &DiscoMsg) -> disco_sim::MessageClass {
+        match msg {
+            DiscoMsg::Route(ann) => PathVectorNode::classify(ann),
+            DiscoMsg::Forward { .. } => disco_sim::MessageClass::Deliver,
+            DiscoMsg::Gossip(_) => disco_sim::MessageClass::Gossip,
+        }
+    }
+
+    fn control_revision(&self) -> u64 {
+        self.pv.selection_revision()
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, DiscoMsg>) {
         self.run_pv(|pv, c| pv.on_start(c), ctx);
         if self.cfg.dynamic_n_estimation {

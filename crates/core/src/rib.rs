@@ -500,7 +500,8 @@ impl RibStore {
     pub fn select_from_at(&mut self, di: u32, nbr: NodeId, cand: Candidate, flag: bool) {
         let di = di as usize;
         debug_assert!(
-            self.slab_of(nbr).is_some_and(|s| s.slot_of(di as u32).is_some()),
+            self.slab_of(nbr)
+                .is_some_and(|s| s.slot_of(di as u32).is_some()),
             "selected neighbor must hold a candidate"
         );
         if self.sel_nbr[di] == ABSENT {

@@ -12,7 +12,7 @@ use disco_core::path_vector::PathVectorNode;
 use disco_core::protocol::DiscoProtocol;
 use disco_graph::{dijkstra, NodeId};
 use disco_sim::rng::rng_for;
-use disco_sim::{Engine, Protocol, SimTime};
+use disco_sim::{Engine, EventQueue, Protocol, Recorder, SimTime};
 use rand::Rng;
 
 /// Outcome of one batch of route probes.
@@ -54,8 +54,8 @@ impl ProbeReport {
 
 /// Sample `count` ordered pairs of distinct currently-live nodes,
 /// deterministically from `seed`.
-pub fn sample_live_pairs<P: Protocol>(
-    engine: &Engine<'_, P>,
+pub fn sample_live_pairs<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
+    engine: &Engine<'_, P, Q, R>,
     count: usize,
     seed: u64,
 ) -> Vec<(NodeId, NodeId)> {
@@ -82,8 +82,8 @@ pub fn sample_live_pairs<P: Protocol>(
 /// delivered if any candidate walks, and compare the first walking route's
 /// length to the true shortest path. `route_of(nodes, s, t)` returns node
 /// sequences `s..=t`.
-pub fn probe<P: Protocol>(
-    engine: &Engine<'_, P>,
+pub fn probe<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
+    engine: &Engine<'_, P, Q, R>,
     pairs: &[(NodeId, NodeId)],
     route_of: impl Fn(&[P], NodeId, NodeId) -> Vec<Vec<NodeId>>,
 ) -> ProbeReport {
@@ -127,8 +127,8 @@ pub fn probe<P: Protocol>(
 
 /// Validate `route` as a walk `s..=t` over the engine's current graph with
 /// every hop active; returns its length.
-fn walk_length<P: Protocol>(
-    engine: &Engine<'_, P>,
+fn walk_length<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
+    engine: &Engine<'_, P, Q, R>,
     route: &[NodeId],
     s: NodeId,
     t: NodeId,

@@ -1,6 +1,6 @@
 //! Deterministic topology-event schedules.
 
-use disco_sim::{Engine, EventQueue, Protocol, SimTime, TopologyEvent};
+use disco_sim::{Engine, EventQueue, Protocol, Recorder, SimTime, TopologyEvent};
 
 /// A time-ordered stream of topology events, ready to be injected into an
 /// [`Engine`]. Events at equal timestamps keep their insertion order (the
@@ -91,7 +91,10 @@ impl Schedule {
     /// Schedule every event into `engine` (whatever its event-queue
     /// implementation), offset so the first event fires no earlier than
     /// the engine's current time.
-    pub fn apply_to<P: Protocol, Q: EventQueue<P::Message>>(&self, engine: &mut Engine<'_, P, Q>) {
+    pub fn apply_to<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
+        &self,
+        engine: &mut Engine<'_, P, Q, R>,
+    ) {
         let now = engine.now();
         for (t, ev) in &self.events {
             engine.schedule_topology(now + t, ev.clone());

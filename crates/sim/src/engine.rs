@@ -11,6 +11,7 @@ use crate::event::{EventKind, EventQueue, SimTime, TimerWheel, TopologyEvent};
 use crate::stats::MessageStats;
 use crate::Protocol;
 use disco_graph::{EdgeId, Graph, NodeId};
+use disco_telemetry::{MessageClass, NoopRecorder, Recorder};
 
 /// Summary of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +33,14 @@ pub struct RunReport {
     /// protocol work independently of how deliveries are packed into
     /// queue entries (an event can carry a whole table dump).
     pub messages_delivered: u64,
+    /// Epoch-dead timers that slipped past eager cancellation and were only
+    /// discarded at pop time (0 when eager reclamation is airtight; see
+    /// [`Engine::stale_timer_pops`]).
+    pub stale_timer_pops: u64,
+    /// Live (pending) event-queue entries at report time.
+    pub queue_live: usize,
+    /// Cancelled-but-still-referenced queue residue at report time.
+    pub queue_dead: usize,
     /// Message statistics collected during the run.
     pub stats: MessageStats,
 }
@@ -44,8 +53,19 @@ pub struct RunReport {
 /// the *current* topology. The `'f` lifetime bounds the node factory, which
 /// is retained to build fresh protocol instances for nodes that join (or
 /// rejoin) at runtime.
-pub struct Engine<'f, P: Protocol, Q: EventQueue<P::Message> = TimerWheel<<P as Protocol>::Message>>
-{
+///
+/// The `R` parameter is the telemetry [`Recorder`]. The default,
+/// [`NoopRecorder`], has `Recorder::ENABLED == false`, and every
+/// instrumentation site below is guarded by `if R::ENABLED { … }` on that
+/// associated constant — monomorphization folds the guards away, so the
+/// default engine compiles to exactly the un-instrumented code (the
+/// byte-identical churn goldens lock this in).
+pub struct Engine<
+    'f,
+    P: Protocol,
+    Q: EventQueue<P::Message> = TimerWheel<<P as Protocol>::Message>,
+    R: Recorder = NoopRecorder,
+> {
     graph: Graph,
     nodes: Vec<P>,
     factory: Box<dyn FnMut(NodeId) -> P + 'f>,
@@ -87,6 +107,8 @@ pub struct Engine<'f, P: Protocol, Q: EventQueue<P::Message> = TimerWheel<<P as 
     /// Fixed per-hop processing delay added to every message in addition to
     /// the link weight; keeps zero-weight pathologies out of the queue.
     pub processing_delay: SimTime,
+    /// Telemetry recorder (a zero-sized no-op by default).
+    recorder: R,
 }
 
 impl<'f, P: Protocol> Engine<'f, P> {
@@ -106,6 +128,21 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
     /// deterministic `(time, seq)` order, so runs are byte-identical across
     /// queue implementations.
     pub fn with_queue(graph: &Graph, factory: impl FnMut(NodeId) -> P + 'f, queue: Q) -> Self {
+        Engine::with_recorder(graph, factory, queue, NoopRecorder)
+    }
+}
+
+impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R> {
+    /// Like [`Engine::with_queue`], but additionally attaching a telemetry
+    /// [`Recorder`]. The engine reports into it from every hot-path site;
+    /// retrieve it afterwards with [`Engine::recorder`] /
+    /// [`Engine::into_recorder`].
+    pub fn with_recorder(
+        graph: &Graph,
+        factory: impl FnMut(NodeId) -> P + 'f,
+        queue: Q,
+        recorder: R,
+    ) -> Self {
         let mut factory: Box<dyn FnMut(NodeId) -> P + 'f> = Box::new(factory);
         let nodes: Vec<P> = graph.nodes().map(&mut factory).collect();
         let n = graph.node_count();
@@ -130,7 +167,25 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
             max_time: f64::INFINITY,
             default_msg_size: 64,
             processing_delay: 0.01,
+            recorder,
         }
+    }
+
+    /// The attached telemetry recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable access to the telemetry recorder (e.g. to mark experiment
+    /// phases from the harness driving the engine).
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
+    /// Consume the engine and hand back its recorder (for exporting a
+    /// trace after the run).
+    pub fn into_recorder(self) -> R {
+        self.recorder
     }
 
     /// Immutable access to the per-node protocol instances (indexed by node
@@ -250,6 +305,10 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
         for id in std::mem::take(&mut self.pending_timers[node.0]) {
             if self.queue.cancel(id) {
                 self.messages_dropped += 1;
+                if R::ENABLED {
+                    self.recorder
+                        .message_dropped(self.now, MessageClass::Timer, 1);
+                }
             }
         }
     }
@@ -267,6 +326,14 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                     size_bytes,
                 } => {
                     self.stats.record_send(node, size_bytes);
+                    if R::ENABLED {
+                        self.recorder.message_sent(
+                            self.now,
+                            P::classify(&msg),
+                            1,
+                            size_bytes as u64,
+                        );
+                    }
                     let _ = self.queue.push(
                         self.now + to.weight + self.processing_delay,
                         EventKind::Deliver {
@@ -274,12 +341,18 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                             to: to.node,
                             edge: to.edge,
                             msg,
+                            size_bytes,
                         },
                     );
                 }
                 Action::SendBatch { to, msgs } => {
-                    for (_, size_bytes) in msgs.iter() {
+                    for (msg, size_bytes) in msgs.iter() {
                         self.stats.record_send(node, *size_bytes);
+                        if R::ENABLED {
+                            let class = MessageClass::shaped(P::classify(msg), MessageClass::Batch);
+                            self.recorder
+                                .message_sent(self.now, class, 1, *size_bytes as u64);
+                        }
                     }
                     let _ = self.queue.push(
                         self.now + to.weight + self.processing_delay,
@@ -299,12 +372,22 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                         graph,
                         queue,
                         stats,
+                        recorder,
                         ..
                     } = self;
                     let nbrs = graph.neighbors(node);
                     let Some(first) = nbrs.first() else {
                         continue; // no neighbors, nothing to send
                     };
+                    if R::ENABLED {
+                        let class = MessageClass::shaped(P::classify(&msg), MessageClass::Flood);
+                        recorder.message_sent(
+                            now,
+                            class,
+                            nbrs.len() as u64,
+                            (size_bytes * nbrs.len()) as u64,
+                        );
+                    }
                     if nbrs.iter().all(|nb| nb.weight == first.weight) {
                         // Uniform link latency (the common case: unit-weight
                         // graphs): every copy arrives at the same instant
@@ -322,6 +405,7 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                                 from: node,
                                 msg,
                                 targets,
+                                size_bytes,
                             },
                         );
                     } else {
@@ -337,6 +421,7 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                                     to: nb.node,
                                     edge: nb.edge,
                                     msg: msg.clone(),
+                                    size_bytes,
                                 },
                             );
                         }
@@ -373,6 +458,14 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
         via: Option<disco_graph::Neighbor>,
         upcall: impl FnOnce(&mut P, &mut Context<'_, P::Message>),
     ) {
+        // Sample the node's selection revision around the upcall: a change
+        // means its selected next hops moved, which feeds the repair-latency
+        // probe. Folded away entirely under the no-op recorder.
+        let rev = if R::ENABLED {
+            self.nodes[v.0].control_revision()
+        } else {
+            0
+        };
         let buffer = std::mem::take(&mut self.action_scratch);
         let mut ctx = Context::with_buffer(v, self.now, &self.graph, self.default_msg_size, buffer);
         ctx.set_via(via);
@@ -380,6 +473,9 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
         let mut actions = ctx.into_buffer();
         self.apply_actions(v, &mut actions);
         self.action_scratch = actions;
+        if R::ENABLED && self.nodes[v.0].control_revision() != rev {
+            self.recorder.selection_changed(self.now, v.0 as u32);
+        }
     }
 
     /// The resolved arrival link for a delivery that just passed the
@@ -398,6 +494,15 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
     /// up/down upcalls.
     fn apply_topology(&mut self, event: TopologyEvent) {
         self.topology_events += 1;
+        if R::ENABLED {
+            let (kind, node) = match &event {
+                TopologyEvent::NodeJoin { node, .. } => ("join", node.0),
+                TopologyEvent::NodeLeave { node } => ("leave", node.0),
+                TopologyEvent::LinkUp { u, .. } => ("link_up", u.0),
+                TopologyEvent::LinkDown { u, .. } => ("link_down", u.0),
+            };
+            self.recorder.topology_changed(self.now, kind, node as u32);
+        }
         match event {
             TopologyEvent::LinkUp { u, v, weight } => {
                 if !self.is_active(u) || !self.is_active(v) {
@@ -518,6 +623,9 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
             topology_events: self.topology_events,
             messages_dropped: self.messages_dropped,
             messages_delivered: self.messages_delivered,
+            stale_timer_pops: self.stale_timer_pops,
+            queue_live: self.queue.len(),
+            queue_dead: self.queue.dead_refs(),
             stats: self.stats.clone(),
         }
     }
@@ -546,21 +654,47 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
         };
         self.now = ev.time;
         self.events_processed += 1;
-        match ev.kind {
+        // Wall-clock the event only when a recorder is attached; under the
+        // no-op recorder the timer, the per-arm class and the final
+        // `event_done` upcall all fold away.
+        let wall = if R::ENABLED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let ev_class = match ev.kind {
             EventKind::Deliver {
                 from,
                 to,
                 edge,
                 msg,
+                size_bytes,
             } => {
+                let class = if R::ENABLED {
+                    P::classify(&msg)
+                } else {
+                    MessageClass::Deliver
+                };
                 if self.link_died_in_flight(to, edge) {
                     self.messages_dropped += 1;
+                    if R::ENABLED {
+                        self.recorder.message_dropped(self.now, class, 1);
+                    }
                 } else {
-                    self.stats.record_receive(to);
+                    self.stats.record_receive(to, size_bytes);
                     self.messages_delivered += 1;
+                    if R::ENABLED {
+                        self.recorder.message_delivered(
+                            self.now,
+                            class,
+                            from.0 as u32,
+                            to.0 as u32,
+                        );
+                    }
                     let via = self.via_of(from, edge);
                     self.upcall_via(to, Some(via), |p, ctx| p.on_message(from, msg, ctx));
                 }
+                class
             }
             EventKind::DeliverBatch {
                 from,
@@ -575,33 +709,72 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                 // equal. A lost batch loses every message in it.
                 if self.link_died_in_flight(to, edge) {
                     self.messages_dropped += msgs.len() as u64;
+                    if R::ENABLED {
+                        for (msg, _) in msgs.iter() {
+                            let class = MessageClass::shaped(P::classify(msg), MessageClass::Batch);
+                            self.recorder.message_dropped(self.now, class, 1);
+                        }
+                    }
                 } else {
                     let via = self.via_of(from, edge);
-                    for (msg, _) in msgs.into_vec() {
-                        self.stats.record_receive(to);
+                    for (msg, size_bytes) in msgs.into_vec() {
+                        self.stats.record_receive(to, size_bytes);
                         self.messages_delivered += 1;
+                        if R::ENABLED {
+                            let class =
+                                MessageClass::shaped(P::classify(&msg), MessageClass::Batch);
+                            self.recorder.message_delivered(
+                                self.now,
+                                class,
+                                from.0 as u32,
+                                to.0 as u32,
+                            );
+                        }
                         self.upcall_via(to, Some(via), |p, ctx| p.on_message(from, msg, ctx));
                     }
                 }
+                MessageClass::Batch
             }
-            EventKind::DeliverFlood { from, msg, targets } => {
+            EventKind::DeliverFlood {
+                from,
+                msg,
+                targets,
+                size_bytes,
+            } => {
                 // Replicate at the fan-out point: one payload, one clone
                 // (refcount bump for interned payloads) per live target,
                 // in adjacency order at send time — the order the
                 // per-neighbor entries popped in before packing. Liveness
                 // stays per target: a single failed link loses only that
                 // copy.
+                let class = if R::ENABLED {
+                    MessageClass::shaped(P::classify(&msg), MessageClass::Flood)
+                } else {
+                    MessageClass::Flood
+                };
                 for (to, edge) in targets.into_vec() {
                     if self.link_died_in_flight(to, edge) {
                         self.messages_dropped += 1;
+                        if R::ENABLED {
+                            self.recorder.message_dropped(self.now, class, 1);
+                        }
                     } else {
-                        self.stats.record_receive(to);
+                        self.stats.record_receive(to, size_bytes);
                         self.messages_delivered += 1;
+                        if R::ENABLED {
+                            self.recorder.message_delivered(
+                                self.now,
+                                class,
+                                from.0 as u32,
+                                to.0 as u32,
+                            );
+                        }
                         let m = msg.clone();
                         let via = self.via_of(from, edge);
                         self.upcall_via(to, Some(via), |p, ctx| p.on_message(from, m, ctx));
                     }
                 }
+                class
             }
             EventKind::Timer { node, token, epoch } => {
                 // This timer fired, so its handle is spent.
@@ -616,11 +789,31 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                 if !self.is_active(node) || self.epoch[node.0] != epoch {
                     self.messages_dropped += 1;
                     self.stale_timer_pops += 1;
+                    if R::ENABLED {
+                        self.recorder
+                            .message_dropped(self.now, MessageClass::Timer, 1);
+                    }
                 } else {
+                    if R::ENABLED {
+                        self.recorder.message_delivered(
+                            self.now,
+                            MessageClass::Timer,
+                            node.0 as u32,
+                            node.0 as u32,
+                        );
+                    }
                     self.upcall(node, |p, ctx| p.on_timer(token, ctx));
                 }
+                MessageClass::Timer
             }
-            EventKind::Topology(event) => self.apply_topology(event),
+            EventKind::Topology(event) => {
+                self.apply_topology(event);
+                MessageClass::Topology
+            }
+        };
+        if let Some(t0) = wall {
+            self.recorder
+                .event_done(ev_class, t0.elapsed().as_nanos() as u64);
         }
         self.events_processed < self.max_events && self.now <= self.max_time
     }
@@ -653,6 +846,7 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
                 to,
                 edge,
                 msg,
+                size_bytes: self.default_msg_size,
             },
         );
     }

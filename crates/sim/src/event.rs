@@ -81,6 +81,9 @@ pub enum EventKind<M> {
         to: NodeId,
         edge: EdgeId,
         msg: M,
+        /// Accounted wire size of the message, captured at send time so
+        /// delivery can credit the receiver's byte counters.
+        size_bytes: usize,
     },
     /// Deliver a whole batch of messages from `from` to `to` over the link
     /// that was `edge` at send time, as **one** queue entry: the engine
@@ -115,6 +118,9 @@ pub enum EventKind<M> {
         /// `(receiver, edge at send time)`, in adjacency order at send
         /// time.
         targets: Box<[(NodeId, EdgeId)]>,
+        /// Accounted wire size of one flood copy (every target receives the
+        /// same message).
+        size_bytes: usize,
     },
     /// Fire a timer at `node` with the caller-chosen `token`. `epoch` is the
     /// node's incarnation when the timer was set; timers from a previous

@@ -72,6 +72,11 @@ pub use event::{BinaryHeapQueue, EventQueue, SimTime, TimerWheel, TopologyEvent}
 pub use rng::seed_for;
 pub use stats::MessageStats;
 
+// Re-exported so protocol crates and bench harnesses can implement
+// classification and pick recorders without depending on disco-telemetry
+// directly.
+pub use disco_telemetry::{MessageClass, NoopRecorder, Phase, Recorder};
+
 use disco_graph::NodeId;
 
 /// A protocol instance running on a single node of the simulated network.
@@ -110,4 +115,23 @@ pub trait Protocol {
     /// as in a real fail-stop network). The context already reflects the
     /// reduced adjacency. Default: ignore.
     fn on_neighbor_down(&mut self, _peer: NodeId, _ctx: &mut Context<'_, Self::Message>) {}
+
+    /// Classify a message for telemetry. Only consulted when the engine
+    /// runs with an enabled [`Recorder`]; the default lumps everything into
+    /// [`MessageClass::Deliver`]. Protocols override this to split
+    /// withdrawals, refreshes and gossip out of the bulk route traffic.
+    fn classify(_msg: &Self::Message) -> MessageClass
+    where
+        Self: Sized,
+    {
+        MessageClass::Deliver
+    }
+
+    /// A revision counter the engine samples around each upcall to detect
+    /// route-selection changes (feeding the repair-latency probe). Bump it
+    /// whenever the node's selected next hops change; leave the default
+    /// (constant 0) to opt out.
+    fn control_revision(&self) -> u64 {
+        0
+    }
 }

@@ -14,6 +14,7 @@ pub struct MessageStats {
     sent: Vec<u64>,
     received: Vec<u64>,
     bytes_sent: Vec<u64>,
+    bytes_received: Vec<u64>,
 }
 
 impl MessageStats {
@@ -23,6 +24,7 @@ impl MessageStats {
             sent: vec![0; n],
             received: vec![0; n],
             bytes_sent: vec![0; n],
+            bytes_received: vec![0; n],
         }
     }
 
@@ -33,6 +35,7 @@ impl MessageStats {
             self.sent.resize(n, 0);
             self.received.resize(n, 0);
             self.bytes_sent.resize(n, 0);
+            self.bytes_received.resize(n, 0);
         }
     }
 
@@ -43,9 +46,10 @@ impl MessageStats {
         self.bytes_sent[from.0] += size_bytes as u64;
     }
 
-    /// Record delivery of a message at `to`.
-    pub fn record_receive(&mut self, to: NodeId) {
+    /// Record delivery of a message of `size_bytes` at `to`.
+    pub fn record_receive(&mut self, to: NodeId, size_bytes: usize) {
         self.received[to.0] += 1;
+        self.bytes_received[to.0] += size_bytes as u64;
     }
 
     /// Messages sent by `v`.
@@ -61,6 +65,17 @@ impl MessageStats {
     /// Bytes sent by `v`.
     pub fn bytes_sent_by(&self, v: NodeId) -> u64 {
         self.bytes_sent[v.0]
+    }
+
+    /// Bytes received by `v`. Sent and received totals differ exactly by
+    /// the bytes lost in flight to link failures and departures.
+    pub fn bytes_received_by(&self, v: NodeId) -> u64 {
+        self.bytes_received[v.0]
+    }
+
+    /// Total bytes received across all nodes.
+    pub fn total_bytes_received(&self) -> u64 {
+        self.bytes_received.iter().sum()
     }
 
     /// Total messages sent across all nodes.
@@ -108,10 +123,12 @@ mod tests {
         s.record_send(NodeId(0), 100);
         s.record_send(NodeId(0), 50);
         s.record_send(NodeId(2), 10);
-        s.record_receive(NodeId(1));
+        s.record_receive(NodeId(1), 100);
         assert_eq!(s.sent_by(NodeId(0)), 2);
         assert_eq!(s.sent_by(NodeId(1)), 0);
         assert_eq!(s.received_by(NodeId(1)), 1);
+        assert_eq!(s.bytes_received_by(NodeId(1)), 100);
+        assert_eq!(s.total_bytes_received(), 100);
         assert_eq!(s.bytes_sent_by(NodeId(0)), 150);
         assert_eq!(s.total_sent(), 3);
         assert_eq!(s.total_bytes(), 160);

@@ -100,12 +100,24 @@ fn churn_events(g: &disco_graph::Graph, seed: u64) -> Vec<(f64, TopologyEvent)> 
     // delivery is at 1.01 (unit weight + processing delay). Cutting the
     // link at 0.5 loses the whole batch in flight.
     let nb0 = g.neighbors(NodeId(0))[0].node;
-    ev.push((0.5, TopologyEvent::LinkDown { u: NodeId(0), v: nb0 }));
+    ev.push((
+        0.5,
+        TopologyEvent::LinkDown {
+            u: NodeId(0),
+            v: nb0,
+        },
+    ));
     // Node 7's first link dies and comes back before delivery: the fresh
     // edge id must not resurrect the in-flight messages.
     if g.node_count() > 7 {
         let nb7 = g.neighbors(NodeId(7))[0].node;
-        ev.push((0.3, TopologyEvent::LinkDown { u: NodeId(7), v: nb7 }));
+        ev.push((
+            0.3,
+            TopologyEvent::LinkDown {
+                u: NodeId(7),
+                v: nb7,
+            },
+        ));
         ev.push((
             0.6,
             TopologyEvent::LinkUp {

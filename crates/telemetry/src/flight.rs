@@ -1,0 +1,149 @@
+//! Flight recorder: a bounded ring of the last N engine events, dumped on
+//! panic or failed acceptance for postmortems.
+
+use crate::recorder::MessageClass;
+use std::fmt::Write as _;
+
+/// One recorded engine event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEvent {
+    /// Simulation time of the event.
+    pub now: f64,
+    /// Effective message class.
+    pub class: MessageClass,
+    /// Sender (or the affected node of a topology event).
+    pub from: u32,
+    /// Receiver (`u32::MAX` when not applicable).
+    pub to: u32,
+}
+
+/// Fixed-capacity ring buffer of [`FlightEvent`]s. Pushing past capacity
+/// overwrites the oldest entry; iteration yields oldest-first.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<FlightEvent>,
+    capacity: usize,
+    /// Index the next push writes to (the ring head once full).
+    next: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one event.
+    #[inline]
+    pub fn push(&mut self, ev: FlightEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total += 1;
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FlightEvent> {
+        let split = if self.buf.len() < self.capacity {
+            0
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// Human-readable tail dump (for panic / failed-acceptance output).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: last {} of {} events (oldest first)",
+            self.len(),
+            self.total
+        );
+        for ev in self.iter() {
+            if ev.to == u32::MAX {
+                let _ = writeln!(
+                    out,
+                    "  t={:<12.4} {:<8} node {}",
+                    ev.now,
+                    ev.class.name(),
+                    ev.from
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  t={:<12.4} {:<8} {} -> {}",
+                    ev.now,
+                    ev.class.name(),
+                    ev.from,
+                    ev.to
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> FlightEvent {
+        FlightEvent {
+            now: t,
+            class: MessageClass::Deliver,
+            from: 0,
+            to: 1,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut r = FlightRecorder::new(3);
+        for t in 0..5 {
+            r.push(ev(t as f64));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 5);
+        let times: Vec<f64> = r.iter().map(|e| e.now).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0], "oldest first after wrap");
+    }
+
+    #[test]
+    fn partial_fill_keeps_order() {
+        let mut r = FlightRecorder::new(8);
+        r.push(ev(1.0));
+        r.push(ev(2.0));
+        let times: Vec<f64> = r.iter().map(|e| e.now).collect();
+        assert_eq!(times, vec![1.0, 2.0]);
+        let d = r.dump();
+        assert!(d.contains("last 2 of 2"), "{d}");
+        assert!(d.contains("0 -> 1"), "{d}");
+    }
+}

@@ -1,0 +1,312 @@
+//! The everything-on recorder composing registry, repair probe, flight
+//! ring and phase spans, with Chrome-trace export.
+
+use crate::flight::{FlightEvent, FlightRecorder};
+use crate::recorder::{MessageClass, Phase, Recorder};
+use crate::registry::ClassRegistry;
+use crate::repair::RepairProbe;
+use crate::spans::PhaseSpans;
+use crate::trace::{ChromeTrace, US_PER_SIM_UNIT};
+use std::fmt::Write as _;
+
+/// Default flight-ring capacity (last N engine events kept for dumps).
+const FLIGHT_CAPACITY: usize = 256;
+
+/// The full recorder behind the bench binaries' `--telemetry` / `--trace`
+/// flags. Deterministic outputs ([`FullRecorder::summary_lines`], the
+/// repair distribution, all message counters) are pure functions of the
+/// run's seed; wall-clock latency histograms and RSS deltas are not and
+/// stay out of them.
+#[derive(Debug, Clone)]
+pub struct FullRecorder {
+    /// Per-class counters and wall-latency histograms.
+    pub registry: ClassRegistry,
+    /// Repair-latency probe (sim time, deterministic).
+    pub repair: RepairProbe,
+    /// Bounded ring of the last engine events.
+    pub flight: FlightRecorder,
+    /// Phase spans (wall + RSS annotated).
+    pub phases: PhaseSpans,
+    /// Cumulative delivered-by-class samples taken at every topology event
+    /// (the counter track of the timeline).
+    samples: Vec<(f64, [u64; MessageClass::COUNT])>,
+    /// Topology instants `(time, kind, node)` for the timeline.
+    topo_marks: Vec<(f64, &'static str, u32)>,
+    /// Final simulation clock (set by [`Recorder::finish`]).
+    end_time: f64,
+}
+
+impl Default for FullRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FullRecorder {
+    /// A recorder with the default repair settle gap and flight capacity.
+    pub fn new() -> Self {
+        FullRecorder {
+            registry: ClassRegistry::new(),
+            repair: RepairProbe::default(),
+            flight: FlightRecorder::new(FLIGHT_CAPACITY),
+            phases: PhaseSpans::new(),
+            samples: Vec::new(),
+            topo_marks: Vec::new(),
+            end_time: 0.0,
+        }
+    }
+
+    /// Override the repair probe's settle gap (sim-time units).
+    pub fn with_settle_gap(mut self, gap: f64) -> Self {
+        self.repair = RepairProbe::new(gap);
+        self
+    }
+
+    /// Override the flight ring's capacity.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight = FlightRecorder::new(capacity);
+        self
+    }
+
+    /// Final simulation clock recorded by [`Recorder::finish`].
+    pub fn end_time(&self) -> f64 {
+        self.end_time
+    }
+
+    /// Deterministic summary appended to an experiment's output when
+    /// telemetry is on: per-class message counters and the repair-latency
+    /// distribution. No wall-clock or RSS numbers — two same-seed runs
+    /// render byte-identical lines.
+    pub fn summary_lines(&self) -> String {
+        let mut out = self.registry.summary_line();
+        out.push_str(&self.repair.summary_line());
+        out
+    }
+
+    /// Render the run as a Chrome `trace_event` JSON document (open in
+    /// `chrome://tracing` or perfetto). Call [`Recorder::finish`] first so
+    /// open repair windows and spans are closed.
+    pub fn chrome_trace_json(&self) -> String {
+        let us = |t: f64| t * US_PER_SIM_UNIT;
+        let mut tr = ChromeTrace::new();
+        tr.thread_name(1, "phases");
+        tr.thread_name(2, "repairs");
+        tr.thread_name(3, "topology");
+
+        for sp in self.phases.spans() {
+            let args = format!(
+                "{{\"wall_ms\":{:.3},\"rss_start_bytes\":{},\"rss_end_bytes\":{},\"rss_delta_bytes\":{}}}",
+                sp.wall_secs * 1e3,
+                sp.rss_start,
+                sp.rss_end,
+                sp.rss_delta()
+            );
+            tr.complete(
+                sp.phase.name(),
+                1,
+                us(sp.sim_start),
+                us(sp.sim_end - sp.sim_start),
+                Some(&args),
+            );
+        }
+
+        // Repair windows: one span per closed window on the repair track.
+        // Start times are reconstructed from the topology marks (windows
+        // close in open order — both vectors are chronological).
+        for (i, &lat) in self.repair.latencies().iter().enumerate() {
+            let start = self.topo_marks.get(i).map_or(0.0, |&(t, ..)| t);
+            tr.complete("repair", 2, us(start), us(lat), None);
+        }
+
+        for &(t, kind, node) in &self.topo_marks {
+            tr.instant(&format!("{kind} n{node}"), 3, us(t));
+        }
+
+        // Cumulative delivered-by-class counter track, sampled at topology
+        // events plus one final sample.
+        let series_names: Vec<&str> = MessageClass::ALL.iter().map(|c| c.name()).collect();
+        let mut plot = |t: f64, sample: &[u64; MessageClass::COUNT]| {
+            let series: Vec<(&str, u64)> = series_names
+                .iter()
+                .zip(sample.iter())
+                .filter(|&(_, &v)| v > 0)
+                .map(|(&n, &v)| (n, v))
+                .collect();
+            if !series.is_empty() {
+                tr.counter("delivered by class", us(t), &series);
+            }
+        };
+        for (t, sample) in &self.samples {
+            plot(*t, sample);
+        }
+        plot(self.end_time, &self.registry.delivered_by_class());
+
+        // Summary block next to traceEvents: per-class totals, the wall
+        // latency histogram buckets, and the repair distribution.
+        let mut summary = String::from("{\"classes\":{");
+        let mut first = true;
+        for c in MessageClass::ALL {
+            let s = self.registry.stats(c);
+            if s.sent == 0 && s.delivered == 0 && s.dropped == 0 {
+                continue;
+            }
+            if !first {
+                summary.push(',');
+            }
+            first = false;
+            let lat = self.registry.latency(c);
+            let mut buckets = String::from("[");
+            for (i, (upper, count)) in lat.nonzero_buckets().enumerate() {
+                if i > 0 {
+                    buckets.push(',');
+                }
+                let _ = write!(buckets, "[{upper},{count}]");
+            }
+            buckets.push(']');
+            let _ = write!(
+                summary,
+                "\"{}\":{{\"sent\":{},\"sent_bytes\":{},\"delivered\":{},\"dropped\":{},\
+                 \"event_wall_ns_log2_buckets\":{buckets},\"event_wall_ns_p50\":{},\"event_wall_ns_p99\":{}}}",
+                c.name(),
+                s.sent,
+                s.sent_bytes,
+                s.delivered,
+                s.dropped,
+                lat.quantile_upper(0.50),
+                lat.quantile_upper(0.99),
+            );
+        }
+        let _ = write!(
+            summary,
+            "}},\"repair\":{{\"events\":{},\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3},\"settle_gap\":{}}}}}",
+            self.repair.latencies().len(),
+            self.repair.quantile(0.50),
+            self.repair.quantile(0.90),
+            self.repair.quantile(0.99),
+            self.repair.settle_gap(),
+        );
+
+        tr.into_json(&[("disco_summary", summary)])
+    }
+}
+
+impl Recorder for FullRecorder {
+    fn message_sent(&mut self, _now: f64, class: MessageClass, count: u64, bytes: u64) {
+        self.registry.sent(class, count, bytes);
+    }
+
+    fn message_delivered(&mut self, now: f64, class: MessageClass, from: u32, to: u32) {
+        self.registry.delivered(class);
+        self.flight.push(FlightEvent {
+            now,
+            class,
+            from,
+            to,
+        });
+    }
+
+    fn message_dropped(&mut self, _now: f64, class: MessageClass, count: u64) {
+        self.registry.dropped(class, count);
+    }
+
+    fn event_done(&mut self, class: MessageClass, wall_nanos: u64) {
+        self.registry.event_done(class, wall_nanos);
+    }
+
+    fn topology_changed(&mut self, now: f64, kind: &'static str, node: u32) {
+        self.registry.delivered(MessageClass::Topology);
+        self.repair.on_topology(now);
+        self.topo_marks.push((now, kind, node));
+        self.samples.push((now, self.registry.delivered_by_class()));
+        self.flight.push(FlightEvent {
+            now,
+            class: MessageClass::Topology,
+            from: node,
+            to: u32::MAX,
+        });
+    }
+
+    fn selection_changed(&mut self, now: f64, _node: u32) {
+        self.repair.on_selection(now);
+    }
+
+    fn phase_begin(&mut self, phase: Phase, now: f64) {
+        self.phases.begin(phase, now);
+    }
+
+    fn phase_end(&mut self, phase: Phase, now: f64) {
+        self.phases.end(phase, now);
+    }
+
+    fn finish(&mut self, now: f64) {
+        self.end_time = now;
+        self.repair.finish(now);
+        self.phases.finish(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::validate_json;
+
+    /// Drive a synthetic run through the full recorder and validate the
+    /// exported timeline end-to-end.
+    #[test]
+    fn synthetic_run_exports_valid_trace() {
+        let mut r = FullRecorder::new().with_settle_gap(5.0);
+        r.phase_begin(Phase::Build, 0.0);
+        r.phase_end(Phase::Build, 0.0);
+        r.phase_begin(Phase::Boot, 0.0);
+        for t in 0..10 {
+            r.message_sent(t as f64, MessageClass::Flood, 4, 256);
+            r.message_delivered(t as f64, MessageClass::Flood, t, t + 1);
+            r.event_done(MessageClass::Flood, 800 + t as u64);
+        }
+        r.phase_end(Phase::Boot, 10.0);
+        r.phase_begin(Phase::Churn, 10.0);
+        r.topology_changed(12.0, "leave", 3);
+        r.selection_changed(13.0, 4);
+        r.message_dropped(13.5, MessageClass::Withdraw, 2);
+        r.topology_changed(30.0, "join", 3);
+        r.selection_changed(30.5, 4);
+        r.finish(60.0);
+
+        assert_eq!(r.registry.stats(MessageClass::Flood).delivered, 10);
+        assert_eq!(r.repair.latencies(), &[1.0, 0.5]);
+        assert_eq!(r.flight.total_recorded(), 12);
+
+        let summary = r.summary_lines();
+        assert!(summary.contains("flood=40/10/0"), "{summary}");
+        assert!(summary.contains("events=2"), "{summary}");
+
+        let json = r.chrome_trace_json();
+        validate_json(&json).expect("trace must be valid JSON");
+        for needle in [
+            "\"build\"",
+            "\"boot\"",
+            "\"churn\"",
+            "\"repair\"",
+            "delivered by class",
+            "disco_summary",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+    }
+
+    /// Two identical synthetic runs produce byte-identical deterministic
+    /// summaries (wall-clock only lives in the trace args).
+    #[test]
+    fn summary_lines_are_deterministic() {
+        let run = || {
+            let mut r = FullRecorder::new();
+            r.message_sent(1.0, MessageClass::Gossip, 2, 64);
+            r.message_delivered(1.5, MessageClass::Gossip, 0, 1);
+            r.topology_changed(2.0, "link_down", 5);
+            r.selection_changed(3.0, 1);
+            r.finish(100.0);
+            r.summary_lines()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,159 @@
+//! Log₂-bucketed histogram for event wall-latencies.
+//!
+//! Wall-clock latencies span five orders of magnitude (a timer pop is
+//! nanoseconds, a 10k-target flood fan-out is milliseconds), so linear
+//! buckets are useless and exact storage is unbounded; power-of-two
+//! buckets give a calibrated distribution in 64 counters. Values are
+//! `u64` (nanoseconds in the engine's use).
+
+/// A histogram whose bucket `i` counts values with `floor(log2(v)) == i-1`
+/// (bucket 0 counts zeros). 64 buckets cover the full `u64` range.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `value`: 0 for 0, else `floor(log2(value)) + 1`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (`0` for bucket 0, else
+    /// `2^i - 1`).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`); 0 when empty. Resolution is one power of two —
+    /// exact enough to tell a 2µs median from a 200µs one.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(bucket_upper_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        // 0 → bucket 0; 1 → bucket 1; {2,3} → bucket 2; 100 → bucket 7
+        // (≤127); 1000 → bucket 10 (≤1023).
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (127, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket ≤15
+        }
+        h.record(1 << 20); // one outlier
+        assert_eq!(h.quantile_upper(0.5), 15);
+        assert_eq!(h.quantile_upper(0.99), 15);
+        assert_eq!(h.quantile_upper(1.0), 1 << 20);
+        assert_eq!(Log2Histogram::new().quantile_upper(0.5), 0);
+    }
+}

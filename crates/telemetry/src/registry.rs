@@ -1,0 +1,139 @@
+//! Per-[`MessageClass`] counter and latency registry.
+
+use crate::histogram::Log2Histogram;
+use crate::recorder::MessageClass;
+use std::fmt::Write as _;
+
+/// Counters of one message class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Messages sent (flood copies counted individually).
+    pub sent: u64,
+    /// Accounted wire bytes sent.
+    pub sent_bytes: u64,
+    /// Messages delivered to `on_message` upcalls (timer pops for
+    /// [`MessageClass::Timer`], mutations for [`MessageClass::Topology`]).
+    pub delivered: u64,
+    /// Messages lost in flight (or stale/cancelled timers).
+    pub dropped: u64,
+}
+
+/// Registry of per-class counters plus a log₂ wall-latency histogram per
+/// class of engine event. The counters are a pure function of the run;
+/// the latency histograms are wall-clock and therefore not.
+#[derive(Debug, Clone, Default)]
+pub struct ClassRegistry {
+    stats: [ClassStats; MessageClass::COUNT],
+    latency: [Log2Histogram; MessageClass::COUNT],
+}
+
+impl ClassRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count `count` sends of `bytes` total wire bytes.
+    #[inline]
+    pub fn sent(&mut self, class: MessageClass, count: u64, bytes: u64) {
+        let s = &mut self.stats[class.index()];
+        s.sent += count;
+        s.sent_bytes += bytes;
+    }
+
+    /// Count one delivery.
+    #[inline]
+    pub fn delivered(&mut self, class: MessageClass) {
+        self.stats[class.index()].delivered += 1;
+    }
+
+    /// Count `count` drops.
+    #[inline]
+    pub fn dropped(&mut self, class: MessageClass, count: u64) {
+        self.stats[class.index()].dropped += count;
+    }
+
+    /// Record the wall-clock cost of one engine event of `class`.
+    #[inline]
+    pub fn event_done(&mut self, class: MessageClass, wall_nanos: u64) {
+        self.latency[class.index()].record(wall_nanos);
+    }
+
+    /// Counters of `class`.
+    pub fn stats(&self, class: MessageClass) -> &ClassStats {
+        &self.stats[class.index()]
+    }
+
+    /// Wall-latency histogram of `class`.
+    pub fn latency(&self, class: MessageClass) -> &Log2Histogram {
+        &self.latency[class.index()]
+    }
+
+    /// Delivered counts by class index (the counter-track sample the
+    /// timeline exporter plots over time).
+    pub fn delivered_by_class(&self) -> [u64; MessageClass::COUNT] {
+        let mut out = [0; MessageClass::COUNT];
+        for (o, s) in out.iter_mut().zip(self.stats.iter()) {
+            *o = s.delivered;
+        }
+        out
+    }
+
+    /// Total messages delivered across the message classes (excludes
+    /// timers and topology events).
+    pub fn messages_delivered(&self) -> u64 {
+        MessageClass::ALL
+            .iter()
+            .filter(|c| !matches!(c, MessageClass::Timer | MessageClass::Topology))
+            .map(|c| self.stats[c.index()].delivered)
+            .sum()
+    }
+
+    /// Deterministic one-line summary of per-class delivered/sent counts
+    /// (no wall-clock numbers — safe for same-seed comparison).
+    pub fn summary_line(&self) -> String {
+        let mut out = String::from("telemetry msgs by class:");
+        for c in MessageClass::ALL {
+            let s = &self.stats[c.index()];
+            if s.sent == 0 && s.delivered == 0 && s.dropped == 0 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                " {}={}/{}/{}",
+                c.name(),
+                s.sent,
+                s.delivered,
+                s.dropped
+            );
+        }
+        out.push_str(" (sent/delivered/dropped)\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_class() {
+        let mut r = ClassRegistry::new();
+        r.sent(MessageClass::Flood, 3, 300);
+        r.delivered(MessageClass::Flood);
+        r.delivered(MessageClass::Flood);
+        r.dropped(MessageClass::Flood, 1);
+        r.delivered(MessageClass::Timer);
+        r.event_done(MessageClass::Flood, 1500);
+        let s = r.stats(MessageClass::Flood);
+        assert_eq!(
+            (s.sent, s.sent_bytes, s.delivered, s.dropped),
+            (3, 300, 2, 1)
+        );
+        assert_eq!(r.messages_delivered(), 2, "timer pops are not messages");
+        assert_eq!(r.latency(MessageClass::Flood).count(), 1);
+        let line = r.summary_line();
+        assert!(line.contains("flood=3/2/1"), "{line}");
+        assert!(!line.contains("gossip"), "empty classes omitted: {line}");
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`metrics`] — state/stretch/congestion measurement and the experiment
 //!   runners behind every figure and table of the paper,
 //! * [`dynamics`] — churn/failure/mobility schedules and the availability
-//!   probes that measure routing under them.
+//!   probes that measure routing under them,
+//! * [`telemetry`] — the zero-cost-when-off structured observability layer
+//!   (recorder trait, message-class registry, repair-latency probe, flight
+//!   recorder, Chrome `trace_event` export).
 //!
 //! See the repository README for a quickstart and `examples/` for runnable
 //! scenarios.
@@ -26,3 +29,4 @@ pub use disco_dynamics as dynamics;
 pub use disco_graph as graph;
 pub use disco_metrics as metrics;
 pub use disco_sim as sim;
+pub use disco_telemetry as telemetry;
