@@ -13,6 +13,15 @@
 //! eviction (`DiscoConfig::forgetful_dynamic`); the summary then carries a
 //! `forgetful=on` marker and is locked by its own golden file.
 //!
+//! Pass `--static-n` to pin every node to its construction-time estimate
+//! of `n` (`DiscoConfig::dynamic_n_estimation` is on by default); the
+//! summary then carries a `static_n=on` marker.
+//!
+//! Pass `--shards K` to run on the sharded engine with `K` workers. The
+//! summary is byte-identical for every shard count (including the
+//! sequential engine) — that invariant is golden-locked; `--shards`
+//! exists to exercise and time the parallel path.
+//!
 //! Telemetry flags (all optional; with none of them the engine runs the
 //! no-op recorder and the output is the golden-locked summary alone):
 //!
@@ -26,29 +35,55 @@
 //!   its phase spans, dumps the flight recorder and exits non-zero on
 //!   failure.
 
-use disco_bench::churn::{churn_experiment, churn_experiment_with, ChurnParams};
+use disco_bench::churn::{
+    churn_experiment, churn_experiment_sharded, churn_experiment_with, ChurnParams,
+};
 use disco_bench::CommonArgs;
 use disco_telemetry::{validate_json, FullRecorder};
 
 fn main() {
     let mut forgetful = false;
+    let mut static_n = false;
     let mut telemetry = false;
     let mut smoke = false;
+    let mut shards: Option<usize> = None;
     let mut trace: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--forgetful" => forgetful = true,
+            "--static-n" => static_n = true,
             "--telemetry" => telemetry = true,
             "--smoke" => smoke = true,
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .expect("missing value for --shards")
+                        .parse()
+                        .expect("--shards"),
+                )
+            }
             "--trace" => trace = Some(it.next().expect("missing value for --trace")),
             _ => rest.push(a),
         }
     }
     let default_nodes = if smoke { 192 } else { 512 };
     let args = CommonArgs::parse_from(rest, default_nodes);
-    let params = ChurnParams::sized(args.nodes, args.seed).with_forgetful(forgetful);
+    let params = ChurnParams::sized(args.nodes, args.seed)
+        .with_forgetful(forgetful)
+        .with_static_n(static_n);
+
+    if let Some(shards) = shards {
+        assert!(
+            !(telemetry || smoke || trace.is_some()),
+            "--shards combines with the plain summary only (the telemetry \
+             drivers run the sequential engine)"
+        );
+        let outcome = churn_experiment_sharded(&params, shards);
+        print!("{}", outcome.summary(&params));
+        return;
+    }
 
     if !(telemetry || smoke || trace.is_some()) {
         // Telemetry off: the engine monomorphizes with the no-op recorder —

@@ -21,6 +21,10 @@
 //! --smoke              gate: one forgetful leg at n=512 under high churn,
 //!                      asserting candidates/node stays under the
 //!                      configured bound; exits non-zero on violation
+//! --shards K           run legs on the sharded engine with K workers
+//!                      (default 0 = sequential; protocol-visible numbers
+//!                      are shard-count invariant, arena gauges sum the
+//!                      workers' thread-local arenas)
 //! --leg k=v ...        (internal) run one leg and print its key=value line
 //! ```
 //!
@@ -43,6 +47,7 @@ struct Args {
     smoke: bool,
     trace: Option<String>,
     leg: Option<MemoryParams>,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +61,7 @@ fn parse_args() -> Args {
         smoke: false,
         trace: None,
         leg: None,
+        shards: 0,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
@@ -82,6 +88,7 @@ fn parse_args() -> Args {
             "--in-process" => out.in_process = true,
             "--smoke" => out.smoke = true,
             "--trace" => out.trace = Some(value("--trace")),
+            "--shards" => out.shards = value("--shards").parse().expect("--shards"),
             "--leg" => {
                 // Internal: --leg n=4096 rate=0.0002 forgetful=1 seed=1 horizon=500
                 let mut p = MemoryParams::grid_point(512, 1, 0.0002, false);
@@ -93,6 +100,7 @@ fn parse_args() -> Args {
                         "forgetful" => p.forgetful = v == "1",
                         "seed" => p.seed = v.parse().expect("leg seed"),
                         "horizon" => p.horizon = v.parse().expect("leg horizon"),
+                        "shards" => p.shards = v.parse().expect("leg shards"),
                         other => panic!("unknown leg key {other}"),
                     }
                 }
@@ -101,7 +109,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --sizes a,b,c --rates a,b --seed S --horizon T --json PATH \
-                     --in-process --smoke --trace PATH"
+                     --in-process --smoke --trace PATH --shards K"
                 );
                 std::process::exit(0);
             }
@@ -111,7 +119,14 @@ fn parse_args() -> Args {
     out
 }
 
-fn run_child(n: usize, rate: f64, forgetful: bool, seed: u64, horizon: f64) -> MemoryResult {
+fn run_child(
+    n: usize,
+    rate: f64,
+    forgetful: bool,
+    seed: u64,
+    horizon: f64,
+    shards: usize,
+) -> MemoryResult {
     let exe = std::env::current_exe().expect("current_exe");
     let output = Command::new(exe)
         .args([
@@ -121,6 +136,7 @@ fn run_child(n: usize, rate: f64, forgetful: bool, seed: u64, horizon: f64) -> M
             &format!("forgetful={}", forgetful as u8),
             &format!("seed={seed}"),
             &format!("horizon={horizon}"),
+            &format!("shards={shards}"),
         ])
         .output()
         .expect("spawn leg");
@@ -218,6 +234,7 @@ fn main() {
     if args.smoke {
         let mut p = MemoryParams::grid_point(512, args.seed, 0.001, true);
         p.horizon = 300.0;
+        p.shards = args.shards;
         let r = run_leg(&p);
         let bound = candidate_bound(512, p.alternates);
         let per_dest = r.non_rib_bytes_mean / r.dests_mean.max(1.0);
@@ -301,9 +318,10 @@ fn main() {
                 let r = if args.in_process {
                     let mut p = MemoryParams::grid_point(n, args.seed, rate, forgetful);
                     p.horizon = args.horizon;
+                    p.shards = args.shards;
                     run_leg(&p)
                 } else {
-                    run_child(n, rate, forgetful, args.seed, args.horizon)
+                    run_child(n, rate, forgetful, args.seed, args.horizon, args.shards)
                 };
                 println!(
                     "{:>6} {:>8} {:>10} {:>11.1} {:>9.1} {:>11.1} {:>10.1} {:>9.2} {:>9.1} {:>12.4} {:>10.1} {:>8.1}",

@@ -28,10 +28,20 @@
 //! --trace PATH          export the first sweep size's engine leg as a
 //!                       Chrome trace_event timeline (adds recorder
 //!                       overhead to that leg's numbers)
+//! --shards K            run the engine legs on the sharded engine with K
+//!                       worker shards (default 0 = sequential engine)
 //! --smoke [BASELINE]    n=1024 regression gate: read
 //!                       `min_announcements_per_sec` from BASELINE
 //!                       (default BENCH_exp_scale.json) and exit non-zero
-//!                       if the measured rate falls below it
+//!                       if the measured rate falls below it. With
+//!                       --shards K it instead gates the sharded path:
+//!                       re-runs the same leg at --shards 1, requires
+//!                       bit-identical delivered/topology/sim-end numbers
+//!                       (cross-shard determinism), and — when the runner
+//!                       has more than K cores — requires the K-shard rate
+//!                       to be >= single-shard's (on fewer cores the ratio
+//!                       is reported but not gated: the shards time-slice
+//!                       and every window barrier is a context switch)
 //! ```
 //!
 //! Run with: `cargo run --release -p disco-bench --bin exp_scale`
@@ -51,6 +61,7 @@ struct Args {
     json: Option<String>,
     smoke: Option<String>,
     trace: Option<String>,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +74,7 @@ fn parse_args() -> Args {
         json: None,
         smoke: None,
         trace: None,
+        shards: 0,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
@@ -90,6 +102,7 @@ fn parse_args() -> Args {
             }
             "--json" => out.json = Some(value("--json")),
             "--trace" => out.trace = Some(value("--trace")),
+            "--shards" => out.shards = value("--shards").parse().expect("--shards"),
             "--smoke" => {
                 out.sizes = vec![1024];
                 out.budget = out.budget.min(1_000_000);
@@ -98,7 +111,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --sizes a,b,c --full --seed S --events N --threads T \
-                     --queue wheel|heap --json PATH --trace PATH --smoke"
+                     --queue wheel|heap --json PATH --trace PATH --shards K --smoke"
                 );
                 std::process::exit(0);
             }
@@ -186,6 +199,7 @@ fn main() {
             // Trace only the first size in the sweep (the file would
             // otherwise be overwritten per size).
             trace: args.trace.clone().filter(|_| results.is_empty()),
+            shards: args.shards,
         };
         let r = run_one(&cfg);
         // Speedup in *delivered announcements*/sec against the pre-batching
@@ -214,6 +228,10 @@ fn main() {
     }
 
     if let Some(baseline_path) = &args.smoke {
+        if args.shards > 0 {
+            smoke_sharded(&args, &results[0]);
+            return;
+        }
         let floor = std::fs::read_to_string(baseline_path).ok().and_then(|s| {
             s.lines()
                 .find(|l| l.contains("\"min_announcements_per_sec\""))
@@ -243,4 +261,68 @@ fn main() {
             }
         }
     }
+}
+
+/// The sharded smoke gate (`--shards K --smoke`): re-run the same leg at
+/// `--shards 1` and require (a) bit-identical delivered announcements,
+/// topology events and simulation end time — the cross-shard determinism
+/// contract — and (b) the K-shard announcement rate to be at least
+/// single-shard's. The throughput bar only applies when the runner has
+/// more than `K` cores (real parallelism available: more shards must not
+/// be slower). On smaller runners the K shards time-slice one core and
+/// every lookahead-window barrier is a forced context switch, so the ratio
+/// is reported but not gated — there is no floor that separates a
+/// regression from scheduler noise without a second core.
+fn smoke_sharded(args: &Args, multi: &ScaleResult) {
+    let single = run_one(&ScaleConfig {
+        n: multi.n,
+        seed: args.seed,
+        announcement_budget: args.budget,
+        build_threads: args.threads,
+        heap_queue: false,
+        trace: None,
+        shards: 1,
+    });
+    let mut failures = Vec::new();
+    if multi.announcements != single.announcements
+        || multi.topology_events != single.topology_events
+        || multi.sim_end != single.sim_end
+    {
+        failures.push(format!(
+            "shards={} diverged from shards=1: announcements {} vs {}, \
+             topology {} vs {}, sim_end {} vs {}",
+            args.shards,
+            multi.announcements,
+            single.announcements,
+            multi.topology_events,
+            single.topology_events,
+            multi.sim_end,
+            single.sim_end
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let ratio = multi.announcements_per_sec / single.announcements_per_sec.max(1e-9);
+    if cores > args.shards && ratio < 1.0 {
+        failures.push(format!(
+            "shards={} throughput is {ratio:.2}x single-shard on {cores} \
+             cores (parallel shards must not be slower than one)",
+            args.shards
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("smoke FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    let gated = if cores > args.shards {
+        "gated"
+    } else {
+        "informational: shards time-slice the cores"
+    };
+    eprintln!(
+        "smoke OK: shards={} matches shards=1 bit-for-bit; throughput \
+         {ratio:.2}x single-shard ({cores} cores, {gated})",
+        args.shards
+    );
 }

@@ -12,9 +12,12 @@ use disco_core::config::DiscoConfig;
 use disco_core::landmark::{landmark_set, select_landmarks};
 use disco_core::protocol::{DiscoProtocol, PhaseTimers};
 use disco_dynamics::models::PoissonChurn;
-use disco_dynamics::probe::{disco_first_packet_route, probe, sample_live_pairs};
+use disco_dynamics::probe::{
+    disco_first_packet_route, disco_probe_sharded, probe, sample_live_pairs,
+    sample_live_pairs_sharded,
+};
 use disco_graph::generators;
-use disco_sim::{Engine, NoopRecorder, Phase, Recorder, TimerWheel};
+use disco_sim::{Engine, NoopRecorder, Phase, Recorder, ShardedEngine, TimerWheel};
 use std::fmt::Write as _;
 
 /// Parameters of one churn run.
@@ -38,6 +41,11 @@ pub struct ChurnParams {
     /// (`DiscoConfig::forgetful_dynamic`): bounded per-destination
     /// candidate sets plus route-refresh re-solicitation.
     pub forgetful: bool,
+    /// Pin every node to its construction-time estimate of `n` instead of
+    /// the default live synopsis-diffusion gossip
+    /// (`DiscoConfig::dynamic_n_estimation`) — the `--static-n` escape
+    /// hatch.
+    pub static_n: bool,
 }
 
 impl ChurnParams {
@@ -52,6 +60,7 @@ impl ChurnParams {
             probes: 8,
             pairs_per_probe: 128,
             forgetful: false,
+            static_n: false,
         }
     }
 
@@ -59,6 +68,20 @@ impl ChurnParams {
     pub fn with_forgetful(mut self, forgetful: bool) -> Self {
         self.forgetful = forgetful;
         self
+    }
+
+    /// Builder-style: pin nodes to their construction-time estimate of `n`
+    /// (disables the synopsis-diffusion gossip).
+    pub fn with_static_n(mut self, static_n: bool) -> Self {
+        self.static_n = static_n;
+        self
+    }
+
+    /// The protocol configuration these parameters describe.
+    fn config(&self) -> DiscoConfig {
+        DiscoConfig::seeded(self.seed)
+            .with_forgetful_dynamic(self.forgetful)
+            .with_dynamic_n_estimation(!self.static_n)
     }
 }
 
@@ -118,23 +141,24 @@ impl ChurnOutcome {
     /// Render the deterministic summary printed by `exp_churn`.
     pub fn summary(&self, params: &ChurnParams) -> String {
         let mut out = String::new();
-        // The forgetful marker is appended only when the knob is on, so
-        // default-config output stays byte-identical to the pre-forgetful
-        // golden.
+        // Markers are appended only when their knob is on, so
+        // default-config output stays byte-identical to the golden.
         let forgetful = if params.forgetful {
             " forgetful=on"
         } else {
             ""
         };
+        let static_n = if params.static_n { " static_n=on" } else { "" };
         let _ = writeln!(
             out,
-            "exp_churn: n={} seed={} leave_rate={} mean_downtime={} horizon={}{}",
+            "exp_churn: n={} seed={} leave_rate={} mean_downtime={} horizon={}{}{}",
             params.nodes,
             params.seed,
             params.leave_rate_per_node,
             params.mean_downtime,
             params.horizon,
-            forgetful
+            forgetful,
+            static_n
         );
         let _ = writeln!(
             out,
@@ -199,7 +223,7 @@ pub fn churn_experiment_with<R: Recorder>(
     let n = params.nodes;
     recorder.phase_begin(Phase::Build, 0.0);
     let graph = generators::gnm_average_degree(n, 8.0, params.seed);
-    let cfg = DiscoConfig::seeded(params.seed).with_forgetful_dynamic(params.forgetful);
+    let cfg = params.config();
     let landmarks = select_landmarks(n, &cfg);
     let lm_set = landmark_set(&landmarks);
     recorder.phase_end(Phase::Build, 0.0);
@@ -291,6 +315,105 @@ pub fn churn_experiment_with<R: Recorder>(
         bytes_received: engine.stats().total_bytes_received(),
     };
     (outcome, engine.into_recorder())
+}
+
+/// [`churn_experiment`] on the sharded engine with `shards` workers.
+///
+/// Returns the same [`ChurnOutcome`] — byte-identical summary for every
+/// shard count, including 1 — because the sharded engine executes the
+/// same logical event schedule as the sequential one and the probes read
+/// protocol state through batched shard visits that reproduce the
+/// sequential oracle's candidate order (see
+/// `disco_dynamics::probe::disco_probe_sharded`). The golden test locks
+/// this equality in.
+pub fn churn_experiment_sharded(params: &ChurnParams, shards: usize) -> ChurnOutcome {
+    let n = params.nodes;
+    let graph = generators::gnm_average_degree(n, 8.0, params.seed);
+    let cfg = params.config();
+    let landmarks = select_landmarks(n, &cfg);
+    let lm_set = landmark_set(&landmarks);
+
+    let factory_cfg = cfg.clone();
+    let mut engine = ShardedEngine::new(&graph, shards, params.seed, move |v| {
+        DiscoProtocol::new(
+            v,
+            lm_set.contains(&v),
+            n,
+            &factory_cfg,
+            PhaseTimers::default(),
+        )
+    });
+    let report = engine.run();
+    assert!(report.converged, "initial convergence failed");
+    let convergence_msgs = report.stats.total_sent();
+
+    let model = PoissonChurn {
+        leave_rate_per_node: params.leave_rate_per_node,
+        mean_downtime: params.mean_downtime,
+        horizon: params.horizon,
+        ..PoissonChurn::default()
+    };
+    let schedule = model.compile(&graph, params.seed);
+    let start = engine.now();
+    schedule
+        .apply_to_sharded(&mut engine)
+        .expect("churn schedule re-adds only links of the original graph");
+
+    let mut timeline = Vec::with_capacity(params.probes + 1);
+    let mut routable_total = 0usize;
+    let mut delivered_total = 0usize;
+    for i in 1..=params.probes {
+        let t = start + params.horizon * i as f64 / params.probes as f64;
+        engine.run_to(t);
+        let pairs =
+            sample_live_pairs_sharded(&engine, params.pairs_per_probe, params.seed ^ i as u64);
+        let p = disco_probe_sharded(&mut engine, &pairs);
+        routable_total += p.routable;
+        delivered_total += p.delivered;
+        timeline.push(ChurnProbe {
+            time: p.time - start,
+            live: engine.active_count(),
+            routable: p.routable,
+            delivered: p.delivered,
+            mean_stretch: p.mean_stretch(),
+        });
+    }
+    let availability = if routable_total == 0 {
+        1.0
+    } else {
+        delivered_total as f64 / routable_total as f64
+    };
+
+    let quiesced = engine.run_until(|_| false);
+    let pairs = sample_live_pairs_sharded(&engine, params.pairs_per_probe, params.seed ^ 0xf17a1);
+    let p = disco_probe_sharded(&mut engine, &pairs);
+    let final_availability = p.availability();
+    timeline.push(ChurnProbe {
+        time: engine.now() - start,
+        live: engine.active_count(),
+        routable: p.routable,
+        delivered: p.delivered,
+        mean_stretch: p.mean_stretch(),
+    });
+
+    let (queue_live, queue_dead) = engine.queue_stats();
+    let stats = engine.merged_stats();
+    ChurnOutcome {
+        timeline,
+        availability,
+        final_availability,
+        topology_events: engine.topology_events(),
+        messages_dropped: engine.messages_dropped(),
+        convergence_msgs_per_node: convergence_msgs as f64 / n as f64,
+        repair_msgs_per_node: (stats.total_sent() - convergence_msgs) as f64 / n as f64,
+        quiesced,
+        messages_delivered: engine.messages_delivered(),
+        stale_timer_pops: engine.stale_timer_pops(),
+        queue_live,
+        queue_dead,
+        bytes_sent: stats.total_bytes(),
+        bytes_received: stats.total_bytes_received(),
+    }
 }
 
 #[cfg(test)]

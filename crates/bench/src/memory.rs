@@ -19,10 +19,13 @@ use disco_core::config::DiscoConfig;
 use disco_core::landmark::{landmark_set, select_landmarks};
 use disco_core::protocol::{DiscoProtocol, PhaseTimers};
 use disco_dynamics::models::PoissonChurn;
-use disco_dynamics::probe::{disco_first_packet_route, probe, sample_live_pairs};
+use disco_dynamics::probe::{
+    disco_first_packet_route, disco_probe_sharded, probe, sample_live_pairs,
+    sample_live_pairs_sharded,
+};
 use disco_graph::{generators, PathArena};
 use disco_metrics::control::{legacy_intern_bytes, ControlAccounting, ControlBytes, ControlCounts};
-use disco_sim::{Engine, NoopRecorder, Phase, Recorder, TimerWheel};
+use disco_sim::{Engine, NoopRecorder, Phase, Recorder, ShardedEngine, TimerWheel};
 use disco_telemetry::FullRecorder;
 use std::time::Instant;
 
@@ -47,6 +50,13 @@ pub struct MemoryParams {
     pub forgetful: bool,
     /// Alternate budget when forgetful.
     pub alternates: usize,
+    /// Worker shards (0 = sequential engine). The sharded leg reports the
+    /// same protocol-visible numbers (the engine is shard-count
+    /// invariant); the arena gauges become sums over the workers'
+    /// thread-local arenas, and `arena_shrunk_cells` is the free-listed
+    /// capacity released *while the run's state is still live* (worker
+    /// state cannot be dropped before its thread).
+    pub shards: usize,
 }
 
 impl MemoryParams {
@@ -64,6 +74,7 @@ impl MemoryParams {
             pairs_per_probe: 64,
             forgetful,
             alternates: 2,
+            shards: 0,
         }
     }
 }
@@ -210,6 +221,9 @@ pub fn peak_rss_bytes() -> u64 {
 /// the parameters; `peak_rss_bytes` reflects everything this process did
 /// before, so sweep legs run in child processes.
 pub fn run_leg(p: &MemoryParams) -> MemoryResult {
+    if p.shards > 0 {
+        return run_leg_sharded(p);
+    }
     // The no-op recorder monomorphizes the leg to the uninstrumented
     // engine — this is the measured configuration.
     run_leg_impl(p, NoopRecorder).0
@@ -220,6 +234,10 @@ pub fn run_leg(p: &MemoryParams) -> MemoryResult {
 /// the leg's phase spans (build/boot/churn/drain) with wall-clock and RSS
 /// deltas — the memory story of the leg, phase by phase.
 pub fn run_leg_traced(p: &MemoryParams, trace_path: &str) -> MemoryResult {
+    assert!(
+        p.shards == 0,
+        "--trace runs the sequential engine (phase spans are engine-global)"
+    );
     let (result, rec) = run_leg_impl(p, FullRecorder::new());
     let json = rec.chrome_trace_json();
     std::fs::write(trace_path, &json).unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
@@ -379,6 +397,195 @@ fn run_leg_impl<R: Recorder>(p: &MemoryParams, mut recorder: R) -> (MemoryResult
         quiesced,
     };
     (result, recorder)
+}
+
+/// Per-node control-state row shipped back from a worker shard's gauge
+/// visit (plain data — crosses the shard boundary by value).
+struct NodeGauge {
+    bytes: ControlBytes,
+    counts: ControlCounts,
+    candidates: usize,
+    path_nodes: usize,
+    dests: usize,
+    refreshes: u64,
+    evictions: u64,
+}
+
+/// The sharded-engine leg (`exp_memory --shards K`). Protocol-visible
+/// numbers (availability, candidates, RIB/control bytes, repair traffic)
+/// are shard-count invariant and match the sequential leg; the arena
+/// gauges sum the workers' thread-local arenas, and peak RSS still meters
+/// the whole process (the workers are threads).
+fn run_leg_sharded(p: &MemoryParams) -> MemoryResult {
+    let t0 = Instant::now();
+    let graph = generators::gnm_average_degree(p.n, 8.0, p.seed);
+    let cfg = DiscoConfig::seeded(p.seed)
+        .with_forgetful_dynamic(p.forgetful)
+        .with_forgetful_alternates(p.alternates);
+    let landmarks = select_landmarks(p.n, &cfg);
+    let lm_set = landmark_set(&landmarks);
+
+    let n = p.n;
+    let factory_cfg = cfg.clone();
+    let mut engine = ShardedEngine::new(&graph, p.shards, p.seed, move |v| {
+        DiscoProtocol::new(
+            v,
+            lm_set.contains(&v),
+            n,
+            &factory_cfg,
+            PhaseTimers::default(),
+        )
+    });
+    for shard in 0..engine.shards() {
+        engine.visit(shard, |_| PathArena::reset_peak());
+    }
+    let report = engine.run();
+    assert!(report.converged, "initial convergence failed");
+    let convergence_msgs = report.stats.total_sent();
+    let boot_rss = peak_rss_bytes();
+    reset_peak_rss();
+
+    let model = PoissonChurn {
+        leave_rate_per_node: p.leave_rate_per_node,
+        mean_downtime: p.mean_downtime,
+        horizon: p.horizon,
+        ..PoissonChurn::default()
+    };
+    let schedule = model.compile(&graph, p.seed);
+    let start = engine.now();
+    schedule
+        .apply_to_sharded(&mut engine)
+        .expect("churn schedule re-adds only links of the original graph");
+
+    let mut routable_total = 0usize;
+    let mut delivered_total = 0usize;
+    for i in 1..=p.probes {
+        let t = start + p.horizon * i as f64 / p.probes as f64;
+        engine.run_to(t);
+        let pairs = sample_live_pairs_sharded(&engine, p.pairs_per_probe, p.seed ^ i as u64);
+        let pr = disco_probe_sharded(&mut engine, &pairs);
+        routable_total += pr.routable;
+        delivered_total += pr.delivered;
+    }
+    let availability = if routable_total == 0 {
+        1.0
+    } else {
+        delivered_total as f64 / routable_total as f64
+    };
+
+    let quiesced = engine.run_until(|_| false);
+    let pairs = sample_live_pairs_sharded(&engine, p.pairs_per_probe, p.seed ^ 0xf17a1);
+    let pr = disco_probe_sharded(&mut engine, &pairs);
+    let final_availability = pr.availability();
+
+    // Gauge each shard's owned live nodes on its own thread; fold the
+    // rows through the same accounting the sequential leg uses.
+    let mut cand_total = 0usize;
+    let mut cand_max = 0usize;
+    let mut path_nodes = 0usize;
+    let mut dests_total = 0usize;
+    let mut refreshes = 0u64;
+    let mut evictions = 0u64;
+    let mut live = 0usize;
+    let mut acct = ControlAccounting::default();
+    for shard in 0..engine.shards() {
+        let mine: Vec<_> = engine
+            .active_nodes()
+            .filter(|&v| engine.owner_of(v) == shard)
+            .collect();
+        let rows: Vec<NodeGauge> = engine.visit(shard, move |e| {
+            let nodes = e.nodes();
+            mine.into_iter()
+                .map(|v| {
+                    let node = &nodes[v.0];
+                    let st = node.pv.rib_stats();
+                    let (groups, overlay, forwarded) = node.dissemination_counts();
+                    NodeGauge {
+                        bytes: ControlBytes {
+                            rib: st.approx_bytes,
+                            loc_rib: node.pv.loc_rib_bytes(),
+                            dissemination: node.dissemination_bytes(),
+                        },
+                        counts: ControlCounts {
+                            selected: st.selected,
+                            mirror_entries: node.pv.mirror_entries(),
+                            group_addresses: groups,
+                            overlay_slots: overlay,
+                            forwarded,
+                        },
+                        candidates: st.candidates,
+                        path_nodes: st.path_nodes,
+                        dests: st.dests_interned,
+                        refreshes: node.pv.refreshes_sent(),
+                        evictions: st.evictions,
+                    }
+                })
+                .collect()
+        });
+        for g in rows {
+            cand_total += g.candidates;
+            cand_max = cand_max.max(g.candidates);
+            path_nodes += g.path_nodes;
+            dests_total += g.dests;
+            refreshes += g.refreshes;
+            evictions += g.evictions;
+            live += 1;
+            acct.push(g.bytes, &g.counts);
+        }
+    }
+
+    // Sum the workers' thread-local arenas (the coordinator's arena stays
+    // empty — probes detach paths to `Vec<NodeId>` before crossing).
+    let mut intern_bytes = 0usize;
+    let mut peak_cells = 0usize;
+    let mut live_cells = 0usize;
+    let mut shrunk = 0usize;
+    for shard in 0..engine.shards() {
+        let arena = engine.visit(shard, |_| PathArena::stats());
+        intern_bytes += arena.intern_bytes;
+        peak_cells += arena.peak_live_cells;
+        live_cells += arena.live_cells;
+        shrunk += engine.visit(shard, |_| PathArena::shrink());
+    }
+
+    let live_f = live.max(1) as f64;
+    let (rib_bytes_mean, loc_rib_bytes_mean, dissem_bytes_mean) = acct.mean();
+    let (legacy_loc_rib_mean, legacy_dissem_mean) = acct.legacy_mean();
+    let intern_share = intern_bytes as f64 / live_f;
+    let legacy_intern_share = legacy_intern_bytes(peak_cells) as f64 / live_f;
+    let non_rib_bytes_mean = loc_rib_bytes_mean + dissem_bytes_mean + intern_share;
+    let legacy_non_rib_bytes_mean = legacy_loc_rib_mean + legacy_dissem_mean + legacy_intern_share;
+    let stats = engine.merged_stats();
+
+    MemoryResult {
+        n: p.n,
+        leave_rate: p.leave_rate_per_node,
+        forgetful: p.forgetful,
+        availability,
+        final_availability,
+        cand_mean: cand_total as f64 / live_f,
+        cand_max,
+        rib_bytes_mean,
+        loc_rib_bytes_mean,
+        dissem_bytes_mean,
+        intern_bytes: intern_bytes as u64,
+        non_rib_bytes_mean,
+        legacy_non_rib_bytes_mean,
+        non_rib_reduction: legacy_non_rib_bytes_mean / non_rib_bytes_mean.max(1.0),
+        dests_mean: dests_total as f64 / live_f,
+        path_nodes_mean: path_nodes as f64 / live_f,
+        arena_peak_cells: peak_cells,
+        arena_live_cells: live_cells,
+        arena_shrunk_cells: shrunk,
+        repair_msgs_per_node: (stats.total_sent() - convergence_msgs) as f64 / p.n as f64,
+        refreshes_sent: refreshes,
+        evictions,
+        topology_events: engine.topology_events(),
+        peak_rss_bytes: peak_rss_bytes(),
+        boot_rss_bytes: boot_rss,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        quiesced,
+    }
 }
 
 impl MemoryResult {
@@ -554,6 +761,33 @@ mod tests {
         assert!((parsed.dests_mean - r.dests_mean).abs() < 0.1);
         assert!(r.to_json().contains("\"sqrt_n_log_n\""));
         assert!(r.to_json().contains("\"non_rib_reduction\""));
+    }
+
+    /// The sharded leg is the same simulation: every protocol-visible
+    /// gauge matches the sequential leg exactly (only arena cells and
+    /// wall-clock/RSS may differ — paths crossing shards are re-interned
+    /// per worker arena).
+    #[test]
+    fn sharded_leg_matches_sequential_protocol_numbers() {
+        let mut p = MemoryParams::grid_point(128, 3, 0.001, true);
+        p.horizon = 200.0;
+        p.probes = 2;
+        let seq = run_leg(&p);
+        p.shards = 2;
+        let sh = run_leg(&p);
+        assert_eq!(seq.cand_max, sh.cand_max);
+        assert!((seq.cand_mean - sh.cand_mean).abs() < 1e-9);
+        assert!((seq.availability - sh.availability).abs() < 1e-12);
+        assert!((seq.final_availability - sh.final_availability).abs() < 1e-12);
+        assert_eq!(seq.topology_events, sh.topology_events);
+        assert_eq!(seq.refreshes_sent, sh.refreshes_sent);
+        assert_eq!(seq.evictions, sh.evictions);
+        assert!((seq.repair_msgs_per_node - sh.repair_msgs_per_node).abs() < 1e-9);
+        assert!((seq.rib_bytes_mean - sh.rib_bytes_mean).abs() < 1e-6);
+        assert!((seq.loc_rib_bytes_mean - sh.loc_rib_bytes_mean).abs() < 1e-6);
+        assert!((seq.dissem_bytes_mean - sh.dissem_bytes_mean).abs() < 1e-6);
+        assert!((seq.dests_mean - sh.dests_mean).abs() < 1e-9);
+        assert_eq!(seq.quiesced, sh.quiesced);
     }
 
     /// Forgetful keeps strictly fewer candidates than the full RIB on the

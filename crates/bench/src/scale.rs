@@ -21,7 +21,8 @@ use disco_core::static_state::DiscoState;
 use disco_dynamics::models::PoissonChurn;
 use disco_graph::{generators, NodeId, PathArena};
 use disco_sim::{
-    BinaryHeapQueue, Engine, EventQueue, NoopRecorder, Phase, Protocol, Recorder, TimerWheel,
+    BinaryHeapQueue, Engine, EventQueue, NoopRecorder, Phase, Protocol, Recorder, ShardedEngine,
+    TimerWheel,
 };
 use disco_telemetry::FullRecorder;
 use std::time::Instant;
@@ -45,6 +46,13 @@ pub struct ScaleConfig {
     /// path (runs the full telemetry recorder; `None` = no-op recorder,
     /// the measured configuration).
     pub trace: Option<String>,
+    /// Run the throughput leg on the sharded engine with this many worker
+    /// shards (0 = the sequential engine). Delivered announcements,
+    /// topology events and the simulation end time are identical for every
+    /// shard count; wall-clock scales with cores. Incompatible with
+    /// `heap_queue` and `trace` (the sharded engine runs the wheel queue
+    /// untraced).
+    pub shards: usize,
 }
 
 /// Measurements of one `exp_scale` leg.
@@ -75,6 +83,14 @@ pub struct ScaleResult {
     pub live_arena_cells: usize,
     /// Topology events applied within the budget.
     pub topology_events: u64,
+    /// Worker shards the leg ran on (0 = sequential engine).
+    pub shards: usize,
+    /// Simulation time when the run stopped — deterministic in
+    /// `(n, seed, budget)`. Identical across all sharded shard counts
+    /// (the budget check fires at K-invariant window barriers), which is
+    /// the smoke gate's cross-shard determinism check; the sequential
+    /// engine checks the budget per event and so stops slightly earlier.
+    pub sim_end: f64,
 }
 
 impl ScaleResult {
@@ -86,7 +102,7 @@ impl ScaleResult {
              \"events\": {}, \"announcements\": {}, \"engine_secs\": {:.3}, \
              \"events_per_sec\": {:.0}, \"announcements_per_sec\": {:.0}, \
              \"peak_arena_cells\": {}, \"live_arena_cells\": {}, \
-             \"topology_events\": {} }}",
+             \"topology_events\": {}, \"shards\": {}, \"sim_end\": {:.6} }}",
             self.n,
             self.landmarks,
             self.build_secs,
@@ -97,7 +113,9 @@ impl ScaleResult {
             self.announcements_per_sec,
             self.peak_arena_cells,
             self.live_arena_cells,
-            self.topology_events
+            self.topology_events,
+            self.shards,
+            self.sim_end
         )
     }
 }
@@ -156,7 +174,7 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
     fn drive<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
         engine: &mut Engine<'_, P, Q, R>,
         budget: u64,
-    ) -> (u64, u64, f64, u64) {
+    ) -> (u64, u64, f64, u64, f64) {
         let t1 = Instant::now();
         engine.start();
         engine.run_until(|e| e.messages_delivered() >= budget);
@@ -166,10 +184,63 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
             engine.messages_delivered(),
             secs,
             engine.topology_events(),
+            engine.now(),
         )
     }
 
-    let (events, announcements, engine_secs, topology_events) = if let Some(path) = &cfg.trace {
+    if cfg.shards > 0 {
+        assert!(
+            cfg.trace.is_none() && !cfg.heap_queue,
+            "--shards runs the wheel queue untraced"
+        );
+        let n = cfg.n;
+        let factory_cfg = dcfg.clone();
+        let factory = move |v: NodeId| {
+            DiscoProtocol::new(
+                v,
+                lm_set.contains(&v),
+                n,
+                &factory_cfg,
+                PhaseTimers::default(),
+            )
+        };
+        let mut engine = ShardedEngine::new(&graph, cfg.shards, cfg.seed, factory);
+        schedule
+            .apply_to_sharded(&mut engine)
+            .expect("churn re-adds only links of the original graph");
+        let budget = cfg.announcement_budget;
+        let t1 = Instant::now();
+        engine.start();
+        engine.run_until(|e| e.messages_delivered() >= budget);
+        let engine_secs = t1.elapsed().as_secs_f64();
+        // Path arenas are thread-local: each worker gauges its own; the sum
+        // is the whole run's routing-state footprint.
+        let (mut peak, mut live) = (0usize, 0usize);
+        for shard in 0..engine.shards() {
+            let st = engine.visit(shard, |_| PathArena::stats());
+            peak += st.peak_live_cells;
+            live += st.live_cells;
+        }
+        return ScaleResult {
+            n: cfg.n,
+            landmarks: landmarks_built,
+            build_secs,
+            events: engine.events_processed(),
+            announcements: engine.messages_delivered(),
+            engine_secs,
+            events_per_sec: engine.events_processed() as f64 / engine_secs.max(1e-9),
+            announcements_per_sec: engine.messages_delivered() as f64 / engine_secs.max(1e-9),
+            peak_arena_cells: peak,
+            live_arena_cells: live,
+            topology_events: engine.topology_events(),
+            shards: cfg.shards,
+            sim_end: engine.now(),
+        };
+    }
+
+    let (events, announcements, engine_secs, topology_events, sim_end) = if let Some(path) =
+        &cfg.trace
+    {
         // Traced leg: full recorder, wheel queue. The throughput numbers of
         // a traced run include the recorder's overhead — the gate always
         // runs untraced (NoopRecorder, below).
@@ -211,6 +282,8 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
         peak_arena_cells: arena.peak_live_cells,
         live_arena_cells: arena.live_cells,
         topology_events,
+        shards: 0,
+        sim_end,
     }
 }
 
@@ -229,6 +302,7 @@ mod tests {
             build_threads: 2,
             heap_queue: false,
             trace: None,
+            shards: 0,
         });
         assert_eq!(r.n, 128);
         assert!(r.landmarks > 0);
@@ -256,11 +330,34 @@ mod tests {
             build_threads: 1,
             heap_queue: heap,
             trace: None,
+            shards: 0,
         };
         let a = run_one(&mk(false));
         let b = run_one(&mk(true));
         assert_eq!(a.events, b.events);
         assert_eq!(a.announcements, b.announcements);
         assert_eq!(a.topology_events, b.topology_events);
+    }
+
+    /// The sharded leg's budget stop is shard-count-invariant: delivered
+    /// announcements, topology events and the simulation end time agree
+    /// across shard counts (the `--shards K --smoke` gate's contract).
+    #[test]
+    fn sharded_legs_agree_across_shard_counts() {
+        let mk = |shards| ScaleConfig {
+            n: 96,
+            seed: 5,
+            announcement_budget: 40_000,
+            build_threads: 1,
+            heap_queue: false,
+            trace: None,
+            shards,
+        };
+        let a = run_one(&mk(1));
+        let b = run_one(&mk(2));
+        assert_eq!(a.announcements, b.announcements);
+        assert_eq!(a.topology_events, b.topology_events);
+        assert_eq!(a.sim_end, b.sim_end);
+        assert!(a.announcements >= 40_000);
     }
 }

@@ -9,7 +9,7 @@
 //! and replace `tests/golden/exp_churn_n192_s7.txt` — but byte-identity is
 //! the point, so think twice.
 
-use disco_bench::churn::{churn_experiment, ChurnParams};
+use disco_bench::churn::{churn_experiment, churn_experiment_sharded, ChurnParams};
 
 const GOLDEN: &str = include_str!("golden/exp_churn_n192_s7.txt");
 const GOLDEN_FORGETFUL: &str = include_str!("golden/exp_churn_forgetful_n192_s7.txt");
@@ -29,8 +29,8 @@ fn exp_churn_summary_matches_pre_refactor_golden() {
 /// Forgetful eviction gets its own golden (`exp_churn --forgetful`): the
 /// bounded-RIB repair dynamics are locked the same way the full-RIB
 /// baseline is, and the two goldens' availability lines document that
-/// forgetting alternates does not cost availability (0.9814 both ways at
-/// this size).
+/// forgetting alternates does not cost availability (0.9805 forgetful vs
+/// 0.9727 full-RIB at this size).
 #[test]
 fn exp_churn_forgetful_summary_matches_golden() {
     let params = ChurnParams::sized(192, 7).with_forgetful(true);
@@ -40,5 +40,59 @@ fn exp_churn_forgetful_summary_matches_golden() {
         summary == GOLDEN_FORGETFUL,
         "exp_churn(n=192, seed=7, forgetful) diverged from its golden.\n\
          --- golden ---\n{GOLDEN_FORGETFUL}\n--- got ---\n{summary}"
+    );
+}
+
+/// The sharded engine is an implementation detail, not a different
+/// simulation: `exp_churn --shards K` must reproduce the sequential golden
+/// byte-for-byte at every shard count. Conservative-lookahead windows,
+/// logical event keys and the batched probe visits together make the
+/// parallel schedule observationally identical to the sequential one.
+#[test]
+fn exp_churn_sharded_summary_is_shard_count_invariant() {
+    let params = ChurnParams::sized(192, 7);
+    for shards in [1usize, 2, 4] {
+        let summary = churn_experiment_sharded(&params, shards).summary(&params);
+        assert!(
+            summary == GOLDEN,
+            "exp_churn(n=192, seed=7, shards={shards}) diverged from the \
+             sequential golden.\n--- golden ---\n{GOLDEN}\n--- got ---\n{summary}"
+        );
+    }
+}
+
+/// Same invariance for the forgetful-eviction golden: bounded candidate
+/// sets and route-refresh re-solicitation survive sharding unchanged.
+#[test]
+fn exp_churn_forgetful_sharded_summary_is_shard_count_invariant() {
+    let params = ChurnParams::sized(192, 7).with_forgetful(true);
+    for shards in [1usize, 2, 4] {
+        let summary = churn_experiment_sharded(&params, shards).summary(&params);
+        assert!(
+            summary == GOLDEN_FORGETFUL,
+            "exp_churn(n=192, seed=7, forgetful, shards={shards}) diverged \
+             from its golden.\n--- golden ---\n{GOLDEN_FORGETFUL}\n--- got ---\n{summary}"
+        );
+    }
+}
+
+/// `--static-n` (construction-time `n`, no synopsis gossip) must not move
+/// the forgetful golden's availability: the live estimation changes
+/// control traffic but not which routes survive churn at this scale. This
+/// pins the default-on flip of `DiscoConfig::dynamic_n_estimation` — if
+/// enabling the gossip had shifted availability, the flip would not have
+/// been a pure default change.
+#[test]
+fn static_n_preserves_forgetful_availability() {
+    let params = ChurnParams::sized(192, 7)
+        .with_forgetful(true)
+        .with_static_n(true);
+    let outcome = churn_experiment(&params);
+    let line = format!("availability under churn: {:.4}", outcome.availability);
+    assert!(
+        GOLDEN_FORGETFUL.contains(&line),
+        "static-n forgetful availability {:.4} differs from the forgetful \
+         golden's (expected the golden to contain {line:?})",
+        outcome.availability
     );
 }

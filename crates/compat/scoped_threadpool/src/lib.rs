@@ -108,9 +108,88 @@ impl<'scope> Scope<'scope> {
     }
 }
 
+/// Persistent-worker plumbing for long-lived coordinator/worker pipelines
+/// (the sharded simulation engine): each [`plumbing::WorkerHandle`] owns
+/// one named thread fed through an in-order channel and joined on drop.
+/// Unlike [`Pool::scoped`], the worker thread *persists* across commands,
+/// so it can own thread-affine state (e.g. protocol instances whose
+/// interned paths live in a thread-local arena) for the whole run.
+pub mod plumbing {
+    use std::sync::mpsc::{channel, Receiver, Sender};
+    use std::thread::JoinHandle;
+
+    /// A persistent worker thread with an in-order command channel.
+    ///
+    /// Dropping the handle closes the channel (the worker's receive loop
+    /// should then return) and joins the thread, propagating any panic.
+    #[derive(Debug)]
+    pub struct WorkerHandle<C> {
+        tx: Option<Sender<C>>,
+        handle: Option<JoinHandle<()>>,
+    }
+
+    impl<C: Send + 'static> WorkerHandle<C> {
+        /// Spawn a named worker running `body` over its command receiver.
+        /// `body` should loop on `recv()` and return when the channel
+        /// disconnects.
+        pub fn spawn<F>(name: String, body: F) -> WorkerHandle<C>
+        where
+            F: FnOnce(Receiver<C>) + Send + 'static,
+        {
+            let (tx, rx) = channel();
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || body(rx))
+                .expect("spawning worker thread");
+            WorkerHandle {
+                tx: Some(tx),
+                handle: Some(handle),
+            }
+        }
+
+        /// Enqueue one command. Panics if the worker died (its loop exited
+        /// or panicked) — the join on drop then surfaces the real cause.
+        pub fn send(&self, cmd: C) {
+            self.tx
+                .as_ref()
+                .expect("worker already shut down")
+                .send(cmd)
+                .expect("worker thread hung up");
+        }
+    }
+
+    impl<C> Drop for WorkerHandle<C> {
+        fn drop(&mut self) {
+            drop(self.tx.take());
+            if let Some(h) = self.handle.take() {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_processes_commands_in_order_and_joins_on_drop() {
+        use std::sync::mpsc::channel;
+        let (out_tx, out_rx) = channel();
+        let w = plumbing::WorkerHandle::spawn("test-worker".into(), move |rx| {
+            while let Ok(v) = rx.recv() {
+                out_tx.send(v * 2).unwrap();
+            }
+        });
+        for i in 0..10u64 {
+            w.send(i);
+        }
+        drop(w);
+        let got: Vec<u64> = out_rx.iter().collect();
+        assert_eq!(got, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
 
     #[test]
     fn runs_all_jobs_and_borrows_stack() {

@@ -52,9 +52,11 @@ pub struct DiscoConfig {
     /// Whether the *distributed* protocol runs synopsis-diffusion gossip
     /// (§4.1) and re-derives its parameters from the live estimate of `n`:
     /// vicinity capacity tracks `⌈c·√(n̂ ln n̂)⌉` and landmark status is
-    /// re-drawn under the ×2 hysteresis rule of §4.2. Off by default: the
-    /// recorded churn baselines assume nodes keep their initial estimate,
-    /// and the gossip adds control traffic.
+    /// re-drawn under the ×2 hysteresis rule of §4.2. On by default — the
+    /// paper's protocol estimates `n` live; pass
+    /// [`Self::with_dynamic_n_estimation`]`(false)` (or `--static-n` on
+    /// the bench binaries) to pin nodes to their construction-time
+    /// estimate instead.
     pub dynamic_n_estimation: bool,
 }
 
@@ -71,7 +73,7 @@ impl Default for DiscoConfig {
             forgetful_alternates: 2,
             resolution_hash_functions: 8,
             n_estimate_error: 0.0,
-            dynamic_n_estimation: false,
+            dynamic_n_estimation: true,
         }
     }
 }

@@ -72,6 +72,7 @@ pub mod shortcut;
 pub mod sloppy_group;
 pub mod static_state;
 pub mod vicinity;
+pub mod wire;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {

@@ -829,6 +829,19 @@ impl DiscoProtocol {
                 self.epoch_started = ctx.now();
                 self.gossip_flood(ctx);
                 self.schedule_repair(ctx);
+                if floor_binding {
+                    // The settled union really is below the floor: adopt the
+                    // decayed floor now. On an island no gossip ever arrives
+                    // to run `apply_estimate` for us — without this call
+                    // `n_estimate` (and hence the next floor) never falls and
+                    // the epoch chain re-arms forever instead of converging
+                    // in O(log n) halvings. A freshly reset departure epoch
+                    // is different: its union is mid-flood (raw ≈ own
+                    // sketch), so adopting it here would transiently halve
+                    // the estimate on every departure — let gossip receipt
+                    // judge that epoch instead.
+                    self.apply_estimate(ctx);
+                }
             }
         }
 

@@ -8,11 +8,12 @@
 //! are measurement-plane only: they read protocol state omnisciently but
 //! never mutate it, and sample deterministically from a seed.
 
+use disco_core::hash::NameHash;
 use disco_core::path_vector::PathVectorNode;
-use disco_core::protocol::DiscoProtocol;
-use disco_graph::{dijkstra, NodeId};
+use disco_core::protocol::{DiscoProtocol, WireAddress};
+use disco_graph::{dijkstra, Graph, InternedPath, NodeId};
 use disco_sim::rng::rng_for;
-use disco_sim::{Engine, EventQueue, Protocol, Recorder, SimTime};
+use disco_sim::{Engine, EventQueue, Protocol, Recorder, ShardedEngine, SimTime};
 use rand::Rng;
 
 /// Outcome of one batch of route probes.
@@ -52,18 +53,21 @@ impl ProbeReport {
     }
 }
 
-/// Sample `count` ordered pairs of distinct currently-live nodes,
-/// deterministically from `seed`.
-pub fn sample_live_pairs<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
-    engine: &Engine<'_, P, Q, R>,
+/// Sample `count` ordered pairs of distinct live nodes from `live`,
+/// deterministically from `(seed, topology_events)`. The shared core of
+/// the sequential and sharded samplers: both draw from the same RNG
+/// stream keyed by the same topology-event count, so a sharded run probes
+/// exactly the pairs the sequential run would.
+fn sample_pairs_from(
+    live: &[NodeId],
+    topology_events: u64,
     count: usize,
     seed: u64,
 ) -> Vec<(NodeId, NodeId)> {
-    let live: Vec<NodeId> = engine.active_nodes().collect();
     if live.len() < 2 {
         return Vec::new();
     }
-    let mut rng = rng_for(seed, 0xb0, engine.topology_events());
+    let mut rng = rng_for(seed, 0xb0, topology_events);
     let mut pairs = Vec::with_capacity(count);
     for _ in 0..count {
         let s = live[rng.gen_range(0..live.len())];
@@ -74,6 +78,32 @@ pub fn sample_live_pairs<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
         pairs.push((s, t));
     }
     pairs
+}
+
+/// Sample `count` ordered pairs of distinct currently-live nodes,
+/// deterministically from `seed`.
+pub fn sample_live_pairs<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
+    engine: &Engine<'_, P, Q, R>,
+    count: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let live: Vec<NodeId> = engine.active_nodes().collect();
+    sample_pairs_from(&live, engine.topology_events(), count, seed)
+}
+
+/// [`sample_live_pairs`] against a sharded engine's coordinator mirror.
+/// Byte-identical pairs to the sequential sampler at the same probe point.
+pub fn sample_live_pairs_sharded<P, R>(
+    engine: &ShardedEngine<P, R>,
+    count: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)>
+where
+    P: disco_sim::ShardProtocol + 'static,
+    R: Recorder + Send + 'static,
+{
+    let live: Vec<NodeId> = engine.active_nodes().collect();
+    sample_pairs_from(&live, engine.topology_events(), count, seed)
 }
 
 /// Probe each pair: ask `route_of` for candidate routes in preference
@@ -87,9 +117,32 @@ pub fn probe<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
     pairs: &[(NodeId, NodeId)],
     route_of: impl Fn(&[P], NodeId, NodeId) -> Vec<Vec<NodeId>>,
 ) -> ProbeReport {
-    let graph = engine.graph();
+    let candidates: Vec<Vec<Vec<NodeId>>> = pairs
+        .iter()
+        .map(|&(s, t)| route_of(engine.nodes(), s, t))
+        .collect();
+    validate_candidates(
+        engine.graph(),
+        |v| engine.is_active(v),
+        engine.now(),
+        pairs,
+        &candidates,
+    )
+}
+
+/// The measurement half of a probe, shared by the sequential and sharded
+/// drivers: given each pair's candidate routes (in preference order),
+/// validate them hop-by-hop against `graph` + `is_active`, count delivered
+/// pairs and accumulate stretch against the true shortest paths.
+fn validate_candidates(
+    graph: &Graph,
+    is_active: impl Fn(NodeId) -> bool,
+    now: SimTime,
+    pairs: &[(NodeId, NodeId)],
+    candidates: &[Vec<Vec<NodeId>>],
+) -> ProbeReport {
     let mut report = ProbeReport {
-        time: engine.now(),
+        time: now,
         pairs: pairs.len(),
         routable: 0,
         delivered: 0,
@@ -103,15 +156,14 @@ pub fn probe<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
         .into_iter()
         .map(|s| (s, dijkstra(graph, s)))
         .collect();
-    for &(s, t) in pairs {
+    for (&(s, t), cands) in pairs.iter().zip(candidates) {
         let Some(true_dist) = trees[&s].distance(t) else {
             continue; // partitioned: not the routing layer's fault
         };
         report.routable += 1;
-        let candidates = route_of(engine.nodes(), s, t);
-        let Some(len) = candidates
+        let Some(len) = cands
             .iter()
-            .find_map(|route| walk_length(engine, route, s, t))
+            .find_map(|route| walk_length(graph, &is_active, route, s, t))
         else {
             continue; // no candidate, or all stale (broken link / dead hop)
         };
@@ -125,10 +177,11 @@ pub fn probe<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
     report
 }
 
-/// Validate `route` as a walk `s..=t` over the engine's current graph with
-/// every hop active; returns its length.
-fn walk_length<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
-    engine: &Engine<'_, P, Q, R>,
+/// Validate `route` as a walk `s..=t` over `graph` with every hop active;
+/// returns its length.
+fn walk_length(
+    graph: &Graph,
+    is_active: impl Fn(NodeId) -> bool,
     route: &[NodeId],
     s: NodeId,
     t: NodeId,
@@ -136,10 +189,9 @@ fn walk_length<P: Protocol, Q: EventQueue<P::Message>, R: Recorder>(
     if route.first() != Some(&s) || route.last() != Some(&t) {
         return None;
     }
-    let graph = engine.graph();
     let mut len = 0.0;
     for w in route.windows(2) {
-        if !engine.is_active(w[0]) || !engine.is_active(w[1]) {
+        if !is_active(w[0]) || !is_active(w[1]) {
             return None;
         }
         len += graph.edge_weight(w[0], w[1])?;
@@ -188,6 +240,149 @@ pub fn disco_first_packet_route(nodes: &[DiscoProtocol], s: NodeId, t: NodeId) -
         }
     }
     candidates
+}
+
+/// [`probe`] with [`disco_first_packet_route`] semantics against a sharded
+/// engine. Node `v`'s live protocol state exists only on shard
+/// `owner_of(v)`, so the candidate collection runs as three batched visit
+/// phases (one sweep over the shards each) that reproduce the sequential
+/// oracle's candidate order exactly:
+///
+/// 1. on `owner(s)`: the vicinity route and the sloppy-group route, plus
+///    whether the owner landmark of `H(t)` is reachable from `s` (the
+///    hash itself is construction-time constant, so the local replica of
+///    `t` can supply it);
+/// 2. on `owner(ℓ)`: the owning landmark's resolution-store entry for
+///    `H(t)`, detached from its shard-local path arena;
+/// 3. on `owner(s)` again: the resolution route `s ; ℓ_t ; t` built from
+///    the re-interned address, appended after the phase-1 candidates.
+///
+/// Validation then runs against the coordinator's graph mirror, so the
+/// report is byte-identical to the sequential probe at the same time.
+pub fn disco_probe_sharded<R>(
+    engine: &mut ShardedEngine<DiscoProtocol, R>,
+    pairs: &[(NodeId, NodeId)],
+) -> ProbeReport
+where
+    R: Recorder + Send + 'static,
+{
+    let shards = engine.shards();
+    let mut candidates: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); pairs.len()];
+    // Resolution follow-ups: pair index -> (owning landmark, H(t)).
+    let mut lookups: Vec<Option<(NodeId, NameHash)>> = vec![None; pairs.len()];
+
+    // Phase 1: source-local candidates + resolution reachability.
+    for shard in 0..shards {
+        let mine: Vec<(usize, NodeId, NodeId)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(s, _))| engine.owner_of(s) == shard)
+            .map(|(i, &(s, t))| (i, s, t))
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        type Phase1Row = (usize, Vec<Vec<NodeId>>, Option<(NodeId, NameHash)>);
+        let rows: Vec<Phase1Row> = engine.visit(shard, move |e| {
+            let nodes = e.nodes();
+            mine.into_iter()
+                .map(|(i, s, t)| {
+                    let src = &nodes[s.0];
+                    let mut cands = Vec::new();
+                    if let Some(direct) = src.pv.table.get(&t) {
+                        cands.push(direct.path.to_vec());
+                    }
+                    if let Some(addr) = src.group_address(t) {
+                        cands.extend(src.route_to(t, Some(addr)).map(|p| p.to_vec()));
+                    }
+                    let t_hash = nodes[t.0].my_hash();
+                    let lookup = src
+                        .owner_landmark(t_hash)
+                        .filter(|&owner| src.route_to(owner, None).is_some())
+                        .map(|owner| (owner, t_hash));
+                    (i, cands, lookup)
+                })
+                .collect()
+        });
+        for (i, cands, lookup) in rows {
+            candidates[i] = cands;
+            lookups[i] = lookup;
+        }
+    }
+
+    // Phase 2: resolution-store reads on the owning landmarks' shards.
+    // Addresses come back with their paths detached (interned paths are
+    // pinned to the worker's arena).
+    let mut resolved: Vec<Option<(NodeId, NodeId, Vec<NodeId>)>> = vec![None; pairs.len()];
+    for shard in 0..shards {
+        let mine: Vec<(usize, NodeId, NameHash, NodeId)> = lookups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.map(|(owner, hash)| (i, owner, hash, pairs[i].1)))
+            .filter(|&(_, owner, _, _)| engine.owner_of(owner) == shard)
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        type Phase2Row = (usize, Option<(NodeId, NodeId, Vec<NodeId>)>);
+        let rows: Vec<Phase2Row> = engine.visit(shard, move |e| {
+            let nodes = e.nodes();
+            mine.into_iter()
+                .map(|(i, owner, hash, t)| {
+                    let addr = nodes[owner.0]
+                        .resolution_store
+                        .get(&hash)
+                        .filter(|addr| addr.node == t)
+                        .map(|addr| (addr.node, addr.landmark, addr.path.to_vec()));
+                    (i, addr)
+                })
+                .collect()
+        });
+        for (i, addr) in rows {
+            resolved[i] = addr;
+        }
+    }
+
+    // Phase 3: back on the source shards, build the resolution route from
+    // the re-interned address; it lands after the phase-1 candidates,
+    // matching the sequential preference order.
+    // (pair index, source, target, detached (node, landmark, path)).
+    type Phase3Row = (usize, NodeId, NodeId, (NodeId, NodeId, Vec<NodeId>));
+    for shard in 0..shards {
+        let mine: Vec<Phase3Row> = resolved
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.clone().map(|a| (i, pairs[i].0, pairs[i].1, a)))
+            .filter(|&(_, s, _, _)| engine.owner_of(s) == shard)
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let rows: Vec<(usize, Option<Vec<NodeId>>)> = engine.visit(shard, move |e| {
+            let nodes = e.nodes();
+            mine.into_iter()
+                .map(|(i, s, t, (node, landmark, path))| {
+                    let addr = WireAddress {
+                        node,
+                        landmark,
+                        path: InternedPath::from_slice(&path),
+                    };
+                    (i, nodes[s.0].route_to(t, Some(&addr)).map(|p| p.to_vec()))
+                })
+                .collect()
+        });
+        for (i, route) in rows {
+            candidates[i].extend(route);
+        }
+    }
+
+    validate_candidates(
+        engine.graph(),
+        |v| engine.is_active(v),
+        engine.now(),
+        pairs,
+        &candidates,
+    )
 }
 
 #[cfg(test)]

@@ -1,6 +1,9 @@
 //! Deterministic topology-event schedules.
 
-use disco_sim::{Engine, EventQueue, Protocol, Recorder, SimTime, TopologyEvent};
+use disco_sim::{
+    Engine, EventQueue, LookaheadViolation, Protocol, Recorder, ShardProtocol, ShardedEngine,
+    SimTime, TopologyEvent,
+};
 
 /// A time-ordered stream of topology events, ready to be injected into an
 /// [`Engine`]. Events at equal timestamps keep their insertion order (the
@@ -99,6 +102,26 @@ impl Schedule {
         for (t, ev) in &self.events {
             engine.schedule_topology(now + t, ev.clone());
         }
+    }
+
+    /// [`Schedule::apply_to`] for a sharded engine. Events are injected in
+    /// the same order, so a sharded run replays the schedule with the same
+    /// logical event keys as a sequential one. Fails on the first event
+    /// that would introduce a link faster than the conservative lookahead
+    /// window (the same check applies at every shard count, including 1).
+    pub fn apply_to_sharded<P, R>(
+        &self,
+        engine: &mut ShardedEngine<P, R>,
+    ) -> Result<(), LookaheadViolation>
+    where
+        P: ShardProtocol + 'static,
+        R: Recorder + Send + 'static,
+    {
+        let now = engine.now();
+        for (t, ev) in &self.events {
+            engine.schedule_topology(now + t, ev.clone())?;
+        }
+        Ok(())
     }
 }
 

@@ -314,7 +314,13 @@ pub fn messaging_point(n: usize, seed: u64) -> MessagingPoint {
         report.stats.mean_sent_per_node()
     };
     let run_disco = |fingers: usize| -> f64 {
-        let cfg = DiscoConfig::seeded(seed).with_fingers(fingers);
+        // Fig. 8 counts the routing protocol's own messages with `n`
+        // known a priori (the paper's setting); live n-estimation — on by
+        // default since it became the protocol's normal mode — would add
+        // synopsis-gossip traffic the figure does not measure.
+        let cfg = DiscoConfig::seeded(seed)
+            .with_fingers(fingers)
+            .with_dynamic_n_estimation(false);
         let mut engine = Engine::new(&graph, |v| {
             DiscoProtocol::new(v, lm_set.contains(&v), n, &cfg, PhaseTimers::default())
         });

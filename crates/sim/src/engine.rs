@@ -8,10 +8,22 @@
 
 use crate::context::{Action, Context};
 use crate::event::{EventKind, EventQueue, SimTime, TimerWheel, TopologyEvent};
+use crate::sharded::{Outbound, OutboundKind, ShardBinding, ShardProtocol, WireBody, WireEvent};
 use crate::stats::MessageStats;
 use crate::Protocol;
-use disco_graph::{EdgeId, Graph, NodeId};
+use disco_graph::{EdgeId, Graph, NodeId, Weight};
 use disco_telemetry::{MessageClass, NoopRecorder, Recorder};
+
+/// Logical event key of the `ctr`-th action taken by `node`: orders events
+/// with equal timestamps by `(source node, per-source action counter)`
+/// instead of by global push order, making the schedule independent of how
+/// pushes interleave across shards. World events (externally scheduled
+/// topology mutations and injections) use a bare counter, which sorts
+/// below every node key.
+#[inline]
+pub(crate) fn node_event_key(node: NodeId, ctr: u32) -> u64 {
+    ((node.0 as u64 + 1) << 32) | ctr as u64
+}
 
 /// Summary of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +96,18 @@ pub struct Engine<
     /// drained in place afterwards — the zero-allocation upcall path (the
     /// buffer's capacity survives across upcalls).
     action_scratch: Vec<Action<P::Message>>,
+    /// Per-node action counters backing the logical event keys (see
+    /// [`node_event_key`]); never reset, so keys stay unique across
+    /// leave/rejoin cycles.
+    push_ctr: Vec<u32>,
+    /// Counter keying externally scheduled (world) events: topology
+    /// mutations and injected messages.
+    world_ctr: u64,
+    /// When this engine is one shard of a
+    /// [`ShardedEngine`](crate::ShardedEngine): the seeded partition, this
+    /// shard's index, and the outbox of cross-shard sends accumulated
+    /// during the current window. `None` for the plain sequential engine.
+    shard: Option<ShardBinding<P::Message>>,
     now: SimTime,
     started: bool,
     events_processed: u64,
@@ -125,8 +149,8 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>> Engine<'f, P, Q> {
     /// Like [`Engine::new`], but scheduling events on a caller-supplied
     /// queue implementation (e.g. [`crate::event::BinaryHeapQueue`] for the
     /// `exp_scale` heap-baseline comparison). Both queues pop in the same
-    /// deterministic `(time, seq)` order, so runs are byte-identical across
-    /// queue implementations.
+    /// deterministic `(time, key, seq)` order, so runs are byte-identical
+    /// across queue implementations.
     pub fn with_queue(graph: &Graph, factory: impl FnMut(NodeId) -> P + 'f, queue: Q) -> Self {
         Engine::with_recorder(graph, factory, queue, NoopRecorder)
     }
@@ -156,6 +180,9 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
             pending_timers: (0..n).map(|_| Vec::new()).collect(),
             stats: MessageStats::new(n),
             action_scratch: Vec::new(),
+            push_ctr: vec![0; n],
+            world_ctr: 0,
+            shard: None,
             now: 0.0,
             started: false,
             events_processed: 0,
@@ -266,15 +293,55 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
         self.events_processed
     }
 
+    /// Next logical event key for an action of `node` (see
+    /// [`node_event_key`]).
+    #[inline]
+    fn node_key(&mut self, node: NodeId) -> u64 {
+        let c = &mut self.push_ctr[node.0];
+        *c += 1;
+        node_event_key(node, *c)
+    }
+
+    /// Whether this engine runs `v`'s protocol instance. Always true for
+    /// the sequential engine; under sharding, true exactly when the seeded
+    /// partition assigns `v` to this shard.
+    #[inline]
+    fn owns(&self, v: NodeId) -> bool {
+        match &self.shard {
+            None => true,
+            Some(s) => s.partition.shard_of(v) == s.me,
+        }
+    }
+
+    /// Attach this engine to a sharded run as shard `me` of `partition`:
+    /// only owned nodes receive upcalls, and sends whose receiver lives on
+    /// another shard are diverted to the outbox instead of the local queue.
+    pub(crate) fn bind_shard(&mut self, partition: crate::sharded::Partition, me: usize) {
+        self.shard = Some(ShardBinding {
+            partition,
+            me,
+            outbox: Vec::new(),
+        });
+    }
+
     /// Schedule a topology mutation at absolute simulation time `at`
     /// (must not be in the past).
     pub fn schedule_topology(&mut self, at: SimTime, event: TopologyEvent) {
+        let key = self.world_ctr;
+        self.world_ctr += 1;
+        self.schedule_topology_keyed(at, key, event);
+    }
+
+    /// [`Engine::schedule_topology`] with a caller-supplied world key — the
+    /// sharded coordinator assigns keys centrally so every shard files the
+    /// same event under the same `(time, key)`.
+    pub(crate) fn schedule_topology_keyed(&mut self, at: SimTime, key: u64, event: TopologyEvent) {
         assert!(
             at >= self.now,
             "topology event scheduled in the past ({at} < {})",
             self.now
         );
-        let _ = self.queue.push(at, EventKind::Topology(event));
+        let _ = self.queue.push(at, key, EventKind::Topology(event));
     }
 
     /// `(live, dead)` entry counts of the event queue: pending events and
@@ -317,6 +384,9 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
     /// draining the buffer in place (its capacity is recycled). Sends are
     /// already edge-resolved by the [`Context`], so no per-send adjacency
     /// scan happens here; floods walk the adjacency list exactly once.
+    /// Under sharding, sends whose receiver lives on another shard go to
+    /// the outbox (carrying the same `(time, key)` they would have been
+    /// queued under locally) instead of the local queue.
     fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action<P::Message>>) {
         for a in actions.drain(..) {
             match a {
@@ -334,16 +404,33 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                             size_bytes as u64,
                         );
                     }
-                    let _ = self.queue.push(
-                        self.now + to.weight + self.processing_delay,
-                        EventKind::Deliver {
+                    let time = self.now + to.weight + self.processing_delay;
+                    let key = self.node_key(node);
+                    if self.owns(to.node) {
+                        let _ = self.queue.push(
+                            time,
+                            key,
+                            EventKind::Deliver {
+                                from: node,
+                                to: to.node,
+                                edge: to.edge,
+                                msg,
+                                size_bytes,
+                            },
+                        );
+                    } else {
+                        self.outbox().push(Outbound {
+                            time,
+                            key,
                             from: node,
-                            to: to.node,
-                            edge: to.edge,
-                            msg,
-                            size_bytes,
-                        },
-                    );
+                            kind: OutboundKind::Msg {
+                                to: to.node,
+                                edge: to.edge,
+                                msg,
+                                size_bytes,
+                            },
+                        });
+                    }
                 }
                 Action::SendBatch { to, msgs } => {
                     for (msg, size_bytes) in msgs.iter() {
@@ -354,31 +441,49 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                                 .message_sent(self.now, class, 1, *size_bytes as u64);
                         }
                     }
-                    let _ = self.queue.push(
-                        self.now + to.weight + self.processing_delay,
-                        EventKind::DeliverBatch {
+                    let time = self.now + to.weight + self.processing_delay;
+                    let key = self.node_key(node);
+                    if self.owns(to.node) {
+                        let _ = self.queue.push(
+                            time,
+                            key,
+                            EventKind::DeliverBatch {
+                                from: node,
+                                to: to.node,
+                                edge: to.edge,
+                                msgs,
+                            },
+                        );
+                    } else {
+                        self.outbox().push(Outbound {
+                            time,
+                            key,
                             from: node,
-                            to: to.node,
-                            edge: to.edge,
-                            msgs,
-                        },
-                    );
+                            kind: OutboundKind::Batch {
+                                to: to.node,
+                                edge: to.edge,
+                                msgs,
+                            },
+                        });
+                    }
                 }
                 Action::Flood { msg, size_bytes } => {
                     // Split borrows: walk the graph's adjacency while
                     // pushing to the queue and counting into the stats.
                     let (now, delay) = (self.now, self.processing_delay);
+                    let key = self.node_key(node);
                     let Engine {
                         graph,
                         queue,
                         stats,
                         recorder,
+                        shard,
                         ..
                     } = self;
                     let nbrs = graph.neighbors(node);
-                    let Some(first) = nbrs.first() else {
+                    if nbrs.is_empty() {
                         continue; // no neighbors, nothing to send
-                    };
+                    }
                     if R::ENABLED {
                         let class = MessageClass::shaped(P::classify(&msg), MessageClass::Flood);
                         recorder.message_sent(
@@ -388,48 +493,92 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                             (size_bytes * nbrs.len()) as u64,
                         );
                     }
-                    if nbrs.iter().all(|nb| nb.weight == first.weight) {
-                        // Uniform link latency (the common case: unit-weight
-                        // graphs): every copy arrives at the same instant
-                        // with consecutive seqs, so the whole flood is ONE
-                        // queue entry carrying the payload once, replicated
-                        // at the pop — the fan-out point.
-                        for _ in nbrs {
-                            stats.record_send(node, size_bytes);
+                    // Group the copies by link weight: every distinct
+                    // latency is one arrival instant, so each group is ONE
+                    // queue entry carrying the payload once, replicated at
+                    // the pop — uniform-weight graphs collapse to a single
+                    // entry (the common case), and geometric topologies get
+                    // one entry per distinct latency instead of one per
+                    // neighbor. Under sharding, each group additionally
+                    // splits off its remote targets into one outbound flood.
+                    type FloodGroup = (Weight, Vec<(NodeId, EdgeId)>, Vec<(NodeId, EdgeId)>);
+                    let mut groups: Vec<FloodGroup> = Vec::new();
+                    for nb in nbrs {
+                        stats.record_send(node, size_bytes);
+                        let local = match shard {
+                            None => true,
+                            Some(s) => s.partition.shard_of(nb.node) == s.me,
+                        };
+                        let g = match groups.iter_mut().find(|g| g.0 == nb.weight) {
+                            Some(g) => g,
+                            None => {
+                                groups.push((nb.weight, Vec::new(), Vec::new()));
+                                groups.last_mut().expect("just pushed")
+                            }
+                        };
+                        if local {
+                            g.1.push((nb.node, nb.edge));
+                        } else {
+                            g.2.push((nb.node, nb.edge));
                         }
-                        let targets: Box<[(NodeId, EdgeId)]> =
-                            nbrs.iter().map(|nb| (nb.node, nb.edge)).collect();
-                        let _ = queue.push(
-                            now + first.weight + delay,
-                            EventKind::DeliverFlood {
-                                from: node,
-                                msg,
-                                targets,
-                                size_bytes,
-                            },
-                        );
-                    } else {
-                        // Mixed latencies: arrivals spread over distinct
-                        // times; fall back to per-neighbor entries (same
-                        // schedule as a manual clone-and-send loop).
-                        for nb in nbrs {
-                            stats.record_send(node, size_bytes);
+                    }
+                    // All copies of one flood share the flood's key; they
+                    // differ in time (per weight) or destination shard, so
+                    // no two events of one queue collide on (time, key).
+                    // The payload moves into the last entry, cloning only
+                    // for the extra groups.
+                    let mut left: usize = groups
+                        .iter()
+                        .map(|g| usize::from(!g.1.is_empty()) + usize::from(!g.2.is_empty()))
+                        .sum();
+                    let mut msg = Some(msg);
+                    for (w, local_t, remote_t) in groups {
+                        let time = now + w + delay;
+                        if !local_t.is_empty() {
+                            left -= 1;
+                            let m = match left {
+                                0 => msg.take().expect("one payload per push"),
+                                _ => msg.as_ref().expect("payload still owned").clone(),
+                            };
                             let _ = queue.push(
-                                now + nb.weight + delay,
-                                EventKind::Deliver {
+                                time,
+                                key,
+                                EventKind::DeliverFlood {
                                     from: node,
-                                    to: nb.node,
-                                    edge: nb.edge,
-                                    msg: msg.clone(),
+                                    msg: m,
+                                    targets: local_t.into_boxed_slice(),
                                     size_bytes,
                                 },
                             );
                         }
+                        if !remote_t.is_empty() {
+                            left -= 1;
+                            let m = match left {
+                                0 => msg.take().expect("one payload per push"),
+                                _ => msg.as_ref().expect("payload still owned").clone(),
+                            };
+                            shard
+                                .as_mut()
+                                .expect("remote flood targets require a shard binding")
+                                .outbox
+                                .push(Outbound {
+                                    time,
+                                    key,
+                                    from: node,
+                                    kind: OutboundKind::Flood {
+                                        targets: remote_t,
+                                        msg: m,
+                                        size_bytes,
+                                    },
+                                });
+                        }
                     }
                 }
                 Action::Timer { delay, token } => {
+                    let key = self.node_key(node);
                     let id = self.queue.push(
                         self.now + delay,
+                        key,
                         EventKind::Timer {
                             node,
                             token,
@@ -440,6 +589,17 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                 }
             }
         }
+    }
+
+    /// The cross-shard outbox (must only be reached with a shard binding:
+    /// the sequential engine owns every node, so nothing diverts here).
+    #[inline]
+    fn outbox(&mut self) -> &mut Vec<Outbound<P::Message>> {
+        &mut self
+            .shard
+            .as_mut()
+            .expect("cross-shard send requires a shard binding")
+            .outbox
     }
 
     /// Run `upcall` on node `v` with a context over the engine's recycled
@@ -509,16 +669,20 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                     return;
                 }
                 if self.graph.insert_edge(u, v, weight).is_some() {
-                    self.upcall(u, |p, ctx| p.on_neighbor_up(v, ctx));
-                    self.upcall(v, |p, ctx| p.on_neighbor_up(u, ctx));
+                    if self.owns(u) {
+                        self.upcall(u, |p, ctx| p.on_neighbor_up(v, ctx));
+                    }
+                    if self.owns(v) {
+                        self.upcall(v, |p, ctx| p.on_neighbor_up(u, ctx));
+                    }
                 }
             }
             TopologyEvent::LinkDown { u, v } => {
                 if self.graph.remove_edge(u, v).is_some() {
-                    if self.is_active(u) {
+                    if self.is_active(u) && self.owns(u) {
                         self.upcall(u, |p, ctx| p.on_neighbor_down(v, ctx));
                     }
-                    if self.is_active(v) {
+                    if self.is_active(v) && self.owns(v) {
                         self.upcall(v, |p, ctx| p.on_neighbor_down(u, ctx));
                     }
                 }
@@ -530,11 +694,12 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                 self.active[node.0] = false;
                 // The departed incarnation's timers are dead; reclaim them
                 // from the queue now instead of dropping them one by one as
-                // they pop.
+                // they pop. (Under sharding only the owner holds handles,
+                // so replicas drop nothing here.)
                 self.cancel_node_timers(node);
                 let former = self.graph.detach_node(node);
                 for (peer, _) in former {
-                    if self.is_active(peer) {
+                    if self.is_active(peer) && self.owns(peer) {
                         self.upcall(peer, |p, ctx| p.on_neighbor_down(node, ctx));
                     }
                 }
@@ -547,6 +712,7 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                     self.active.push(false);
                     self.epoch.push(0);
                     self.pending_timers.push(Vec::new());
+                    self.push_ctr.push(0);
                 }
                 self.stats.grow_to(self.graph.node_count());
                 if self.active[node.0] {
@@ -578,10 +744,16 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                 }
                 // The joiner boots first (it sees its links in the context),
                 // then both sides observe the new adjacency.
-                self.upcall(node, |p, ctx| p.on_start(ctx));
+                if self.owns(node) {
+                    self.upcall(node, |p, ctx| p.on_start(ctx));
+                }
                 for peer in attached {
-                    self.upcall(node, |p, ctx| p.on_neighbor_up(peer, ctx));
-                    self.upcall(peer, |p, ctx| p.on_neighbor_up(node, ctx));
+                    if self.owns(node) {
+                        self.upcall(node, |p, ctx| p.on_neighbor_up(peer, ctx));
+                    }
+                    if self.owns(peer) {
+                        self.upcall(peer, |p, ctx| p.on_neighbor_up(node, ctx));
+                    }
                 }
             }
         }
@@ -595,7 +767,7 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
         self.started = true;
         for id in 0..self.nodes.len() {
             let node = NodeId(id);
-            if self.active[id] {
+            if self.active[id] && self.owns(node) {
                 self.upcall(node, |p, ctx| p.on_start(ctx));
             }
         }
@@ -839,8 +1011,11 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
             .graph
             .find_edge(from, to)
             .expect("inject_message requires an existing link");
+        let key = self.world_ctr;
+        self.world_ctr += 1;
         let _ = self.queue.push(
             self.now + delay,
+            key,
             EventKind::Deliver {
                 from,
                 to,
@@ -849,6 +1024,147 @@ impl<'f, P: Protocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'f, P, Q, R
                 size_bytes: self.default_msg_size,
             },
         );
+    }
+
+    /// Process every event strictly before `end` (at or before, when
+    /// `inclusive`) — one conservative-lookahead window of a sharded run.
+    /// Does not auto-start and does not advance the clock past the last
+    /// processed event.
+    pub(crate) fn run_window(&mut self, end: SimTime, inclusive: bool) {
+        while let Some(pt) = self.queue.peek_time() {
+            let within = if inclusive { pt <= end } else { pt < end };
+            if !within || !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Timestamp of the earliest pending local event, if any.
+    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+}
+
+impl<P: ShardProtocol, Q: EventQueue<P::Message>, R: Recorder> Engine<'_, P, Q, R> {
+    /// Drain the outbox into wire form, resolving each event's destination
+    /// shard. Flood groups split per destination shard here (preserving
+    /// adjacency order within each), so one cross-shard flood stays one
+    /// wire event per receiving shard.
+    pub(crate) fn flush_outbox(&mut self) -> Vec<(usize, WireEvent<P::Wire>)> {
+        let Some(shard) = &mut self.shard else {
+            return Vec::new();
+        };
+        let partition = shard.partition;
+        let mut out = Vec::new();
+        for ob in shard.outbox.drain(..) {
+            match ob.kind {
+                OutboundKind::Msg {
+                    to,
+                    edge,
+                    msg,
+                    size_bytes,
+                } => out.push((
+                    partition.shard_of(to),
+                    WireEvent {
+                        time: ob.time,
+                        key: ob.key,
+                        from: ob.from,
+                        body: WireBody::Msg {
+                            to,
+                            edge,
+                            wire: P::to_wire(msg),
+                            size_bytes,
+                        },
+                    },
+                )),
+                OutboundKind::Batch { to, edge, msgs } => out.push((
+                    partition.shard_of(to),
+                    WireEvent {
+                        time: ob.time,
+                        key: ob.key,
+                        from: ob.from,
+                        body: WireBody::Batch {
+                            to,
+                            edge,
+                            msgs: msgs
+                                .into_vec()
+                                .into_iter()
+                                .map(|(m, s)| (P::to_wire(m), s))
+                                .collect(),
+                        },
+                    },
+                )),
+                OutboundKind::Flood {
+                    targets,
+                    msg,
+                    size_bytes,
+                } => {
+                    let mut by_shard: Vec<(usize, Vec<(NodeId, EdgeId)>)> = Vec::new();
+                    for (to, edge) in targets {
+                        let dest = partition.shard_of(to);
+                        match by_shard.iter_mut().find(|(s, _)| *s == dest) {
+                            Some((_, v)) => v.push((to, edge)),
+                            None => by_shard.push((dest, vec![(to, edge)])),
+                        }
+                    }
+                    for (dest, targets) in by_shard {
+                        out.push((
+                            dest,
+                            WireEvent {
+                                time: ob.time,
+                                key: ob.key,
+                                from: ob.from,
+                                body: WireBody::Flood {
+                                    targets,
+                                    wire: P::to_wire(msg.clone()),
+                                    size_bytes,
+                                },
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// File one cross-shard arrival into the local queue under the
+    /// `(time, key)` its sender assigned.
+    pub(crate) fn ingest_wire(&mut self, ev: WireEvent<P::Wire>) {
+        let kind = match ev.body {
+            WireBody::Msg {
+                to,
+                edge,
+                wire,
+                size_bytes,
+            } => EventKind::Deliver {
+                from: ev.from,
+                to,
+                edge,
+                msg: P::from_wire(wire),
+                size_bytes,
+            },
+            WireBody::Batch { to, edge, msgs } => EventKind::DeliverBatch {
+                from: ev.from,
+                to,
+                edge,
+                msgs: msgs
+                    .into_iter()
+                    .map(|(w, s)| (P::from_wire(w), s))
+                    .collect(),
+            },
+            WireBody::Flood {
+                targets,
+                wire,
+                size_bytes,
+            } => EventKind::DeliverFlood {
+                from: ev.from,
+                msg: P::from_wire(wire),
+                targets: targets.into_boxed_slice(),
+                size_bytes,
+            },
+        };
+        let _ = self.queue.push(ev.time, ev.key, kind);
     }
 }
 

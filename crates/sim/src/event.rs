@@ -9,12 +9,18 @@
 //!   nodes eagerly instead of letting them sit in the queue until popped).
 //! * [`BinaryHeapQueue`] — the original `BinaryHeap` scheduler, kept as the
 //!   reference implementation: the wheel's pop order is defined as *exactly*
-//!   this queue's `(time, seq)` order, which the property tests in
+//!   this queue's `(time, key, seq)` order, which the property tests in
 //!   `disco-sim` verify on random event streams.
 //!
-//! Both queues break timestamp ties by insertion sequence number, so a
-//! simulation run remains a pure function of `(graph, protocol, seed)`
-//! regardless of which queue backs it.
+//! Both queues order events by `(time, key, seq)`: the caller-supplied
+//! *logical key* breaks timestamp ties, and the insertion sequence number
+//! is only the final tie-break. The engine derives keys from the event's
+//! logical origin — `(source node, per-source action counter)` for
+//! protocol actions, a world counter for externally scheduled events — so
+//! the pop order is a pure function of the simulated causality and does
+//! **not** depend on the order pushes were interleaved. That is what lets
+//! the sharded engine run one queue per shard and still reproduce the
+//! single-queue schedule byte-for-byte for any shard count.
 
 use disco_graph::{EdgeId, NodeId, Weight};
 use std::cmp::Ordering;
@@ -134,29 +140,34 @@ pub enum EventKind<M> {
     Topology(TopologyEvent),
 }
 
-/// An event scheduled to fire at `time`. The sequence number makes ordering
-/// total and deterministic for equal timestamps.
+/// An event scheduled to fire at `time`. Equal timestamps are ordered by
+/// the logical `key` the scheduler supplied at push time; the insertion
+/// sequence number makes ordering total when both coincide (which the
+/// engine's key scheme never produces for distinct events).
 #[derive(Debug, Clone)]
 pub struct Event<M> {
     pub time: SimTime,
+    pub key: u64,
     pub seq: u64,
     pub kind: EventKind<M>,
 }
 
 impl<M> PartialEq for Event<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 impl<M> Eq for Event<M> {}
 
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; we want the earliest (time, seq) first.
+        // BinaryHeap is a max-heap; we want the earliest (time, key, seq)
+        // first.
         other
             .time
             .partial_cmp(&self.time)
             .unwrap_or(Ordering::Equal)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -168,18 +179,20 @@ impl<M> PartialOrd for Event<M> {
 
 /// A deterministic priority queue of simulation events.
 ///
-/// Implementations must pop events in strict `(time, seq)` order, where
-/// `seq` is the push sequence number — i.e. FIFO for equal timestamps.
-/// `peek_time` takes `&mut self` because the wheel advances lazily.
+/// Implementations must pop events in strict `(time, key, seq)` order,
+/// where `key` is the caller-supplied logical key and `seq` the push
+/// sequence number — i.e. key order for equal timestamps, FIFO only as the
+/// final tie-break. `peek_time` takes `&mut self` because the wheel
+/// advances lazily.
 pub trait EventQueue<M> {
     /// Handle to a pending event, usable for O(1) cancellation. Handles are
     /// generation-checked: a handle to an event that already fired (or was
     /// cancelled) is stale and `cancel` returns `false` for it.
     type Id: Copy + Eq + std::fmt::Debug;
 
-    /// Schedule `kind` to fire at absolute time `time`; returns the
-    /// cancellation handle.
-    fn push(&mut self, time: SimTime, kind: EventKind<M>) -> Self::Id;
+    /// Schedule `kind` to fire at absolute time `time` under the logical
+    /// key `key`; returns the cancellation handle.
+    fn push(&mut self, time: SimTime, key: u64, kind: EventKind<M>) -> Self::Id;
 
     /// Cancel a pending event, dropping its payload immediately. Returns
     /// `true` if the event was still pending (and is now reclaimed), `false`
@@ -246,11 +259,16 @@ impl<M> BinaryHeapQueue<M> {
 impl<M> EventQueue<M> for BinaryHeapQueue<M> {
     type Id = u64;
 
-    fn push(&mut self, time: SimTime, kind: EventKind<M>) -> u64 {
+    fn push(&mut self, time: SimTime, key: u64, kind: EventKind<M>) -> u64 {
         debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.heap.push(Event {
+            time,
+            key,
+            seq,
+            kind,
+        });
         self.pending.insert(seq);
         seq
     }
@@ -342,14 +360,15 @@ enum Payload<M> {
 #[derive(Debug)]
 struct Entry<M> {
     time: SimTime,
+    key: u64,
     seq: u64,
     payload: Payload<M>,
 }
 
 impl<M> Entry<M> {
     #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+    fn sort_key(&self) -> (SimTime, u64, u64) {
+        (self.time, self.key, self.seq)
     }
 }
 
@@ -369,9 +388,9 @@ impl<M> Entry<M> {
 ///   the residual 24-byte bucket entry is skipped (and counted down) when
 ///   its tick drains.
 ///
-/// Pop order is exactly [`BinaryHeapQueue`]'s `(time, seq)` order: ticks are
+/// Pop order is exactly [`BinaryHeapQueue`]'s `(time, key, seq)` order: ticks
 /// a monotone function of time, and each drained bucket is sorted by the
-/// full `(time, seq)` key before its events are released.
+/// full `(time, key, seq)` key before its events are released.
 #[derive(Debug)]
 pub struct TimerWheel<M> {
     slab: Vec<Slab<M>>,
@@ -392,7 +411,7 @@ pub struct TimerWheel<M> {
     /// New pushes landing on this tick merge into `current` so a tick is
     /// never split between the drained buffer and its bucket.
     active_tick: u64,
-    /// Events of `active_tick`, sorted by `(time, seq)` DESCENDING so pops
+    /// Events of `active_tick`, sorted by `(time, key, seq)` DESCENDING so pops
     /// come off the tail in O(1).
     current: Vec<Entry<M>>,
     /// Events beyond the window, keyed by tick.
@@ -467,6 +486,7 @@ impl<M> TimerWheel<M> {
             id,
             Event {
                 time: e.time,
+                key: e.key,
                 seq: e.seq,
                 kind,
             },
@@ -520,7 +540,9 @@ impl<M> TimerWheel<M> {
             // then didn't pop): merge into the sorted current buffer, which
             // always pops before any bucket. Rare (most events land at
             // least one tick ahead), so the O(k) insert is fine.
-            let pos = self.current.partition_point(|e| e.key() > entry.key());
+            let pos = self
+                .current
+                .partition_point(|e| e.sort_key() > entry.sort_key());
             self.current.insert(pos, entry);
         } else if tick < self.base_tick + WHEEL_SLOTS as u64 {
             let idx = (tick - self.base_tick) as usize;
@@ -569,7 +591,7 @@ impl<M> TimerWheel<M> {
         // Sort once per bucket, descending so pops take from the tail.
         // Within a bucket most keys share the timestamp, where the sort
         // degrades gracefully to ordering by seq.
-        entries.sort_unstable_by(|a, b| b.key().partial_cmp(&a.key()).unwrap());
+        entries.sort_unstable_by(|a, b| b.sort_key().partial_cmp(&a.sort_key()).unwrap());
         self.current = entries;
     }
 }
@@ -577,7 +599,7 @@ impl<M> TimerWheel<M> {
 impl<M> EventQueue<M> for TimerWheel<M> {
     type Id = WheelId;
 
-    fn push(&mut self, time: SimTime, kind: EventKind<M>) -> WheelId {
+    fn push(&mut self, time: SimTime, key: u64, kind: EventKind<M>) -> WheelId {
         let seq = self.next_seq;
         self.next_seq += 1;
         let tick = tick_of(time);
@@ -590,7 +612,15 @@ impl<M> EventQueue<M> for TimerWheel<M> {
             (WheelId::NONE, Payload::Inline(kind))
         };
         self.live += 1;
-        self.file(tick, Entry { time, seq, payload });
+        self.file(
+            tick,
+            Entry {
+                time,
+                key,
+                seq,
+                payload,
+            },
+        );
         id
     }
 
@@ -678,9 +708,9 @@ mod tests {
     fn pops_in_time_order() {
         fn check<Q: EventQueue<u32> + Default>() {
             let mut q = Q::default();
-            q.push(3.0, timer(3));
-            q.push(1.0, timer(1));
-            q.push(2.0, timer(2));
+            q.push(3.0, 0, timer(3));
+            q.push(1.0, 0, timer(1));
+            q.push(2.0, 0, timer(2));
             assert_eq!(drain_tokens(&mut q), vec![1, 2, 3]);
         }
         check::<BinaryHeapQueue<u32>>();
@@ -692,7 +722,7 @@ mod tests {
         fn check<Q: EventQueue<u32> + Default>() {
             let mut q = Q::default();
             for token in 0..10 {
-                q.push(5.0, timer(token));
+                q.push(5.0, 0, timer(token));
             }
             assert_eq!(drain_tokens(&mut q), (0..10).collect::<Vec<_>>());
         }
@@ -705,7 +735,7 @@ mod tests {
         fn check<Q: EventQueue<u32> + Default>() {
             let mut q = Q::default();
             assert!(q.is_empty());
-            q.push(0.0, timer(0));
+            q.push(0.0, 0, timer(0));
             assert_eq!(q.len(), 1);
             assert_eq!(q.peek_time(), Some(0.0));
             q.pop();
@@ -720,14 +750,14 @@ mod tests {
     fn interleaved_push_pop_keeps_order() {
         fn check<Q: EventQueue<u32> + Default>() {
             let mut q = Q::default();
-            q.push(1.0, timer(1));
-            q.push(10.0, timer(10));
+            q.push(1.0, 0, timer(1));
+            q.push(10.0, 0, timer(10));
             let (_, e) = q.pop().unwrap();
             assert_eq!(e.time, 1.0);
             // Push between the popped time and the remaining event — and
             // one at exactly the popped time (same tick as the active one).
-            q.push(5.0, timer(5));
-            q.push(1.0, timer(2));
+            q.push(5.0, 0, timer(5));
+            q.push(1.0, 0, timer(2));
             assert_eq!(drain_tokens(&mut q), vec![2, 5, 10]);
         }
         check::<BinaryHeapQueue<u32>>();
@@ -738,9 +768,9 @@ mod tests {
     fn cancel_reclaims_pending_events() {
         fn check<Q: EventQueue<u32> + Default>() {
             let mut q = Q::default();
-            let a = q.push(1.0, timer(1));
-            let b = q.push(2.0, timer(2));
-            let _c = q.push(3.0, timer(3));
+            let a = q.push(1.0, 0, timer(1));
+            let b = q.push(2.0, 0, timer(2));
+            let _c = q.push(3.0, 0, timer(3));
             assert_eq!(q.len(), 3);
             assert!(q.cancel(b));
             assert!(!q.cancel(b), "double cancel must be a no-op");
@@ -759,12 +789,12 @@ mod tests {
     #[test]
     fn wheel_slot_not_reused_while_reference_pending() {
         let mut q: TimerWheel<u32> = TimerWheel::new();
-        let a = q.push(5.0, timer(1));
+        let a = q.push(5.0, 0, timer(1));
         assert!(q.cancel(a));
         assert_eq!(q.dead_refs(), 1);
         // New pushes must not resurrect the cancelled slot.
         for i in 0..4 {
-            q.push(6.0 + i as f64, timer(10 + i));
+            q.push(6.0 + i as f64, 0, timer(10 + i));
         }
         assert_eq!(drain_tokens(&mut q), vec![10, 11, 12, 13]);
         assert_eq!(q.dead_refs(), 0);
@@ -774,20 +804,37 @@ mod tests {
     fn far_future_events_go_through_overflow() {
         let mut q: TimerWheel<u32> = TimerWheel::new();
         // Far beyond the 128-time-unit window, out of order.
-        q.push(5000.0, timer(3));
-        q.push(0.5, timer(1));
-        q.push(1000.0, timer(2));
-        q.push(100_000.0, timer(4));
+        q.push(5000.0, 0, timer(3));
+        q.push(0.5, 0, timer(1));
+        q.push(1000.0, 0, timer(2));
+        q.push(100_000.0, 0, timer(4));
         assert_eq!(drain_tokens(&mut q), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn equal_times_order_by_key_before_sequence() {
+        fn check<Q: EventQueue<u32> + Default>() {
+            let mut q = Q::default();
+            // Push keys in descending order: pops must follow key order,
+            // not push order.
+            for token in 0..8u64 {
+                q.push(5.0, 100 - token, timer(token));
+            }
+            // A later push with a smaller key at the same time wins.
+            q.push(5.0, 1, timer(99));
+            assert_eq!(drain_tokens(&mut q), vec![99, 7, 6, 5, 4, 3, 2, 1, 0]);
+        }
+        check::<BinaryHeapQueue<u32>>();
+        check::<TimerWheel<u32>>();
     }
 
     #[test]
     fn overflow_ties_stay_fifo() {
         let mut q: TimerWheel<u32> = TimerWheel::new();
         for token in 0..8 {
-            q.push(9999.25, timer(token));
+            q.push(9999.25, 0, timer(token));
         }
-        q.push(9999.25 - 500.0, timer(100));
+        q.push(9999.25 - 500.0, 0, timer(100));
         let order = drain_tokens(&mut q);
         assert_eq!(order, vec![100, 0, 1, 2, 3, 4, 5, 6, 7]);
     }

@@ -64,18 +64,22 @@ pub mod context;
 pub mod engine;
 pub mod event;
 pub mod rng;
+pub mod sharded;
 pub mod stats;
 
 pub use context::Context;
 pub use engine::{Engine, RunReport};
 pub use event::{BinaryHeapQueue, EventQueue, SimTime, TimerWheel, TopologyEvent};
 pub use rng::seed_for;
+pub use sharded::{
+    LookaheadViolation, Partition, ShardEngine, ShardProtocol, ShardedEngine, ShardedRunSummary,
+};
 pub use stats::MessageStats;
 
 // Re-exported so protocol crates and bench harnesses can implement
 // classification and pick recorders without depending on disco-telemetry
 // directly.
-pub use disco_telemetry::{MessageClass, NoopRecorder, Phase, Recorder};
+pub use disco_telemetry::{MergeRecorder, MessageClass, NoopRecorder, Phase, Recorder};
 
 use disco_graph::NodeId;
 

@@ -1,0 +1,1049 @@
+//! Conservative-lookahead sharded simulation: partition the graph across
+//! worker shards and run them in parallel without giving up determinism.
+//!
+//! ## Model
+//!
+//! A [`ShardedEngine`] owns `k` worker threads, each running a full
+//! [`Engine`] over its own clone of the graph. The seeded [`Partition`]
+//! assigns every node to exactly one shard; a shard's engine replays *all*
+//! topology events (so its graph replica stays exact) but delivers upcalls
+//! only to the nodes it owns. Sends whose receiver lives on another shard
+//! are diverted to a per-shard outbox and exchanged at window barriers.
+//!
+//! ## The lookahead invariant
+//!
+//! Every message occupies its link for at least the link weight, and link
+//! weights never go below the *minimum weight of the initial graph* `W`
+//! ([`ShardedEngine::schedule_topology`] rejects lighter late links). So an
+//! event executing at time `s` can only cause another shard's state at
+//! `s + W` or later: `W` is a conservative lookahead. The coordinator
+//! repeatedly finds the globally earliest pending event `t_min`, lets every
+//! shard run `[.., t_min + W)` in parallel, then exchanges the cross-shard
+//! sends generated — which all carry timestamps `>= t_min + W`, i.e. never
+//! in any shard's past.
+//!
+//! ## Why any shard count produces byte-identical runs
+//!
+//! Events order by `(time, key, seq)` where `key` is the logical key from
+//! [`crate::engine::node_event_key`] — `(source node, per-source counter)`
+//! for node actions, a centrally assigned world counter for scheduled
+//! topology. Two facts make the run independent of `k`:
+//!
+//! 1. No two events in one shard's queue share `(time, key)`: a key is
+//!    unique per send (per-source counters never repeat) and a flood's
+//!    copies that share its key differ in time or destination shard. The
+//!    arrival `seq` — the only push-order-dependent tiebreak — therefore
+//!    never decides between two cross-shard arrivals.
+//! 2. The window boundary `t_min + W` is derived from the global minimum
+//!    and the *initial* graph's minimum weight, both `k`-independent, so
+//!    every shard count executes the same event set in the same windows.
+//!
+//! The barrier merge routes outboxes in shard-id order (then outbox push
+//! order), which is deterministic too — though by fact 1 the ingestion
+//! order cannot matter. `k = 1` runs the exact same code path with an
+//! always-empty exchange; the `exp_churn` goldens lock in that single-shard
+//! and sequential runs agree byte-for-byte.
+
+use crate::engine::{Engine, RunReport};
+use crate::event::{SimTime, TimerWheel, TopologyEvent};
+use crate::rng::splitmix64;
+use crate::stats::MessageStats;
+use crate::Protocol;
+use disco_graph::{EdgeId, Graph, NodeId, Weight};
+use disco_telemetry::{MergeRecorder, NoopRecorder, Recorder};
+use scoped_threadpool::plumbing::WorkerHandle;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Lookahead used when the initial graph has no edges at all: no message
+/// can ever cross shards (there are no links), so any positive window
+/// works; 1.0 matches the default link weight of the generators.
+const EMPTY_GRAPH_LOOKAHEAD: Weight = 1.0;
+
+/// A protocol that can run under the [`ShardedEngine`]: its messages have
+/// a thread-portable wire form. Protocols whose messages are `Send`
+/// already can use themselves as the wire form; protocols with
+/// thread-affine payloads (e.g. paths interned in a thread-local arena)
+/// detach them into owned data here and re-intern on the receiving shard.
+///
+/// `from_wire(to_wire(m))` must be semantically identity: the receiving
+/// node must behave exactly as if `m` had been delivered locally.
+pub trait ShardProtocol: Protocol {
+    /// The thread-portable form of [`Protocol::Message`].
+    type Wire: Send + 'static;
+
+    /// Detach a message into its wire form (sender shard).
+    fn to_wire(msg: Self::Message) -> Self::Wire;
+
+    /// Reattach a wire message (receiver shard).
+    fn from_wire(wire: Self::Wire) -> Self::Message;
+}
+
+/// The seeded, fixed node→shard assignment. Hash-based so it covers nodes
+/// that join beyond the initial id space without any resizing, and `Copy`
+/// so every shard can resolve destinations locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    seed: u64,
+    shards: usize,
+}
+
+impl Partition {
+    /// A partition of the node space into `shards` parts (min 1), keyed by
+    /// `seed`.
+    pub fn new(seed: u64, shards: usize) -> Self {
+        Partition {
+            seed,
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning node `v`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        (splitmix64(self.seed ^ (v.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            % self.shards as u64) as usize
+    }
+}
+
+/// Attachment making an [`Engine`] one shard of a sharded run: the
+/// partition, this shard's index, and the outbox collecting cross-shard
+/// sends of the current window.
+pub(crate) struct ShardBinding<M> {
+    pub(crate) partition: Partition,
+    pub(crate) me: usize,
+    pub(crate) outbox: Vec<Outbound<M>>,
+}
+
+/// One cross-shard send, still carrying the in-memory message (converted
+/// to wire form when the outbox is flushed at the barrier). `time` and
+/// `key` are exactly what the event would have been queued under locally.
+pub(crate) struct Outbound<M> {
+    pub(crate) time: SimTime,
+    pub(crate) key: u64,
+    pub(crate) from: NodeId,
+    pub(crate) kind: OutboundKind<M>,
+}
+
+pub(crate) enum OutboundKind<M> {
+    Msg {
+        to: NodeId,
+        edge: EdgeId,
+        msg: M,
+        size_bytes: usize,
+    },
+    Batch {
+        to: NodeId,
+        edge: EdgeId,
+        msgs: Box<[(M, usize)]>,
+    },
+    Flood {
+        targets: Vec<(NodeId, EdgeId)>,
+        msg: M,
+        size_bytes: usize,
+    },
+}
+
+/// A cross-shard event in wire form, as exchanged at window barriers.
+pub(crate) struct WireEvent<W> {
+    pub(crate) time: SimTime,
+    pub(crate) key: u64,
+    pub(crate) from: NodeId,
+    pub(crate) body: WireBody<W>,
+}
+
+pub(crate) enum WireBody<W> {
+    Msg {
+        to: NodeId,
+        edge: EdgeId,
+        wire: W,
+        size_bytes: usize,
+    },
+    Batch {
+        to: NodeId,
+        edge: EdgeId,
+        msgs: Vec<(W, usize)>,
+    },
+    Flood {
+        targets: Vec<(NodeId, EdgeId)>,
+        wire: W,
+        size_bytes: usize,
+    },
+}
+
+/// The engine type each worker thread owns (always on the default
+/// [`TimerWheel`] queue — each shard has its own wheel).
+pub type ShardEngine<P, R = NoopRecorder> =
+    Engine<'static, P, TimerWheel<<P as Protocol>::Message>, R>;
+
+/// A boxed closure shipped to a worker by [`ShardedEngine::visit`].
+type VisitFn<P, R> = Box<dyn FnOnce(&mut ShardEngine<P, R>) + Send>;
+
+/// Commands the coordinator sends to a worker (processed strictly in
+/// order; only `Window`, `Visit` and `Finish` reply).
+enum Cmd<P: ShardProtocol + 'static, R: Recorder + Send + 'static> {
+    /// Deliver `on_start` to every owned node.
+    Start,
+    /// Schedule a topology event under the coordinator-assigned world key.
+    Topology {
+        at: SimTime,
+        key: u64,
+        ev: TopologyEvent,
+    },
+    /// File cross-shard arrivals from the last barrier.
+    Ingest(Vec<WireEvent<P::Wire>>),
+    /// Run one lookahead window, then flush the outbox and report.
+    Window { end: SimTime, inclusive: bool },
+    /// Run a closure against the shard's engine (probes, stats reads).
+    Visit(VisitFn<P, R>),
+    /// Finish the recorder at `now` and hand everything back.
+    Finish { now: SimTime },
+}
+
+/// Cumulative per-shard counters, refreshed at every window barrier.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardCounters {
+    events: u64,
+    delivered: u64,
+    dropped: u64,
+    stale: u64,
+    queue_live: usize,
+    queue_dead: usize,
+}
+
+/// A worker's report at a window barrier.
+struct WindowReport<W> {
+    /// The shard's clock (time of its last processed event).
+    now: SimTime,
+    /// Timestamp of its earliest still-pending local event.
+    next: Option<SimTime>,
+    counters: ShardCounters,
+    /// Cross-shard sends generated this window, `(dest shard, event)`, in
+    /// outbox push order.
+    outbound: Vec<(usize, WireEvent<W>)>,
+}
+
+struct FinishReport<R> {
+    stats: MessageStats,
+    recorder: R,
+    queue_live: usize,
+    queue_dead: usize,
+}
+
+enum Reply<W, R> {
+    Window(WindowReport<W>),
+    VisitDone,
+    Finished(Box<FinishReport<R>>),
+}
+
+/// Error returned by [`ShardedEngine::schedule_topology`] for a link
+/// lighter than the conservative-lookahead window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookaheadViolation {
+    /// The offending link weight.
+    pub weight: Weight,
+    /// The minimum link weight of the initial graph (= the lookahead).
+    pub lookahead: Weight,
+}
+
+impl fmt::Display for LookaheadViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot add a link of weight {} to a sharded run: the conservative lookahead \
+             window is {} (the minimum link weight of the initial graph), and a lighter \
+             link could deliver a cross-shard message into an already-executed window; \
+             start from a graph whose minimum weight covers every link you will add",
+            self.weight, self.lookahead
+        )
+    }
+}
+
+impl std::error::Error for LookaheadViolation {}
+
+/// Merged result of a sharded run, from [`ShardedEngine::finish`].
+pub struct ShardedRunSummary<R> {
+    /// Per-node message statistics (the shards' tables are row-disjoint,
+    /// so their sum is exactly the sequential run's table).
+    pub stats: MessageStats,
+    /// The merged telemetry recorder.
+    pub recorder: R,
+    /// Live queue entries left across all shards.
+    pub queue_live: usize,
+    /// Dead (cancelled) queue residue left across all shards.
+    pub queue_dead: usize,
+}
+
+/// Deterministic parallel simulation coordinator: the sharded counterpart
+/// of [`Engine`], driving `k` shard workers through conservative-lookahead
+/// windows. See the module docs for the synchronization model and the
+/// determinism argument.
+///
+/// The coordinator mirrors the graph and the active set (applying the same
+/// topology events the shards apply, at the same barriers), so topology
+/// accessors ([`ShardedEngine::graph`], [`ShardedEngine::is_active`], …)
+/// answer without crossing threads. Protocol state lives only on the
+/// workers; reach it with [`ShardedEngine::visit`].
+pub struct ShardedEngine<P: ShardProtocol + 'static, R: Recorder + Send + 'static = NoopRecorder> {
+    workers: Vec<WorkerHandle<Cmd<P, R>>>,
+    replies: Vec<Receiver<Reply<P::Wire, R>>>,
+    partition: Partition,
+    /// The conservative lookahead: minimum link weight of the initial
+    /// graph (see module docs).
+    lookahead: Weight,
+    /// Coordinator mirror of the simulated graph.
+    graph: Graph,
+    /// Coordinator mirror of the active set.
+    active: Vec<bool>,
+    /// Scheduled topology events not yet applied to the mirror, sorted by
+    /// `(time, key)`; the same events are already queued on every worker.
+    pending_topo: Vec<(SimTime, u64, TopologyEvent)>,
+    /// Topology events applied to the mirror (equals every shard's count
+    /// at barriers — all shards replay all topology).
+    applied_topology: u64,
+    /// Key counter for world events, mirroring the sequential engine's.
+    world_ctr: u64,
+    /// Latest per-shard counters (refreshed at barriers).
+    counters: Vec<ShardCounters>,
+    /// Latest per-shard earliest-pending-event times.
+    nexts: Vec<Option<SimTime>>,
+    /// Earliest arrival routed at the last barrier (its receiving shard
+    /// reports it in `nexts` only from the next barrier on).
+    routed_min: Option<SimTime>,
+    now: SimTime,
+    started: bool,
+    /// Safety valve: stop at a barrier once the shards' summed event count
+    /// exceeds this (default 200 million, like the sequential engine; the
+    /// sum counts a replayed topology event once per shard).
+    pub max_events: u64,
+}
+
+impl<P: ShardProtocol + 'static> ShardedEngine<P, NoopRecorder> {
+    /// A sharded engine over a clone of `graph` with `shards` workers and
+    /// a `seed`-keyed partition. `factory` builds each node's protocol
+    /// instance *on its owner's thread* (it is cloned into every worker),
+    /// so thread-affine protocol state works naturally.
+    pub fn new<F>(graph: &Graph, shards: usize, seed: u64, factory: F) -> Self
+    where
+        F: Fn(NodeId) -> P + Send + Clone + 'static,
+    {
+        Self::with_recorder(graph, shards, seed, factory, |_| NoopRecorder)
+    }
+}
+
+impl<P: ShardProtocol + 'static, R: Recorder + Send + 'static> ShardedEngine<P, R> {
+    /// Like [`ShardedEngine::new`] with one telemetry recorder per shard
+    /// (`recorders(shard_index)`), merged at [`ShardedEngine::finish`].
+    pub fn with_recorder<F, G>(
+        graph: &Graph,
+        shards: usize,
+        seed: u64,
+        factory: F,
+        mut recorders: G,
+    ) -> Self
+    where
+        F: Fn(NodeId) -> P + Send + Clone + 'static,
+        G: FnMut(usize) -> R,
+    {
+        let shards = shards.max(1);
+        let partition = Partition::new(seed, shards);
+        let lookahead = graph
+            .edges()
+            .map(|(_, e)| e.weight)
+            .fold(f64::INFINITY, f64::min);
+        let lookahead = if lookahead.is_finite() {
+            lookahead
+        } else {
+            EMPTY_GRAPH_LOOKAHEAD
+        };
+        assert!(
+            lookahead > 0.0,
+            "sharded runs need positive link weights (minimum weight {lookahead} \
+             leaves no safe lookahead window)"
+        );
+        let mut workers = Vec::with_capacity(shards);
+        let mut replies = Vec::with_capacity(shards);
+        for me in 0..shards {
+            let (tx, rx) = channel();
+            let g = graph.clone();
+            let f = factory.clone();
+            let rec = recorders(me);
+            workers.push(WorkerHandle::spawn(
+                format!("disco-shard-{me}"),
+                move |cmds| {
+                    worker_loop::<P, R>(cmds, tx, &g, f, rec, partition, me);
+                },
+            ));
+            replies.push(rx);
+        }
+        ShardedEngine {
+            workers,
+            replies,
+            partition,
+            lookahead,
+            graph: graph.clone(),
+            active: vec![true; graph.node_count()],
+            pending_topo: Vec::new(),
+            applied_topology: 0,
+            world_ctr: 0,
+            counters: vec![ShardCounters::default(); shards],
+            nexts: vec![None; shards],
+            routed_min: None,
+            now: 0.0,
+            started: false,
+            max_events: 200_000_000,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shard owning node `v` (where [`ShardedEngine::visit`] finds its
+    /// protocol instance).
+    pub fn owner_of(&self, v: NodeId) -> usize {
+        self.partition.shard_of(v)
+    }
+
+    /// The conservative lookahead window: the minimum link weight of the
+    /// initial graph.
+    pub fn lookahead(&self) -> Weight {
+        self.lookahead
+    }
+
+    /// The coordinator's mirror of the simulated graph in its current
+    /// state (kept in lockstep with the shards' replicas at barriers).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether `v` is currently part of the network.
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.active.get(v.0).copied().unwrap_or(false)
+    }
+
+    /// Ids of the currently active nodes.
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Number of currently active nodes.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Current simulation time (the latest shard clock, refreshed at
+    /// barriers; [`ShardedEngine::run_to`] advances it to the target).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed, summed over shards. Unlike every other counter
+    /// here this is *not* shard-count-invariant: replayed topology events
+    /// count once per shard and a flood fans out into one queue entry per
+    /// involved shard. Compare runs on delivered/dropped counts, stats and
+    /// end time instead.
+    pub fn events_processed(&self) -> u64 {
+        self.counters.iter().map(|c| c.events).sum()
+    }
+
+    /// Messages delivered to `on_message` upcalls (shard-count-invariant).
+    pub fn messages_delivered(&self) -> u64 {
+        self.counters.iter().map(|c| c.delivered).sum()
+    }
+
+    /// Messages (and cancelled timers) dropped (shard-count-invariant).
+    pub fn messages_dropped(&self) -> u64 {
+        self.counters.iter().map(|c| c.dropped).sum()
+    }
+
+    /// Epoch-dead timers that slipped past eager cancellation, summed.
+    pub fn stale_timer_pops(&self) -> u64 {
+        self.counters.iter().map(|c| c.stale).sum()
+    }
+
+    /// Topology events applied so far (each counted once, as in the
+    /// sequential engine — every shard replays the same sequence).
+    pub fn topology_events(&self) -> u64 {
+        self.applied_topology
+    }
+
+    /// `(live, dead)` queue entry counts summed over the shards.
+    pub fn queue_stats(&self) -> (usize, usize) {
+        self.counters
+            .iter()
+            .fold((0, 0), |(l, d), c| (l + c.queue_live, d + c.queue_dead))
+    }
+
+    /// Schedule a topology mutation at absolute time `at` on every shard.
+    /// Fails if the event would add a link lighter than the lookahead
+    /// window (see [`LookaheadViolation`]); the check applies to every
+    /// shard count including 1, so accepted schedules behave identically
+    /// across counts.
+    pub fn schedule_topology(
+        &mut self,
+        at: SimTime,
+        event: TopologyEvent,
+    ) -> Result<(), LookaheadViolation> {
+        let lightest = match &event {
+            TopologyEvent::LinkUp { weight, .. } => Some(*weight),
+            TopologyEvent::NodeJoin { links, .. } => links
+                .iter()
+                .map(|&(_, w)| w)
+                .fold(None, |m: Option<Weight>, w| Some(m.map_or(w, |m| m.min(w)))),
+            _ => None,
+        };
+        if let Some(w) = lightest {
+            if w < self.lookahead {
+                return Err(LookaheadViolation {
+                    weight: w,
+                    lookahead: self.lookahead,
+                });
+            }
+        }
+        assert!(
+            at >= self.now,
+            "topology event scheduled in the past ({at} < {})",
+            self.now
+        );
+        let key = self.world_ctr;
+        self.world_ctr += 1;
+        for w in &self.workers {
+            w.send(Cmd::Topology {
+                at,
+                key,
+                ev: event.clone(),
+            });
+        }
+        let pos = self
+            .pending_topo
+            .partition_point(|&(t, k, _)| t < at || (t == at && k < key));
+        self.pending_topo.insert(pos, (at, key, event));
+        Ok(())
+    }
+
+    /// Deliver `on_start` to every node (each on its owner shard) and
+    /// exchange any cross-shard sends it produced. Called automatically by
+    /// [`ShardedEngine::run`] / [`ShardedEngine::run_to`] on first use.
+    pub fn start(&mut self) {
+        self.started = true;
+        for w in &self.workers {
+            w.send(Cmd::Start);
+        }
+        // A zero-length window: processes nothing (on_start sends all have
+        // positive delay), but flushes the outboxes and primes the
+        // per-shard next-event times.
+        self.exchange_window(0.0, false);
+    }
+
+    /// Run one lookahead window on every shard and merge the barrier:
+    /// refresh the per-shard counters/clocks, then route every cross-shard
+    /// send to its destination shard — walking the replies in shard-id
+    /// order and each outbox in push order, so the merge is deterministic.
+    fn exchange_window(&mut self, end: SimTime, inclusive: bool) {
+        self.apply_pending_topology(end, inclusive);
+        for w in &self.workers {
+            w.send(Cmd::Window { end, inclusive });
+        }
+        let mut routed: Vec<Vec<WireEvent<P::Wire>>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
+        let mut routed_min: Option<SimTime> = None;
+        let mut max_now = self.now;
+        for (i, rx) in self.replies.iter().enumerate() {
+            let reply = rx.recv().expect("shard worker hung up");
+            let Reply::Window(rep) = reply else {
+                panic!("unexpected reply at window barrier");
+            };
+            self.counters[i] = rep.counters;
+            self.nexts[i] = rep.next;
+            max_now = max_now.max(rep.now);
+            for (dest, ev) in rep.outbound {
+                routed_min = Some(routed_min.map_or(ev.time, |m: SimTime| m.min(ev.time)));
+                routed[dest].push(ev);
+            }
+        }
+        self.routed_min = routed_min;
+        self.now = max_now;
+        for (dest, evs) in routed.into_iter().enumerate() {
+            if !evs.is_empty() {
+                self.workers[dest].send(Cmd::Ingest(evs));
+            }
+        }
+    }
+
+    /// Apply scheduled topology up to `end` to the coordinator's mirror —
+    /// the same prefix every shard applies within the window that is about
+    /// to run, so mirror and replicas agree at every barrier.
+    fn apply_pending_topology(&mut self, end: SimTime, inclusive: bool) {
+        while let Some(&(at, _, _)) = self.pending_topo.first() {
+            let within = if inclusive { at <= end } else { at < end };
+            if !within {
+                break;
+            }
+            let (_, _, ev) = self.pending_topo.remove(0);
+            self.apply_topology_mirror(ev);
+        }
+    }
+
+    /// The graph/active-set half of [`Engine`]'s topology application
+    /// (no upcalls, timers or epochs here — those live on the shards).
+    fn apply_topology_mirror(&mut self, event: TopologyEvent) {
+        self.applied_topology += 1;
+        match event {
+            TopologyEvent::LinkUp { u, v, weight } => {
+                if self.is_active(u) && self.is_active(v) {
+                    let _ = self.graph.insert_edge(u, v, weight);
+                }
+            }
+            TopologyEvent::LinkDown { u, v } => {
+                let _ = self.graph.remove_edge(u, v);
+            }
+            TopologyEvent::NodeLeave { node } => {
+                if self.is_active(node) {
+                    self.active[node.0] = false;
+                    let _ = self.graph.detach_node(node);
+                }
+            }
+            TopologyEvent::NodeJoin { node, links } => {
+                while node.0 >= self.graph.node_count() {
+                    self.graph.add_node();
+                    self.active.push(false);
+                }
+                if self.active[node.0] {
+                    return;
+                }
+                self.active[node.0] = true;
+                for (peer, weight) in links {
+                    if peer.0 < self.graph.node_count() && self.active[peer.0] {
+                        let _ = self.graph.insert_edge(node, peer, weight);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Timestamp of the globally earliest pending event: the minimum over
+    /// every shard's reported next event, arrivals routed at the last
+    /// barrier (their receiver reports them only from the next barrier
+    /// on), and scheduled topology not yet inside any window.
+    fn global_next(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut fold = |t: SimTime| {
+            next = Some(match next {
+                Some(n) if n <= t => n,
+                _ => t,
+            })
+        };
+        for t in self.nexts.iter().flatten() {
+            fold(*t);
+        }
+        if let Some(t) = self.routed_min {
+            fold(t);
+        }
+        if let Some(&(t, _, _)) = self.pending_topo.first() {
+            fold(t);
+        }
+        next
+    }
+
+    /// Process events until quiescence or the event valve; returns the run
+    /// report. Calls [`ShardedEngine::start`] first unless it already ran.
+    pub fn run(&mut self) -> RunReport {
+        if !self.started && self.events_processed() == 0 {
+            self.start();
+        }
+        let converged = self.run_until(|_| false);
+        self.report(converged)
+    }
+
+    /// Process events window by window until quiescence, the event valve,
+    /// or `stop` returns true. Unlike the sequential engine's per-event
+    /// check, `stop` is evaluated at window barriers — the natural
+    /// granularity of a parallel run. Returns true on quiescence.
+    pub fn run_until(&mut self, mut stop: impl FnMut(&Self) -> bool) -> bool {
+        loop {
+            if self.events_processed() >= self.max_events {
+                return false;
+            }
+            let Some(next) = self.global_next() else {
+                return true;
+            };
+            self.exchange_window(next + self.lookahead, false);
+            if stop(self) {
+                return false;
+            }
+        }
+    }
+
+    /// Process all events with timestamps `<= t`, then advance the clock
+    /// to `t`; returns true if no events remain. The final batch *at*
+    /// exactly `t` runs as one inclusive window — safe because anything an
+    /// event at `t` causes lands strictly after `t`.
+    pub fn run_to(&mut self, t: SimTime) -> bool {
+        if !self.started && self.events_processed() == 0 {
+            self.start();
+        }
+        while let Some(next) = self.global_next() {
+            if next >= t || self.events_processed() >= self.max_events {
+                break;
+            }
+            self.exchange_window((next + self.lookahead).min(t), false);
+        }
+        self.exchange_window(t, true);
+        self.now = self.now.max(t);
+        self.global_next().is_none()
+    }
+
+    /// The run report so far. Gathers the shards' message statistics, so
+    /// it costs one barrier round-trip.
+    pub fn report(&mut self, converged: bool) -> RunReport {
+        let (queue_live, queue_dead) = self.queue_stats();
+        RunReport {
+            converged,
+            end_time: self.now,
+            events_processed: self.events_processed(),
+            topology_events: self.applied_topology,
+            messages_dropped: self.messages_dropped(),
+            messages_delivered: self.messages_delivered(),
+            stale_timer_pops: self.stale_timer_pops(),
+            queue_live,
+            queue_dead,
+            stats: self.merged_stats(),
+        }
+    }
+
+    /// The shards' message statistics merged into one table (row-disjoint
+    /// by construction: each node's counters live on its owner shard).
+    pub fn merged_stats(&mut self) -> MessageStats {
+        let mut total = MessageStats::new(self.graph.node_count());
+        for shard in 0..self.workers.len() {
+            let part = self.visit(shard, |e| e.stats().clone());
+            total.absorb(&part);
+        }
+        total
+    }
+
+    /// Run `f` against `shard`'s engine on its worker thread and return
+    /// the result. This is the one way to reach protocol instances (e.g.
+    /// for probes): node `v` lives on shard [`ShardedEngine::owner_of`]`(v)`.
+    pub fn visit<T, F>(&mut self, shard: usize, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut ShardEngine<P, R>) -> T + Send + 'static,
+    {
+        let (tx, rx): (Sender<T>, Receiver<T>) = channel();
+        self.workers[shard].send(Cmd::Visit(Box::new(move |e| {
+            let _ = tx.send(f(e));
+        })));
+        match self.replies[shard].recv().expect("shard worker hung up") {
+            Reply::VisitDone => {}
+            _ => panic!("unexpected reply to visit"),
+        }
+        rx.recv().expect("visit closure dropped its result")
+    }
+
+    /// Shut the shards down and merge their final state: summed message
+    /// statistics, merged telemetry recorders (shard-id order), and the
+    /// leftover queue gauges. Each shard's recorder receives
+    /// `finish(now)` before merging.
+    pub fn finish(mut self) -> ShardedRunSummary<R>
+    where
+        R: MergeRecorder,
+    {
+        let now = self.now;
+        for w in &self.workers {
+            w.send(Cmd::Finish { now });
+        }
+        let mut stats = MessageStats::new(self.graph.node_count());
+        let mut recorder: Option<R> = None;
+        let (mut queue_live, mut queue_dead) = (0, 0);
+        for rx in &self.replies {
+            let Ok(Reply::Finished(fin)) = rx.recv() else {
+                panic!("shard worker hung up before finishing");
+            };
+            let fin = *fin;
+            stats.absorb(&fin.stats);
+            queue_live += fin.queue_live;
+            queue_dead += fin.queue_dead;
+            match &mut recorder {
+                None => recorder = Some(fin.recorder),
+                Some(r) => r.absorb(fin.recorder),
+            }
+        }
+        // Workers have exited their loops; dropping the handles joins them.
+        self.workers.clear();
+        ShardedRunSummary {
+            stats,
+            recorder: recorder.expect("at least one shard"),
+            queue_live,
+            queue_dead,
+        }
+    }
+}
+
+/// The worker thread: owns one shard's [`Engine`] for the whole run and
+/// processes coordinator commands in order.
+fn worker_loop<P, R>(
+    cmds: Receiver<Cmd<P, R>>,
+    replies: Sender<Reply<P::Wire, R>>,
+    graph: &Graph,
+    factory: impl FnMut(NodeId) -> P + 'static,
+    recorder: R,
+    partition: Partition,
+    me: usize,
+) where
+    P: ShardProtocol + 'static,
+    R: Recorder + Send + 'static,
+{
+    let mut engine: ShardEngine<P, R> =
+        Engine::with_recorder(graph, factory, TimerWheel::new(), recorder);
+    engine.bind_shard(partition, me);
+    // The coordinator enforces the event valve globally at barriers; a
+    // per-shard valve would stall one shard silently and deadlock the
+    // window protocol.
+    engine.max_events = u64::MAX;
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            Cmd::Start => engine.start(),
+            Cmd::Topology { at, key, ev } => engine.schedule_topology_keyed(at, key, ev),
+            Cmd::Ingest(evs) => {
+                for ev in evs {
+                    engine.ingest_wire(ev);
+                }
+            }
+            Cmd::Window { end, inclusive } => {
+                engine.run_window(end, inclusive);
+                let outbound = engine.flush_outbox();
+                let (queue_live, queue_dead) = engine.queue_stats();
+                let report = WindowReport {
+                    now: engine.now(),
+                    next: engine.peek_time(),
+                    counters: ShardCounters {
+                        events: engine.events_processed(),
+                        delivered: engine.messages_delivered(),
+                        dropped: engine.messages_dropped(),
+                        stale: engine.stale_timer_pops(),
+                        queue_live,
+                        queue_dead,
+                    },
+                    outbound,
+                };
+                if replies.send(Reply::Window(report)).is_err() {
+                    break;
+                }
+            }
+            Cmd::Visit(f) => {
+                f(&mut engine);
+                if replies.send(Reply::VisitDone).is_err() {
+                    break;
+                }
+            }
+            Cmd::Finish { now } => {
+                engine.recorder_mut().finish(now);
+                let (queue_live, queue_dead) = engine.queue_stats();
+                let stats = engine.stats().clone();
+                let recorder = engine.into_recorder();
+                let _ = replies.send(Reply::Finished(Box::new(FinishReport {
+                    stats,
+                    recorder,
+                    queue_live,
+                    queue_dead,
+                })));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Context;
+    use disco_graph::generators;
+
+    /// Ping-pong with plain `Send` messages: the wire form is the message
+    /// itself.
+    #[derive(Default)]
+    struct PingPong {
+        pongs: u32,
+    }
+
+    #[derive(Clone)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl Protocol for PingPong {
+        type Message = Msg;
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.node_id() == NodeId(0) {
+                ctx.broadcast(Msg::Ping);
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping => ctx.send(from, Msg::Pong),
+                Msg::Pong => self.pongs += 1,
+            }
+        }
+    }
+
+    impl ShardProtocol for PingPong {
+        type Wire = Msg;
+        fn to_wire(msg: Msg) -> Msg {
+            msg
+        }
+        fn from_wire(wire: Msg) -> Msg {
+            wire
+        }
+    }
+
+    #[test]
+    fn partition_is_seeded_and_total() {
+        let p = Partition::new(7, 3);
+        let q = Partition::new(7, 3);
+        for v in 0..1000 {
+            assert_eq!(p.shard_of(NodeId(v)), q.shard_of(NodeId(v)));
+            assert!(p.shard_of(NodeId(v)) < 3);
+        }
+        // All shards actually used (splitmix spreads even tiny id ranges).
+        let mut used = [false; 3];
+        for v in 0..64 {
+            used[p.shard_of(NodeId(v))] = true;
+        }
+        assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn sharded_matches_sequential_ping_pong() {
+        let g = generators::gnm_connected(48, 128, 11);
+        let mut seq = Engine::new(&g, |_| PingPong::default());
+        let seq_report = seq.run();
+        for shards in [1, 2, 3, 8] {
+            let mut sh = ShardedEngine::new(&g, shards, 42, |_| PingPong::default());
+            let report = sh.run();
+            assert!(report.converged);
+            assert_eq!(report.messages_delivered, seq_report.messages_delivered);
+            assert_eq!(report.stats, seq_report.stats, "shards={shards}");
+            assert_eq!(report.end_time, seq_report.end_time, "shards={shards}");
+            let total_pongs: u32 = (0..shards)
+                .map(|s| sh.visit(s, |e| e.nodes().iter().map(|n| n.pongs).sum::<u32>()))
+                .sum();
+            assert_eq!(total_pongs, g.degree(NodeId(0)) as u32);
+        }
+    }
+
+    #[test]
+    fn lookahead_rejects_lighter_late_links() {
+        let g = generators::ring(8); // all weights 1.0
+        let mut sh = ShardedEngine::new(&g, 2, 1, |_| PingPong::default());
+        assert_eq!(sh.lookahead(), 1.0);
+        let err = sh
+            .schedule_topology(
+                1.0,
+                TopologyEvent::LinkUp {
+                    u: NodeId(0),
+                    v: NodeId(4),
+                    weight: 0.25,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.weight, 0.25);
+        assert_eq!(err.lookahead, 1.0);
+        let msg = err.to_string();
+        assert!(msg.contains("lookahead"), "{msg}");
+        assert!(msg.contains("0.25"), "{msg}");
+        // A joining node bringing a light link is rejected the same way…
+        assert!(sh
+            .schedule_topology(
+                1.0,
+                TopologyEvent::NodeJoin {
+                    node: NodeId(8),
+                    links: vec![(NodeId(0), 1.0), (NodeId(1), 0.5)],
+                },
+            )
+            .is_err());
+        // …while weights at or above the window pass.
+        assert!(sh
+            .schedule_topology(
+                1.0,
+                TopologyEvent::LinkUp {
+                    u: NodeId(0),
+                    v: NodeId(4),
+                    weight: 1.0,
+                },
+            )
+            .is_ok());
+        let report = sh.run();
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn churn_under_sharding_matches_sequential() {
+        let g = generators::gnm_connected(32, 96, 5);
+        let schedule = vec![
+            (0.5, TopologyEvent::NodeLeave { node: NodeId(3) }),
+            (
+                1.5,
+                TopologyEvent::LinkDown {
+                    u: NodeId(0),
+                    v: g.neighbors(NodeId(0))[0].node,
+                },
+            ),
+            (
+                4.0,
+                TopologyEvent::NodeJoin {
+                    node: NodeId(3),
+                    links: vec![(NodeId(1), 1.0), (NodeId(7), 1.0)],
+                },
+            ),
+        ];
+        let mut seq = Engine::new(&g, |_| PingPong::default());
+        for (at, ev) in &schedule {
+            seq.schedule_topology(*at, ev.clone());
+        }
+        let seq_report = seq.run();
+        for shards in [1, 2, 3] {
+            let mut sh = ShardedEngine::new(&g, shards, 9, |_| PingPong::default());
+            for (at, ev) in &schedule {
+                sh.schedule_topology(*at, ev.clone()).unwrap();
+            }
+            let report = sh.run();
+            assert_eq!(report.topology_events, seq_report.topology_events);
+            assert_eq!(report.messages_delivered, seq_report.messages_delivered);
+            assert_eq!(report.messages_dropped, seq_report.messages_dropped);
+            assert_eq!(report.stats, seq_report.stats, "shards={shards}");
+            assert_eq!(report.end_time, seq_report.end_time, "shards={shards}");
+            assert_eq!(sh.active_count(), seq.active_count());
+            assert_eq!(sh.graph().edge_count(), seq.graph().edge_count());
+        }
+    }
+
+    #[test]
+    fn run_to_interleaves_with_probes() {
+        let g = generators::ring(12);
+        let mut sh = ShardedEngine::new(&g, 3, 2, |_| PingPong::default());
+        sh.schedule_topology(5.0, TopologyEvent::NodeLeave { node: NodeId(6) })
+            .unwrap();
+        sh.run_to(2.0);
+        assert_eq!(sh.now(), 2.0);
+        assert_eq!(sh.active_count(), 12, "leave at t=5 not applied yet");
+        sh.run_to(6.0);
+        assert_eq!(sh.active_count(), 11);
+        assert!(!sh.is_active(NodeId(6)));
+        let owner = sh.owner_of(NodeId(6));
+        let inactive_on_shard = sh.visit(owner, |e| e.is_active(NodeId(6)));
+        assert!(!inactive_on_shard, "mirror and shard replica agree");
+    }
+}

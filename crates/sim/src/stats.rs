@@ -107,6 +107,27 @@ impl MessageStats {
         &self.sent
     }
 
+    /// Merge another table into this one by elementwise addition, growing
+    /// to cover the larger node space. A sharded run's per-shard tables
+    /// are row-disjoint (a node's sends *and* receives are both recorded
+    /// on its owner shard), so summing them reassembles exactly the
+    /// sequential run's table.
+    pub fn absorb(&mut self, other: &MessageStats) {
+        self.grow_to(other.sent.len());
+        for (a, b) in self.sent.iter_mut().zip(&other.sent) {
+            *a += b;
+        }
+        for (a, b) in self.received.iter_mut().zip(&other.received) {
+            *a += b;
+        }
+        for (a, b) in self.bytes_sent.iter_mut().zip(&other.bytes_sent) {
+            *a += b;
+        }
+        for (a, b) in self.bytes_received.iter_mut().zip(&other.bytes_received) {
+            *a += b;
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.sent.len()

@@ -1,6 +1,7 @@
 //! The timer wheel's contract: pop order identical to the reference
-//! `BinaryHeap` queue — `(time, seq)`, FIFO on timestamp ties — on
-//! arbitrary interleavings of pushes, pops, peeks and cancellations.
+//! `BinaryHeap` queue — `(time, key, seq)`, logical key then FIFO on
+//! full ties — on arbitrary interleavings of pushes, pops, peeks and
+//! cancellations.
 
 use disco_graph::NodeId;
 use disco_sim::event::{BinaryHeapQueue, Event, EventKind, EventQueue, TimerWheel};
@@ -16,12 +17,12 @@ fn timer(token: u64) -> EventKind<u32> {
     }
 }
 
-fn key(e: &Event<u32>) -> (f64, u64, u64) {
+fn key(e: &Event<u32>) -> (f64, u64, u64, u64) {
     let token = match e.kind {
         EventKind::Timer { token, .. } => token,
         _ => unreachable!("stream pushes timers only"),
     };
-    (e.time, e.seq, token)
+    (e.time, e.key, e.seq, token)
 }
 
 proptest! {
@@ -52,8 +53,11 @@ proptest! {
                     };
                     let t = next_token;
                     next_token += 1;
-                    let w = wheel.push(now + delay, timer(t));
-                    let h = heap.push(now + delay, timer(t));
+                    // A small logical-key space forces plenty of
+                    // (time, key) ties that fall through to seq order.
+                    let k = rng.gen_range(0..4u64);
+                    let w = wheel.push(now + delay, k, timer(t));
+                    let h = heap.push(now + delay, k, timer(t));
                     handles.push((w, h));
                 }
                 6 | 7 => {

@@ -1,0 +1,176 @@
+//! The sharded engine's contract, property-tested: for ANY churn schedule
+//! and ANY shard count, the parallel run is *byte-identical* to the
+//! sequential engine — per-node upcall logs (times captured as f64 bit
+//! patterns), `MessageStats`, delivered/dropped counts, topology events
+//! and the simulation end time. Conservative lookahead plus logical event
+//! keys make worker interleaving unobservable; this test is the lock on
+//! that argument.
+
+use disco_graph::{generators, NodeId};
+use disco_sim::rng::rng_for;
+use disco_sim::{Context, Engine, Protocol, ShardProtocol, ShardedEngine, TopologyEvent};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A deliberately chatty protocol: floods on start, re-floods on receipt
+/// (bounded by hop count), fires cascading timers, and reacts to link
+/// flaps — so logs cover every upcall kind the engine dispatches.
+#[derive(Default)]
+struct Chatter {
+    /// Every upcall, logged as `(time bits, peer, tag)` — exact f64 bit
+    /// patterns, so "equal" means byte-identical schedules.
+    log: Vec<LogEntry>,
+}
+
+/// `(time bits, peer, tag)` — one logged upcall.
+type LogEntry = (u64, usize, u32);
+
+#[derive(Clone)]
+struct Hello(u32);
+
+impl Protocol for Chatter {
+    type Message = Hello;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Hello>) {
+        ctx.set_timer(0.5 + (ctx.node_id().0 % 3) as f64 * 0.75, 0);
+        ctx.broadcast(Hello(0));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Hello, ctx: &mut Context<'_, Hello>) {
+        self.log.push((ctx.now().to_bits(), from.0, msg.0));
+        if msg.0 < 2 {
+            ctx.broadcast(Hello(msg.0 + 1));
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, Hello>) {
+        self.log
+            .push((ctx.now().to_bits(), usize::MAX, token as u32));
+        if token < 2 {
+            ctx.set_timer(1.25, token + 1);
+            ctx.broadcast(Hello(2));
+        }
+    }
+
+    fn on_neighbor_up(&mut self, peer: NodeId, ctx: &mut Context<'_, Hello>) {
+        self.log.push((ctx.now().to_bits(), peer.0, 1000));
+        ctx.send(peer, Hello(2));
+    }
+
+    fn on_neighbor_down(&mut self, peer: NodeId, ctx: &mut Context<'_, Hello>) {
+        self.log.push((ctx.now().to_bits(), peer.0, 1001));
+        ctx.broadcast(Hello(2));
+    }
+}
+
+impl ShardProtocol for Chatter {
+    type Wire = Hello;
+    fn to_wire(msg: Hello) -> Hello {
+        msg
+    }
+    fn from_wire(wire: Hello) -> Hello {
+        wire
+    }
+}
+
+/// A random-but-valid churn schedule: leaves keep a quorum alive, joins
+/// resurrect departed nodes with fresh links to live peers. All link
+/// weights equal the graph generator's (1.0), so every event clears the
+/// lookahead window at any shard count.
+fn random_schedule(n: usize, events: usize, seed: u64) -> Vec<(f64, TopologyEvent)> {
+    let mut rng = rng_for(seed, 0x5eed, 1);
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut departed: Vec<usize> = Vec::new();
+    let mut schedule = Vec::with_capacity(events);
+    let mut t = 0.0f64;
+    for _ in 0..events {
+        t += 0.25 + rng.gen_range(0..32u32) as f64 / 16.0;
+        let alive_count = alive.iter().filter(|&&a| a).count();
+        let rejoin = !departed.is_empty() && (alive_count <= n / 2 || rng.gen_range(0..3u32) == 0);
+        if rejoin {
+            let node = departed.swap_remove(rng.gen_range(0..departed.len()));
+            let peers: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+            let a = peers[rng.gen_range(0..peers.len())];
+            let b = peers[rng.gen_range(0..peers.len())];
+            let mut links = vec![(NodeId(a), 1.0)];
+            if b != a {
+                links.push((NodeId(b), 1.0));
+            }
+            alive[node] = true;
+            schedule.push((
+                t,
+                TopologyEvent::NodeJoin {
+                    node: NodeId(node),
+                    links,
+                },
+            ));
+        } else {
+            let live: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+            let node = live[rng.gen_range(0..live.len())];
+            alive[node] = false;
+            departed.push(node);
+            schedule.push((t, TopologyEvent::NodeLeave { node: NodeId(node) }));
+        }
+    }
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, max_shrink_iters: 0 })]
+
+    /// Sequential vs sharded at every shard count the ISSUE names, on a
+    /// fresh random churn schedule per case.
+    fn sharded_is_byte_identical_to_sequential(
+        seed in 0u64..100_000,
+        events in 4usize..12,
+    ) {
+        let n = 32;
+        let g = generators::gnm_connected(n, 96, seed ^ 0xface);
+        let schedule = random_schedule(n, events, seed);
+
+        let mut seq = Engine::new(&g, |_| Chatter::default());
+        for (at, ev) in &schedule {
+            seq.schedule_topology(*at, ev.clone());
+        }
+        let seq_report = seq.run();
+        let seq_logs: Vec<Vec<LogEntry>> =
+            seq.nodes().iter().map(|c| c.log.clone()).collect();
+
+        for shards in [1usize, 2, 3, 8] {
+            let mut sh = ShardedEngine::new(&g, shards, seed, |_| Chatter::default());
+            for (at, ev) in &schedule {
+                sh.schedule_topology(*at, ev.clone()).unwrap();
+            }
+            let report = sh.run();
+
+            prop_assert_eq!(report.messages_delivered, seq_report.messages_delivered,
+                "delivered diverged at shards={}", shards);
+            prop_assert_eq!(report.messages_dropped, seq_report.messages_dropped,
+                "drops diverged at shards={}", shards);
+            prop_assert_eq!(report.topology_events, seq_report.topology_events);
+            prop_assert_eq!(&report.stats, &seq_report.stats,
+                "MessageStats diverged at shards={}", shards);
+            prop_assert_eq!(report.end_time.to_bits(), seq_report.end_time.to_bits(),
+                "end time diverged at shards={}", shards);
+
+            // Per-node upcall logs, collected from each owner shard.
+            let mut sh_logs: Vec<Option<Vec<LogEntry>>> = vec![None; n];
+            for shard in 0..shards {
+                let owned: Vec<usize> =
+                    (0..n).filter(|&v| sh.owner_of(NodeId(v)) == shard).collect();
+                let rows: Vec<(usize, Vec<LogEntry>)> = sh.visit(shard, move |e| {
+                    let nodes = e.nodes();
+                    owned.into_iter().map(|v| (v, nodes[v].log.clone())).collect()
+                });
+                for (v, log) in rows {
+                    sh_logs[v] = Some(log);
+                }
+            }
+            for (v, log) in sh_logs.into_iter().enumerate() {
+                let log = log.expect("every node has exactly one owner shard");
+                prop_assert_eq!(&log, &seq_logs[v],
+                    "node {} upcall log diverged at shards={}", v, shards);
+            }
+        }
+    }
+}

@@ -77,6 +77,21 @@ impl FlightRecorder {
         self.buf[split..].iter().chain(self.buf[..split].iter())
     }
 
+    /// Merge another ring into this one: both tails are interleaved by
+    /// event time (stable — `self`'s events win ties) and the last
+    /// `max(capacity)` survive, so the merged ring is the same bounded
+    /// tail a single recorder would have kept of the combined stream.
+    pub fn absorb(&mut self, other: &FlightRecorder) {
+        let mut all: Vec<FlightEvent> = self.iter().chain(other.iter()).copied().collect();
+        all.sort_by(|a, b| a.now.partial_cmp(&b.now).expect("event times are not NaN"));
+        let mut merged = FlightRecorder::new(self.capacity.max(other.capacity));
+        for ev in all {
+            merged.push(ev);
+        }
+        merged.total = self.total + other.total;
+        *self = merged;
+    }
+
     /// Human-readable tail dump (for panic / failed-acceptance output).
     pub fn dump(&self) -> String {
         let mut out = String::new();

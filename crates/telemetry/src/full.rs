@@ -2,7 +2,7 @@
 //! ring and phase spans, with Chrome-trace export.
 
 use crate::flight::{FlightEvent, FlightRecorder};
-use crate::recorder::{MessageClass, Phase, Recorder};
+use crate::recorder::{MergeRecorder, MessageClass, Phase, Recorder};
 use crate::registry::ClassRegistry;
 use crate::repair::RepairProbe;
 use crate::spans::PhaseSpans;
@@ -242,6 +242,48 @@ impl Recorder for FullRecorder {
         self.end_time = now;
         self.repair.finish(now);
         self.phases.finish(now);
+    }
+}
+
+impl MergeRecorder for FullRecorder {
+    /// Merge a sharded run's per-shard recorders. Every shard replays all
+    /// topology events but records only its own nodes' traffic, so:
+    /// counters and latency histograms add, repair windows take the
+    /// slowest shard per event, flight rings interleave by time, phase
+    /// spans concatenate. The topology marks are identical on every shard
+    /// (one per replayed event) and are kept once; the delivered-by-class
+    /// samples taken at those marks add elementwise into the global
+    /// cumulative track. Topology deliveries are replayed per shard, so
+    /// their registry row is rescaled back to one count per event.
+    fn absorb(&mut self, other: Self) {
+        self.registry.absorb(&other.registry);
+        // `other` replayed the same topology events this recorder already
+        // counted (its marks are a copy of ours) — rescale the topology
+        // delivered row back to one count per event.
+        self.registry
+            .undo_delivered(MessageClass::Topology, other.topo_marks.len() as u64);
+        self.repair.absorb(&other.repair);
+        self.flight.absorb(&other.flight);
+        self.phases.absorb(&other.phases);
+        let topo_idx = MessageClass::Topology.index();
+        for (i, (t, sample)) in other.samples.into_iter().enumerate() {
+            match self.samples.get_mut(i) {
+                Some((_, mine)) => {
+                    for (j, (a, b)) in mine.iter_mut().zip(sample.iter()).enumerate() {
+                        // The topology column is the replayed event count
+                        // itself — identical on both sides, not additive.
+                        if j != topo_idx {
+                            *a += b;
+                        }
+                    }
+                }
+                None => self.samples.push((t, sample)),
+            }
+        }
+        if self.topo_marks.len() < other.topo_marks.len() {
+            self.topo_marks = other.topo_marks;
+        }
+        self.end_time = self.end_time.max(other.end_time);
     }
 }
 

@@ -102,6 +102,16 @@ impl Log2Histogram {
         self.max
     }
 
+    /// Merge another histogram into this one (bucket-wise addition).
+    pub fn absorb(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// `(bucket_upper_bound, count)` for every non-empty bucket, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets

@@ -47,7 +47,7 @@ mod full;
 pub use flight::{FlightEvent, FlightRecorder};
 pub use full::FullRecorder;
 pub use histogram::Log2Histogram;
-pub use recorder::{MessageClass, NoopRecorder, Phase, Recorder};
+pub use recorder::{MergeRecorder, MessageClass, NoopRecorder, Phase, Recorder};
 pub use registry::{ClassRegistry, ClassStats};
 pub use repair::RepairProbe;
 pub use spans::{current_rss_bytes, PhaseSpan, PhaseSpans};

@@ -166,6 +166,17 @@ pub trait Recorder {
     fn finish(&mut self, _now: f64) {}
 }
 
+/// A recorder whose per-shard instances can be merged into one — what a
+/// sharded run needs to hand back a single recorder at the end. Every
+/// shard observes *all* topology events (replicas replay them) but only
+/// its own nodes' message traffic and selection changes, so `absorb`
+/// combines counters additively and repair windows by worst-case.
+pub trait MergeRecorder: Recorder + Sized {
+    /// Fold `other` (a later shard, in shard-id order) into `self`. Both
+    /// sides have already received [`Recorder::finish`].
+    fn absorb(&mut self, other: Self);
+}
+
 /// The default recorder: records nothing, costs nothing. Its
 /// `ENABLED = false` makes every engine instrumentation site compile away.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -173,6 +184,10 @@ pub struct NoopRecorder;
 
 impl Recorder for NoopRecorder {
     const ENABLED: bool = false;
+}
+
+impl MergeRecorder for NoopRecorder {
+    fn absorb(&mut self, _other: Self) {}
 }
 
 #[cfg(test)]

@@ -89,6 +89,30 @@ impl ClassRegistry {
             .sum()
     }
 
+    /// Subtract `count` from a class's delivered counter (saturating).
+    /// Used when merging shard replicas that each delivered the *same*
+    /// replayed events (topology), which plain addition double-counts.
+    pub fn undo_delivered(&mut self, class: MessageClass, count: u64) {
+        let s = &mut self.stats[class.index()];
+        s.delivered = s.delivered.saturating_sub(count);
+    }
+
+    /// Merge another registry into this one: counters add up, latency
+    /// histograms merge bucket-wise. Used to combine a sharded run's
+    /// per-shard registries (each class counter is incremented on exactly
+    /// one shard per message, so addition is exact).
+    pub fn absorb(&mut self, other: &ClassRegistry) {
+        for (a, b) in self.stats.iter_mut().zip(other.stats.iter()) {
+            a.sent += b.sent;
+            a.sent_bytes += b.sent_bytes;
+            a.delivered += b.delivered;
+            a.dropped += b.dropped;
+        }
+        for (a, b) in self.latency.iter_mut().zip(other.latency.iter()) {
+            a.absorb(b);
+        }
+    }
+
     /// Deterministic one-line summary of per-class delivered/sent counts
     /// (no wall-clock numbers — safe for same-seed comparison).
     pub fn summary_line(&self) -> String {

@@ -97,6 +97,23 @@ impl RepairProbe {
         }
     }
 
+    /// Merge another probe's closed windows into this one by elementwise
+    /// *maximum*. In a sharded run every shard opens a window for every
+    /// topology event (replicas replay them all) but stamps it only with
+    /// its own nodes' selection changes — so window `i` exists on every
+    /// shard and the global repair latency of event `i` is the slowest
+    /// shard's: the control plane has restabilized only once the last node
+    /// anywhere stops reselecting. Call after [`RepairProbe::finish`] on
+    /// both sides.
+    pub fn absorb(&mut self, other: &RepairProbe) {
+        for (i, &lat) in other.latencies.iter().enumerate() {
+            match self.latencies.get_mut(i) {
+                Some(mine) => *mine = mine.max(lat),
+                None => self.latencies.push(lat),
+            }
+        }
+    }
+
     /// Closed-window latencies, in window-open order.
     pub fn latencies(&self) -> &[f64] {
         &self.latencies

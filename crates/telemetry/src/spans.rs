@@ -93,6 +93,13 @@ impl PhaseSpans {
         }
     }
 
+    /// Append another collector's closed spans (merge of a sharded run's
+    /// per-shard span sets; open spans should be closed via
+    /// [`PhaseSpans::finish`] first).
+    pub fn absorb(&mut self, other: &PhaseSpans) {
+        self.closed.extend_from_slice(&other.closed);
+    }
+
     /// Closed spans, in close order.
     pub fn spans(&self) -> &[PhaseSpan] {
         &self.closed
