@@ -1,0 +1,835 @@
+//! The `exp_forward` workload: a traffic generator over compiled
+//! forwarding tables during boot, churn and drain.
+//!
+//! Every prior experiment measures the *control* plane. This one forwards
+//! packets: each node's RIB selection column is compiled into a flat
+//! [`ForwardingTable`] behind an epoch-stamped [`TablePublisher`]
+//! double-buffer, and batched flat-name lookups (a Zipf mix and a uniform
+//! mix of destinations over the live nodes) are driven hop-by-hop through
+//! the *published* epochs while the protocol keeps repairing underneath.
+//! Reported per phase: lookups/sec (the headline — every table probe a
+//! walk performs, timed individually into a [`Log2Histogram`] for tail
+//! percentiles), hop stretch against BFS shortest paths on the current
+//! active topology, and packets lost to stale epochs (a published hop the
+//! topology no longer serves) — turning the availability probe into a
+//! served-traffic SLO. After the drain to quiescence every publisher
+//! republishes its final revision and the last batch must lose nothing:
+//! zero stale loss after drain is the gate.
+//!
+//! The sharded leg compiles tables on their owner shards (plain-array
+//! tables cross threads; interned paths do not), ships them to the
+//! coordinator and walks on its topology mirror. Publish decisions are
+//! made from the exact same `(published revision, debounce, control
+//! revision)` inputs as the sequential leg, so every deterministic column
+//! — walks, deliveries, stale losses, lookup counts, republishes — is
+//! identical across shard counts; only wall-clock differs.
+
+use disco_core::config::DiscoConfig;
+use disco_core::forward::{ForwardingTable, TablePublisher};
+use disco_core::landmark::{landmark_set, select_landmarks};
+use disco_core::protocol::{DiscoProtocol, PhaseTimers};
+use disco_dynamics::forward::{hop_distances, FlowAddress, PacketWalker, WalkOutcome};
+use disco_dynamics::models::PoissonChurn;
+use disco_graph::{generators, FxHashMap, Graph, NodeId};
+use disco_sim::rng::rng_for;
+use disco_sim::{
+    Engine, EventQueue, NoopRecorder, Phase, Protocol, Recorder, ShardedEngine, TimerWheel,
+};
+use disco_telemetry::{FullRecorder, Log2Histogram, MessageClass};
+use rand::Rng;
+use std::time::Instant;
+
+/// Boot-phase probe times (the protocol's phase timers end around t=110;
+/// early checkpoints watch the data plane fill in).
+const BOOT_CHECKPOINTS: &[f64] = &[30.0, 60.0, 90.0, 120.0];
+/// Churn-phase probe times, inside the Poisson schedule's horizon.
+const CHURN_CHECKPOINTS: &[f64] = &[140.0, 160.0, 180.0, 200.0, 220.0, 240.0, 260.0, 280.0];
+/// Walk TTL: transient loops across mixed epochs count as stale losses.
+const TTL: u32 = 128;
+/// Flows per checkpoint whose walks feed the hop-stretch estimate (each
+/// needs a BFS from its source; the full flow batch would be quadratic).
+const STRETCH_SAMPLE: usize = 64;
+
+/// Parameters of one `exp_forward` leg.
+#[derive(Debug, Clone)]
+pub struct ForwardConfig {
+    /// Network size.
+    pub n: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Flows sampled per checkpoint (half Zipf destinations, half
+    /// uniform).
+    pub flows: usize,
+    /// Publisher debounce in simulation-time units: selection changes
+    /// closer than this to the last publish coalesce into one republish.
+    pub debounce: f64,
+    /// Worker shards (0 = the sequential engine).
+    pub shards: usize,
+    /// Write the run as a Chrome `trace_event` timeline to this path
+    /// (sequential legs only): control-plane classes plus the
+    /// delivered-lookups data-plane track.
+    pub trace: Option<String>,
+    /// Run the live synopsis-diffusion n-estimation gossip. Off by
+    /// default: the gossip is `exp_churn`'s subject and dominates control
+    /// cost super-linearly (~70x the messages at n=512), while the data
+    /// plane being measured here — table compile, epoch publish, lookup —
+    /// is identical either way.
+    pub dynamic_n: bool,
+}
+
+/// Per-phase traffic statistics of one leg. All integer columns are
+/// deterministic in `(n, seed, flows, debounce)` and identical across
+/// shard counts; only the wall-clock-derived columns vary.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Phase name (`boot` / `churn` / `drain`).
+    pub phase: &'static str,
+    /// Checkpoints aggregated into this row.
+    pub checkpoints: u32,
+    /// Packets walked.
+    pub walks: u64,
+    /// Packets that reached their destination.
+    pub delivered: u64,
+    /// Packets lost to stale epochs: a published hop onto a dead link or
+    /// node, or a TTL-expired loop across mixed epochs, while the pair
+    /// was actually routable.
+    pub stale_loss: u64,
+    /// Packets dropped with no stale hop to blame: unpublished table,
+    /// unresolved address, or a landmark route not yet learned, while the
+    /// pair was routable.
+    pub miss: u64,
+    /// Packets whose pair had no active path at all (excluded from the
+    /// loss SLO — nothing to serve).
+    pub unreachable: u64,
+    /// Table probes performed by all walks.
+    pub lookups: u64,
+    /// Wall seconds inside the timed walk batches.
+    pub lookup_secs: f64,
+    /// The headline: table probes per wall second.
+    pub lookups_per_sec: f64,
+    /// Hops traversed by delivered packets.
+    pub hops: u64,
+    /// Delivered hops over the stretch subsample (numerator).
+    pub stretch_hops: u64,
+    /// BFS shortest-path hops for the same subsample (denominator).
+    pub stretch_dist: u64,
+    /// Per-lookup latency, median upper bound (ns).
+    pub p50_ns: u64,
+    /// Per-lookup latency, p99 upper bound (ns).
+    pub p99_ns: u64,
+    /// Table epochs published during this phase across all nodes.
+    pub republishes: u64,
+}
+
+impl PhaseRow {
+    /// Mean hops of a delivered packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean hop stretch over the per-checkpoint subsample.
+    pub fn mean_stretch(&self) -> f64 {
+        if self.stretch_dist == 0 {
+            0.0
+        } else {
+            self.stretch_hops as f64 / self.stretch_dist as f64
+        }
+    }
+
+    /// The deterministic columns (everything but wall clock), for the
+    /// sharded-vs-sequential equivalence check.
+    pub fn deterministic_key(&self) -> [u64; 10] {
+        [
+            self.walks,
+            self.delivered,
+            self.stale_loss,
+            self.miss,
+            self.unreachable,
+            self.lookups,
+            self.hops,
+            self.stretch_hops,
+            self.stretch_dist,
+            self.republishes,
+        ]
+    }
+
+    /// One JSON object literal (hand-rolled; the serde stand-in does not
+    /// serialize).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"phase\": \"{}\", \"checkpoints\": {}, \"walks\": {}, \
+             \"delivered\": {}, \"stale_loss\": {}, \"miss\": {}, \
+             \"unreachable\": {}, \"lookups\": {}, \"lookup_secs\": {:.4}, \
+             \"lookups_per_sec\": {:.0}, \"mean_hops\": {:.3}, \
+             \"mean_stretch\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"republishes\": {} }}",
+            self.phase,
+            self.checkpoints,
+            self.walks,
+            self.delivered,
+            self.stale_loss,
+            self.miss,
+            self.unreachable,
+            self.lookups,
+            self.lookup_secs,
+            self.lookups_per_sec,
+            self.mean_hops(),
+            self.mean_stretch(),
+            self.p50_ns,
+            self.p99_ns,
+            self.republishes,
+        )
+    }
+}
+
+/// Measurements of one `exp_forward` leg.
+#[derive(Debug, Clone)]
+pub struct ForwardResult {
+    /// Network size.
+    pub n: usize,
+    /// Worker shards (0 = sequential).
+    pub shards: usize,
+    /// Landmarks elected.
+    pub landmarks: usize,
+    /// Flows per checkpoint.
+    pub flows: usize,
+    /// The boot-phase row.
+    pub boot: PhaseRow,
+    /// The churn-phase row.
+    pub churn: PhaseRow,
+    /// The drain-phase row (one final batch after quiescence +
+    /// republish; its `stale_loss` must be zero).
+    pub drain: PhaseRow,
+    /// Table-resident destinations summed over all published tables at
+    /// the end of the run.
+    pub table_entries: u64,
+    /// Published flat-array bytes summed over all tables at end of run.
+    pub table_bytes: u64,
+    /// What per-node `FxHashMap<NodeId, FibEntry>` FIBs would pay for the
+    /// same contents ([`disco_metrics::forward`]'s pricing model).
+    pub hash_fib_bytes: u64,
+    /// Simulation time at quiescence.
+    pub sim_end: f64,
+}
+
+impl ForwardResult {
+    /// Lookups/sec minimum across the phases that forwarded traffic — the
+    /// number the smoke floor is derived from.
+    pub fn min_phase_lookups_per_sec(&self) -> f64 {
+        [&self.boot, &self.churn, &self.drain]
+            .iter()
+            .filter(|p| p.lookups > 0)
+            .map(|p| p.lookups_per_sec)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// One JSON object literal.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"n\": {}, \"shards\": {}, \"landmarks\": {}, \"flows\": {}, \
+             \"table_entries\": {}, \"table_bytes\": {}, \"hash_fib_bytes\": {}, \
+             \"sim_end\": {:.6}, \
+             \"phases\": [\n      {},\n      {},\n      {}\n    ] }}",
+            self.n,
+            self.shards,
+            self.landmarks,
+            self.flows,
+            self.table_entries,
+            self.table_bytes,
+            self.hash_fib_bytes,
+            self.sim_end,
+            self.boot.to_json(),
+            self.churn.to_json(),
+            self.drain.to_json(),
+        )
+    }
+}
+
+/// Phase accumulator (latency histogram included; collapsed into a
+/// [`PhaseRow`] at the end).
+#[derive(Default)]
+struct PhaseAcc {
+    checkpoints: u32,
+    walks: u64,
+    delivered: u64,
+    stale_loss: u64,
+    miss: u64,
+    unreachable: u64,
+    lookups: u64,
+    lookup_secs: f64,
+    hops: u64,
+    stretch_hops: u64,
+    stretch_dist: u64,
+    republishes: u64,
+    lat: Log2Histogram,
+}
+
+impl PhaseAcc {
+    fn into_row(self, phase: &'static str) -> PhaseRow {
+        PhaseRow {
+            phase,
+            checkpoints: self.checkpoints,
+            walks: self.walks,
+            delivered: self.delivered,
+            stale_loss: self.stale_loss,
+            miss: self.miss,
+            unreachable: self.unreachable,
+            lookups: self.lookups,
+            lookup_secs: self.lookup_secs,
+            lookups_per_sec: self.lookups as f64 / self.lookup_secs.max(1e-9),
+            hops: self.hops,
+            stretch_hops: self.stretch_hops,
+            stretch_dist: self.stretch_dist,
+            p50_ns: self.lat.quantile_upper(0.5),
+            p99_ns: self.lat.quantile_upper(0.99),
+            republishes: self.republishes,
+        }
+    }
+}
+
+/// The engine surface the traffic generator drives — implemented by the
+/// sequential [`Engine`] and the [`ShardedEngine`], so boot/churn/drain
+/// checkpoints run the identical decision sequence on both.
+trait DataPlane {
+    fn run_to_t(&mut self, t: f64);
+    /// Run to quiescence; returns the simulation end time.
+    fn drain_to_quiescence(&mut self) -> f64;
+    fn topo(&self) -> &Graph;
+    fn is_live(&self, v: NodeId) -> bool;
+    fn live_nodes(&self) -> Vec<NodeId>;
+    /// Republish every live node whose control revision moved (modulo
+    /// debounce); returns the number of new epochs.
+    fn republish(&mut self, pubs: &mut [TablePublisher], now: f64) -> u64;
+    /// Resolve each flow's destination address (omniscient resolution:
+    /// the probe reads the destination's current `my_address`, detached
+    /// from the path arena).
+    fn addresses(&mut self, flows: &[(NodeId, NodeId)]) -> Vec<Option<FlowAddress>>;
+    /// Feed the run's recorder with one checkpoint's data-plane telemetry
+    /// (no-op on untraced/sharded legs).
+    fn record_lookups(
+        &mut self,
+        _now: f64,
+        _flows: &[(NodeId, NodeId)],
+        _outcomes: &[WalkOutcome],
+        _lookup_ns: &[u64],
+    ) {
+    }
+    /// Phase marks for the trace timeline (no-op when untraced).
+    fn mark_phase(&mut self, _phase: Phase, _begin: bool, _now: f64) {}
+}
+
+impl<Q, R> DataPlane for Engine<'_, DiscoProtocol, Q, R>
+where
+    Q: EventQueue<<DiscoProtocol as Protocol>::Message>,
+    R: Recorder,
+{
+    fn run_to_t(&mut self, t: f64) {
+        self.run_to(t);
+    }
+
+    fn drain_to_quiescence(&mut self) -> f64 {
+        self.run_until(|_| false);
+        self.now()
+    }
+
+    fn topo(&self) -> &Graph {
+        self.graph()
+    }
+
+    fn is_live(&self, v: NodeId) -> bool {
+        self.is_active(v)
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        self.active_nodes().collect()
+    }
+
+    fn republish(&mut self, pubs: &mut [TablePublisher], now: f64) -> u64 {
+        let mut count = 0;
+        for (v, publisher) in pubs.iter_mut().enumerate() {
+            if !self.is_active(NodeId(v)) {
+                continue;
+            }
+            let node = &self.nodes()[v];
+            if publisher.needs_publish(node.control_revision(), now) {
+                publisher.publish_with(now, |t| node.compile_forwarding_into(t));
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn addresses(&mut self, flows: &[(NodeId, NodeId)]) -> Vec<Option<FlowAddress>> {
+        let nodes = self.nodes();
+        flows
+            .iter()
+            .map(|&(_, t)| {
+                nodes[t.0].my_address().map(|a| FlowAddress {
+                    landmark: a.landmark,
+                    path: a.path.to_vec(),
+                })
+            })
+            .collect()
+    }
+
+    fn record_lookups(
+        &mut self,
+        now: f64,
+        flows: &[(NodeId, NodeId)],
+        outcomes: &[WalkOutcome],
+        lookup_ns: &[u64],
+    ) {
+        if !R::ENABLED {
+            return;
+        }
+        let rec = self.recorder_mut();
+        // A lookup "message" is the probe key: 4 bytes on the wire model.
+        rec.message_sent(
+            now,
+            MessageClass::Lookup,
+            flows.len() as u64,
+            4 * flows.len() as u64,
+        );
+        let mut dropped = 0;
+        for (&(s, t), out) in flows.iter().zip(outcomes) {
+            if out.delivered() {
+                rec.message_delivered(now, MessageClass::Lookup, s.0 as u32, t.0 as u32);
+            } else {
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            rec.message_dropped(now, MessageClass::Lookup, dropped);
+        }
+        for &ns in lookup_ns {
+            rec.event_done(MessageClass::Lookup, ns);
+        }
+    }
+
+    fn mark_phase(&mut self, phase: Phase, begin: bool, now: f64) {
+        if !R::ENABLED {
+            return;
+        }
+        if begin {
+            self.recorder_mut().phase_begin(phase, now);
+        } else {
+            self.recorder_mut().phase_end(phase, now);
+        }
+    }
+}
+
+impl DataPlane for ShardedEngine<DiscoProtocol, NoopRecorder> {
+    fn run_to_t(&mut self, t: f64) {
+        self.run_to(t);
+    }
+
+    fn drain_to_quiescence(&mut self) -> f64 {
+        self.run_until(|_| false);
+        self.now()
+    }
+
+    fn topo(&self) -> &Graph {
+        self.graph()
+    }
+
+    fn is_live(&self, v: NodeId) -> bool {
+        self.is_active(v)
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        self.active_nodes().collect()
+    }
+
+    fn republish(&mut self, pubs: &mut [TablePublisher], now: f64) -> u64 {
+        let mut count = 0;
+        for shard in 0..self.shards() {
+            // Ship each owned node's publish-decision inputs to its shard;
+            // the worker evaluates exactly `TablePublisher::needs_publish`
+            // and compiles only the tables that need a new epoch.
+            let mine: Vec<(usize, Option<u64>, bool)> = (0..pubs.len())
+                .filter(|&v| self.owner_of(NodeId(v)) == shard && self.is_active(NodeId(v)))
+                .map(|v| (v, pubs[v].published_revision(), pubs[v].may_publish_at(now)))
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let rows: Vec<(usize, Option<ForwardingTable>)> = self.visit(shard, move |e| {
+                let nodes = e.nodes();
+                mine.into_iter()
+                    .map(|(v, pub_rev, may)| {
+                        let node = &nodes[v];
+                        let rev = node.control_revision();
+                        let needs = match pub_rev {
+                            None => true,
+                            Some(pr) => pr != rev && may,
+                        };
+                        let table = needs.then(|| {
+                            let mut t = ForwardingTable::new(NodeId(v));
+                            node.compile_forwarding_into(&mut t);
+                            t
+                        });
+                        (v, table)
+                    })
+                    .collect()
+            });
+            for (v, table) in rows {
+                if let Some(table) = table {
+                    pubs[v].publish_with(now, |slot| *slot = table);
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    fn addresses(&mut self, flows: &[(NodeId, NodeId)]) -> Vec<Option<FlowAddress>> {
+        let mut out: Vec<Option<FlowAddress>> = vec![None; flows.len()];
+        for shard in 0..self.shards() {
+            let mine: Vec<(usize, usize)> = flows
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, t))| self.owner_of(t) == shard)
+                .map(|(i, &(_, t))| (i, t.0))
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            // Addresses come back with their label paths detached from
+            // the worker's thread-local arena.
+            type AddrRow = (usize, Option<(NodeId, Vec<NodeId>)>);
+            let rows: Vec<AddrRow> = self.visit(shard, move |e| {
+                let nodes = e.nodes();
+                mine.into_iter()
+                    .map(|(i, t)| {
+                        (
+                            i,
+                            nodes[t].my_address().map(|a| (a.landmark, a.path.to_vec())),
+                        )
+                    })
+                    .collect()
+            });
+            for (i, addr) in rows {
+                out[i] = addr.map(|(landmark, path)| FlowAddress { landmark, path });
+            }
+        }
+        out
+    }
+}
+
+/// Sample one checkpoint's flows: sources uniform over the live nodes;
+/// destinations alternate between a Zipf(1) rank distribution over the
+/// live list and a uniform draw. Deterministic in `(seed, checkpoint)`.
+fn sample_flows(
+    live: &[NodeId],
+    flows: usize,
+    seed: u64,
+    checkpoint: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let mut rng = rng_for(seed, 0xf0, checkpoint);
+    // Harmonic CDF over ranks (rank = position in the live list).
+    let mut cdf = Vec::with_capacity(live.len());
+    let mut acc = 0.0f64;
+    for r in 0..live.len() {
+        acc += 1.0 / (r + 1) as f64;
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..flows)
+        .map(|i| {
+            let s = live[rng.gen_range(0..live.len())];
+            let zipf = i % 2 == 0;
+            let t = loop {
+                let t = if zipf {
+                    let x = rng.gen::<f64>() * total;
+                    let k = cdf.partition_point(|&c| c < x).min(live.len() - 1);
+                    live[k]
+                } else {
+                    live[rng.gen_range(0..live.len())]
+                };
+                if t != s {
+                    break t;
+                }
+            };
+            (s, t)
+        })
+        .collect()
+}
+
+/// Run one checkpoint: republish, sample flows, resolve addresses, walk
+/// every packet through the published epochs (the timed batch), then
+/// classify outcomes against BFS reachability.
+fn checkpoint<D: DataPlane>(
+    plane: &mut D,
+    pubs: &mut [TablePublisher],
+    acc: &mut PhaseAcc,
+    cfg: &ForwardConfig,
+    checkpoint_idx: u64,
+    now: f64,
+) {
+    acc.checkpoints += 1;
+    acc.republishes += plane.republish(pubs, now);
+    let live = plane.live_nodes();
+    if live.len() < 2 {
+        return;
+    }
+    let flows = sample_flows(&live, cfg.flows, cfg.seed, checkpoint_idx);
+    let addrs = plane.addresses(&flows);
+
+    // The timed batch: every table probe of every walk, individually
+    // clocked into the latency histogram.
+    let graph = plane.topo();
+    let mut outcomes = Vec::with_capacity(flows.len());
+    let mut lookup_ns: Vec<u64> = Vec::with_capacity(flows.len() * 3);
+    let walker = PacketWalker {
+        graph,
+        is_active: |v: NodeId| plane.is_live(v),
+        table_of: |v: NodeId| {
+            let p = &pubs[v.0];
+            p.has_published().then(|| p.table())
+        },
+        ttl: TTL,
+    };
+    let t0 = Instant::now();
+    for (&(s, t), addr) in flows.iter().zip(&addrs) {
+        outcomes.push(walker.walk(s, t, addr.as_ref(), |ns| lookup_ns.push(ns)));
+    }
+    acc.lookup_secs += t0.elapsed().as_secs_f64();
+    acc.lookups += lookup_ns.len() as u64;
+    for &ns in &lookup_ns {
+        acc.lat.record(ns);
+    }
+
+    // Classification + stretch, outside the timed window. BFS runs once
+    // per distinct source that needs it (stretch subsample + drops).
+    let mut bfs: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
+    let mut dist_to = |s: NodeId, t: NodeId, plane: &D| {
+        let graph = plane.topo();
+        bfs.entry(s)
+            .or_insert_with(|| hop_distances(graph, |v| plane.is_live(v), s))[t.0]
+    };
+    for (i, (&(s, t), out)) in flows.iter().zip(&outcomes).enumerate() {
+        acc.walks += 1;
+        match out {
+            WalkOutcome::Delivered { hops } => {
+                acc.delivered += 1;
+                acc.hops += u64::from(*hops);
+                if i < STRETCH_SAMPLE {
+                    let d = dist_to(s, t, plane);
+                    if d != u32::MAX && d > 0 {
+                        acc.stretch_hops += u64::from(*hops);
+                        acc.stretch_dist += u64::from(d);
+                    }
+                }
+            }
+            WalkOutcome::StaleLoss { .. } | WalkOutcome::TtlExceeded => {
+                if dist_to(s, t, plane) == u32::MAX {
+                    acc.unreachable += 1;
+                } else {
+                    acc.stale_loss += 1;
+                }
+            }
+            WalkOutcome::Miss { .. } => {
+                if dist_to(s, t, plane) == u32::MAX {
+                    acc.unreachable += 1;
+                } else {
+                    acc.miss += 1;
+                }
+            }
+        }
+    }
+    plane.record_lookups(now, &flows, &outcomes, &lookup_ns);
+}
+
+/// Drive the boot/churn/drain phase schedule over any [`DataPlane`].
+fn drive_phases<D: DataPlane>(
+    plane: &mut D,
+    pubs: &mut [TablePublisher],
+    cfg: &ForwardConfig,
+) -> (PhaseRow, PhaseRow, PhaseRow, f64) {
+    let mut ck = 0u64;
+    let mut boot = PhaseAcc::default();
+    plane.mark_phase(Phase::Boot, true, 0.0);
+    for &t in BOOT_CHECKPOINTS {
+        plane.run_to_t(t);
+        checkpoint(plane, pubs, &mut boot, cfg, ck, t);
+        ck += 1;
+    }
+    plane.mark_phase(Phase::Boot, false, *BOOT_CHECKPOINTS.last().unwrap());
+
+    let mut churn = PhaseAcc::default();
+    plane.mark_phase(Phase::Churn, true, *BOOT_CHECKPOINTS.last().unwrap());
+    for &t in CHURN_CHECKPOINTS {
+        plane.run_to_t(t);
+        checkpoint(plane, pubs, &mut churn, cfg, ck, t);
+        ck += 1;
+    }
+    let churn_end = *CHURN_CHECKPOINTS.last().unwrap();
+    plane.mark_phase(Phase::Churn, false, churn_end);
+
+    plane.mark_phase(Phase::Drain, true, churn_end);
+    let sim_end = plane.drain_to_quiescence();
+    let mut drain = PhaseAcc::default();
+    checkpoint(plane, pubs, &mut drain, cfg, ck, sim_end);
+    plane.mark_phase(Phase::Drain, false, sim_end);
+
+    (
+        boot.into_row("boot"),
+        churn.into_row("churn"),
+        drain.into_row("drain"),
+        sim_end,
+    )
+}
+
+/// Run one `exp_forward` leg. Deterministic in `(n, seed, flows,
+/// debounce)` up to wall-clock columns, including across shard counts.
+pub fn run_one(cfg: &ForwardConfig) -> ForwardResult {
+    let graph = generators::gnm_average_degree(cfg.n, 8.0, cfg.seed);
+    let dcfg = DiscoConfig::seeded(cfg.seed).with_dynamic_n_estimation(cfg.dynamic_n);
+    let landmarks = select_landmarks(cfg.n, &dcfg);
+    let lm_set = landmark_set(&landmarks);
+    let landmark_count = landmarks.len();
+    let model = PoissonChurn {
+        leave_rate_per_node: 0.0002,
+        mean_downtime: 150.0,
+        horizon: 300.0,
+        ..PoissonChurn::default()
+    };
+    let schedule = model.compile(&graph, cfg.seed);
+    let mut pubs: Vec<TablePublisher> = (0..graph.node_count())
+        .map(|v| TablePublisher::new(NodeId(v), cfg.debounce))
+        .collect();
+
+    let n = cfg.n;
+    let factory_cfg = dcfg.clone();
+    let factory = move |v: NodeId| {
+        DiscoProtocol::new(
+            v,
+            lm_set.contains(&v),
+            n,
+            &factory_cfg,
+            PhaseTimers::default(),
+        )
+    };
+
+    let (boot, churn, drain, sim_end) = if cfg.shards > 0 {
+        assert!(cfg.trace.is_none(), "--shards runs untraced");
+        let mut engine = ShardedEngine::new(&graph, cfg.shards, cfg.seed, factory);
+        schedule
+            .apply_to_sharded(&mut engine)
+            .expect("churn re-adds only links of the original graph");
+        let out = drive_phases(&mut engine, &mut pubs, cfg);
+        // Clean worker shutdown (drops shard engines, compacts arenas).
+        engine.finish();
+        out
+    } else if let Some(path) = &cfg.trace {
+        let mut rec = FullRecorder::new();
+        rec.phase_begin(Phase::Build, 0.0);
+        rec.phase_end(Phase::Build, 0.0);
+        let mut engine = Engine::with_recorder(&graph, factory, TimerWheel::new(), rec);
+        schedule.apply_to(&mut engine);
+        let out = drive_phases(&mut engine, &mut pubs, cfg);
+        let end = engine.now();
+        engine.recorder_mut().finish(end);
+        let rec = engine.into_recorder();
+        let json = rec.chrome_trace_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("trace written to {path} ({} bytes)", json.len());
+        out
+    } else {
+        let mut engine = Engine::with_recorder(&graph, factory, TimerWheel::new(), NoopRecorder);
+        schedule.apply_to(&mut engine);
+        drive_phases(&mut engine, &mut pubs, cfg)
+    };
+
+    let (mut table_entries, mut table_bytes, mut hash_fib_bytes) = (0u64, 0u64, 0u64);
+    for p in &pubs {
+        if p.has_published() {
+            let t = p.table();
+            table_entries += t.len() as u64;
+            table_bytes += t.approx_bytes() as u64;
+            hash_fib_bytes += disco_metrics::forward::hash_fib_bytes(t.len(), t.ring_len()) as u64;
+        }
+    }
+
+    ForwardResult {
+        n: cfg.n,
+        shards: cfg.shards,
+        landmarks: landmark_count,
+        flows: cfg.flows,
+        boot,
+        churn,
+        drain,
+        table_entries,
+        table_bytes,
+        hash_fib_bytes,
+        sim_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: usize) -> ForwardConfig {
+        ForwardConfig {
+            n: 96,
+            seed: 5,
+            flows: 48,
+            debounce: 5.0,
+            shards,
+            trace: None,
+            dynamic_n: false,
+        }
+    }
+
+    /// The leg runs, forwards traffic, and loses nothing after the drain.
+    #[test]
+    fn forward_leg_delivers_after_drain() {
+        let r = run_one(&cfg(0));
+        assert_eq!(r.n, 96);
+        assert!(r.landmarks > 0);
+        assert!(r.table_entries > 0 && r.table_bytes > 0);
+        assert!(r.drain.walks > 0);
+        assert!(r.drain.delivered > 0);
+        assert_eq!(
+            r.drain.stale_loss, 0,
+            "stale losses after drain + republish: {:?}",
+            r.drain
+        );
+        assert_eq!(r.drain.miss, 0, "misses after drain: {:?}", r.drain);
+        assert!(r.churn.lookups > 0 && r.churn.lookups_per_sec > 0.0);
+        assert!(r.drain.mean_stretch() >= 1.0);
+        let j = r.to_json();
+        assert!(j.contains("\"lookups_per_sec\""));
+    }
+
+    /// Sharded legs reproduce the sequential leg's deterministic columns
+    /// exactly — same walks, deliveries, stale losses, lookup counts and
+    /// republish decisions at shards {1, 2}.
+    #[test]
+    fn sharded_legs_match_sequential() {
+        let seq = run_one(&cfg(0));
+        for shards in [1, 2] {
+            let sh = run_one(&cfg(shards));
+            for (a, b) in [
+                (&seq.boot, &sh.boot),
+                (&seq.churn, &sh.churn),
+                (&seq.drain, &sh.drain),
+            ] {
+                assert_eq!(
+                    a.deterministic_key(),
+                    b.deterministic_key(),
+                    "phase {} diverged at shards {shards}",
+                    a.phase
+                );
+            }
+            assert_eq!(seq.table_entries, sh.table_entries);
+            assert_eq!(seq.table_bytes, sh.table_bytes);
+            assert_eq!(seq.sim_end, sh.sim_end);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod churn;
 pub mod cli;
+pub mod forward;
 pub mod memory;
 pub mod scale;
 

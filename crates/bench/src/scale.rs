@@ -79,8 +79,16 @@ pub struct ScaleResult {
     /// Peak live path-arena cells during the run (allocation gauge — the
     /// RSS proxy for routing state).
     pub peak_arena_cells: usize,
-    /// Live path-arena cells at the end of the run.
+    /// Live path-arena cells at the end of the run (gauged while the
+    /// engine still holds its routing state).
     pub live_arena_cells: usize,
+    /// Arena capacity cells released by the end-of-run compaction: on a
+    /// sharded leg, the sum of every worker's [`PathArena::shrink`] after
+    /// its engine is dropped in `ShardedEngine::finish` (without which the
+    /// workers would exit still pinning `live ≈ peak` capacity — the
+    /// shards-2/4 leak this column was added to witness); on a sequential
+    /// leg, the main thread's shrink after the engine drops.
+    pub arena_reclaimed_cells: usize,
     /// Topology events applied within the budget.
     pub topology_events: u64,
     /// Worker shards the leg ran on (0 = sequential engine).
@@ -102,6 +110,7 @@ impl ScaleResult {
              \"events\": {}, \"announcements\": {}, \"engine_secs\": {:.3}, \
              \"events_per_sec\": {:.0}, \"announcements_per_sec\": {:.0}, \
              \"peak_arena_cells\": {}, \"live_arena_cells\": {}, \
+             \"arena_reclaimed_cells\": {}, \
              \"topology_events\": {}, \"shards\": {}, \"sim_end\": {:.6} }}",
             self.n,
             self.landmarks,
@@ -113,6 +122,7 @@ impl ScaleResult {
             self.announcements_per_sec,
             self.peak_arena_cells,
             self.live_arena_cells,
+            self.arena_reclaimed_cells,
             self.topology_events,
             self.shards,
             self.sim_end
@@ -221,20 +231,29 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
             peak += st.peak_live_cells;
             live += st.live_cells;
         }
+        let events = engine.events_processed();
+        let announcements = engine.messages_delivered();
+        let topology_events = engine.topology_events();
+        let sim_end = engine.now();
+        // Shut the workers down properly: each drops its engine and
+        // compacts its thread-local arena, so the run does not exit with
+        // `live ≈ peak` capacity pinned per worker.
+        let summary = engine.finish();
         return ScaleResult {
             n: cfg.n,
             landmarks: landmarks_built,
             build_secs,
-            events: engine.events_processed(),
-            announcements: engine.messages_delivered(),
+            events,
+            announcements,
             engine_secs,
-            events_per_sec: engine.events_processed() as f64 / engine_secs.max(1e-9),
-            announcements_per_sec: engine.messages_delivered() as f64 / engine_secs.max(1e-9),
+            events_per_sec: events as f64 / engine_secs.max(1e-9),
+            announcements_per_sec: announcements as f64 / engine_secs.max(1e-9),
             peak_arena_cells: peak,
             live_arena_cells: live,
-            topology_events: engine.topology_events(),
+            arena_reclaimed_cells: summary.arena_reclaimed_cells,
+            topology_events,
             shards: cfg.shards,
-            sim_end: engine.now(),
+            sim_end,
         };
     }
 
@@ -269,6 +288,7 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
         drive(&mut engine, cfg.announcement_budget)
     };
     let arena = PathArena::stats();
+    let arena_reclaimed_cells = PathArena::shrink();
 
     ScaleResult {
         n: cfg.n,
@@ -281,6 +301,7 @@ pub fn run_one(cfg: &ScaleConfig) -> ScaleResult {
         announcements_per_sec: announcements as f64 / engine_secs.max(1e-9),
         peak_arena_cells: arena.peak_live_cells,
         live_arena_cells: arena.live_cells,
+        arena_reclaimed_cells,
         topology_events,
         shards: 0,
         sim_end,
@@ -359,5 +380,15 @@ mod tests {
         assert_eq!(a.topology_events, b.topology_events);
         assert_eq!(a.sim_end, b.sim_end);
         assert!(a.announcements >= 40_000);
+        // The workers' end-of-run compaction released the churn peak: the
+        // run's live cells were freed by the engine drop, and shrink gave
+        // the capacity back instead of leaving `live ≈ peak` pinned.
+        assert!(
+            a.arena_reclaimed_cells >= a.live_arena_cells / 2,
+            "worker arenas not compacted: reclaimed {} of {} live",
+            a.arena_reclaimed_cells,
+            a.live_arena_cells
+        );
+        assert!(b.arena_reclaimed_cells >= b.live_arena_cells / 2);
     }
 }

@@ -21,6 +21,7 @@
 //! | §4.2 addresses / explicit routes / labels | [`address`], [`label`] |
 //! | §4.2 routing + shortcutting heuristics | [`routing`], [`shortcut`] |
 //! | §4.3 name resolution over landmarks | [`resolution`] |
+//! | data plane: compiled flat tables, epoch publish | [`forward`] |
 //! | §4.4 sloppy groups | [`sloppy_group`] |
 //! | §4.4 dissemination overlay (Symphony-style) | [`overlay`], [`dissemination`] |
 //! | §4.5 guarantees | exercised by tests & `tests/guarantees.rs` |
@@ -58,6 +59,7 @@ pub mod address;
 pub mod config;
 pub mod dissemination;
 pub mod estimate_n;
+pub mod forward;
 pub mod hash;
 pub mod label;
 pub mod landmark;
@@ -78,6 +80,7 @@ pub mod wire;
 pub mod prelude {
     pub use crate::address::Address;
     pub use crate::config::DiscoConfig;
+    pub use crate::forward::{FlatRoute, ForwardingTable, TablePublisher};
     pub use crate::hash::{NameHash, NameHasher};
     pub use crate::label::ExplicitRoute;
     pub use crate::name::FlatName;

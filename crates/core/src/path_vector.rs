@@ -366,6 +366,13 @@ impl PathVectorNode {
         self.rib.stats()
     }
 
+    /// Visit every destination this node currently serves a selected route
+    /// for (the RIB's selection column, in interning order) — the
+    /// forwarding-table compile sweep of [`crate::forward`].
+    pub fn for_each_selected(&self, f: impl FnMut(NodeId, SelectedRoute<'_>)) {
+        self.rib.for_each_selected(f)
+    }
+
     /// Approximate heap bytes of this node's Loc-RIB *view*: the
     /// selection columns in the [`RibStore`] plus the ordered
     /// `locals`/`waiting`/`lm_best` mirrors (≈12 B keys in B-tree nodes

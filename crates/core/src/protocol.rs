@@ -36,11 +36,12 @@
 
 use crate::config::DiscoConfig;
 use crate::estimate_n::Synopsis;
+use crate::forward::ForwardingTable;
 use crate::hash::{NameHash, NameHasher};
 use crate::landmark::LandmarkStatus;
 use crate::name::FlatName;
 use crate::path_vector::{Announcement, PathVectorNode, TableLimit};
-use disco_graph::{FxHashMap, FxHashSet, InternedPath, NodeId};
+use disco_graph::{FxHashMap, FxHashSet, InternedPath, NodeId, Weight};
 use disco_sim::context::Action;
 use disco_sim::rng::rng_for;
 use disco_sim::{Context, Protocol};
@@ -489,6 +490,41 @@ impl DiscoProtocol {
             }
         }
         best.map(|(_, lm)| lm)
+    }
+
+    /// Compile this node's data plane into `out` (see [`crate::forward`]):
+    /// the RIB's selection column flattened into the sorted key/next-hop
+    /// arrays, the landmark ring at this node's hash positions, and the
+    /// landmark-fallback entry (next hop toward the closest landmark,
+    /// [`DiscoProtocol::my_address`]'s tie rule). Read-only over the RIB —
+    /// the control plane cannot observe that a compile happened — and
+    /// stamped with [`PathVectorNode::selection_revision`] so
+    /// [`crate::forward::TablePublisher`] republishes exactly when
+    /// selections actually moved.
+    pub fn compile_forwarding_into(&self, out: &mut ForwardingTable) {
+        out.begin(self.pv.id(), self.pv.selection_revision());
+        self.pv.for_each_selected(|dest, sel| {
+            // Hop count of the selected path = the label this entry
+            // resolves to (path nodes minus the node itself).
+            out.push_route(dest, sel.next_hop, sel.path.len().saturating_sub(1));
+        });
+        let mut fallback: Option<(Weight, NodeId, NodeId)> = None;
+        for (&lm, entry) in self.pv.landmark_entries() {
+            out.push_landmark(self.hasher.hash_u64(lm.0 as u64).value(), lm);
+            let better = match fallback {
+                Some((bd, blm, _)) => (entry.dist, lm) < (bd, blm),
+                None => true,
+            };
+            if better {
+                fallback = Some((entry.dist, lm, entry.next_hop));
+            }
+        }
+        if !self.pv.is_landmark() {
+            if let Some((_, lm, hop)) = fallback {
+                out.set_fallback(lm, hop);
+            }
+        }
+        out.seal();
     }
 
     /// Full path from this node to `target` using learned routes: a table

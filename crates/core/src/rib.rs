@@ -589,6 +589,31 @@ impl RibStore {
         })
     }
 
+    /// Visit every destination with a selected route, in interning order —
+    /// the forwarding-table compile sweep. The visited view is the cached
+    /// selection column (see the module docs on load-bearing staleness),
+    /// which is exactly the contract a compiled data plane wants: the
+    /// routes this node is currently *serving*, not the candidates a
+    /// repair in flight may be about to select.
+    pub fn for_each_selected(&self, mut f: impl FnMut(NodeId, SelectedRoute<'_>)) {
+        for i in 0..self.dests.len() {
+            let nbr = self.sel_nbr[i];
+            if nbr == ABSENT {
+                continue;
+            }
+            f(
+                NodeId(self.dests[i] as usize),
+                SelectedRoute {
+                    next_hop: NodeId(nbr as usize),
+                    dist: self.sel_dist[i],
+                    dest_landmark_dist: self.sel_lm_dist[i],
+                    dest_is_landmark: self.sel_flag[i],
+                    path: self.sel_path[i].as_ref().expect("selection holds a path"),
+                },
+            );
+        }
+    }
+
     /// The selected route's `(distance, landmark flag)` for `d` — the two
     /// fields the owner's ordered mirrors key on.
     #[inline]

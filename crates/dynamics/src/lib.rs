@@ -40,6 +40,7 @@
 //! assert!(report.availability() > 0.9);
 //! ```
 
+pub mod forward;
 pub mod models;
 pub mod probe;
 pub mod schedule;

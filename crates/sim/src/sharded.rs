@@ -49,7 +49,7 @@ use crate::event::{SimTime, TimerWheel, TopologyEvent};
 use crate::rng::splitmix64;
 use crate::stats::MessageStats;
 use crate::Protocol;
-use disco_graph::{EdgeId, Graph, NodeId, Weight};
+use disco_graph::{EdgeId, Graph, NodeId, PathArena, Weight};
 use disco_telemetry::{MergeRecorder, NoopRecorder, Recorder};
 use scoped_threadpool::plumbing::WorkerHandle;
 use std::fmt;
@@ -233,6 +233,7 @@ struct FinishReport<R> {
     recorder: R,
     queue_live: usize,
     queue_dead: usize,
+    arena_reclaimed_cells: usize,
 }
 
 enum Reply<W, R> {
@@ -277,6 +278,12 @@ pub struct ShardedRunSummary<R> {
     pub queue_live: usize,
     /// Dead (cancelled) queue residue left across all shards.
     pub queue_dead: usize,
+    /// Path-arena capacity cells released across all shards by the
+    /// end-of-run [`PathArena::shrink`] (each worker drops its engine —
+    /// freeing that shard's routing state — then compacts its
+    /// thread-local arena; without this, a sharded run's workers would
+    /// exit still pinning `live ≈ peak` arena capacity).
+    pub arena_reclaimed_cells: usize,
 }
 
 /// Deterministic parallel simulation coordinator: the sharded counterpart
@@ -767,6 +774,7 @@ impl<P: ShardProtocol + 'static, R: Recorder + Send + 'static> ShardedEngine<P, 
         let mut stats = MessageStats::new(self.graph.node_count());
         let mut recorder: Option<R> = None;
         let (mut queue_live, mut queue_dead) = (0, 0);
+        let mut arena_reclaimed_cells = 0;
         for rx in &self.replies {
             let Ok(Reply::Finished(fin)) = rx.recv() else {
                 panic!("shard worker hung up before finishing");
@@ -775,6 +783,7 @@ impl<P: ShardProtocol + 'static, R: Recorder + Send + 'static> ShardedEngine<P, 
             stats.absorb(&fin.stats);
             queue_live += fin.queue_live;
             queue_dead += fin.queue_dead;
+            arena_reclaimed_cells += fin.arena_reclaimed_cells;
             match &mut recorder {
                 None => recorder = Some(fin.recorder),
                 Some(r) => r.absorb(fin.recorder),
@@ -787,6 +796,7 @@ impl<P: ShardProtocol + 'static, R: Recorder + Send + 'static> ShardedEngine<P, 
             recorder: recorder.expect("at least one shard"),
             queue_live,
             queue_dead,
+            arena_reclaimed_cells,
         }
     }
 }
@@ -853,11 +863,18 @@ fn worker_loop<P, R>(
                 let (queue_live, queue_dead) = engine.queue_stats();
                 let stats = engine.stats().clone();
                 let recorder = engine.into_recorder();
+                // `into_recorder` consumed the engine and dropped this
+                // shard's nodes — their interned paths are dead now, so
+                // compact the worker's thread-local arena before the
+                // thread parks (otherwise the run exits with
+                // `live ≈ peak` capacity still pinned per worker).
+                let arena_reclaimed_cells = PathArena::shrink();
                 let _ = replies.send(Reply::Finished(Box::new(FinishReport {
                     stats,
                     recorder,
                     queue_live,
                     queue_dead,
+                    arena_reclaimed_cells,
                 })));
                 return;
             }

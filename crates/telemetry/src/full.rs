@@ -141,6 +141,20 @@ impl FullRecorder {
         }
         plot(self.end_time, &self.registry.delivered_by_class());
 
+        // Data-plane track: cumulative delivered lookups on their own
+        // counter (the served-traffic SLO line `exp_forward` feeds),
+        // separate from the control-plane class plot above.
+        let lk = MessageClass::Lookup.index();
+        let mut plot_lookups = |t: f64, delivered: u64| {
+            if delivered > 0 {
+                tr.counter("delivered lookups", us(t), &[("lookup", delivered)]);
+            }
+        };
+        for (t, sample) in &self.samples {
+            plot_lookups(*t, sample[lk]);
+        }
+        plot_lookups(self.end_time, self.registry.delivered_by_class()[lk]);
+
         // Summary block next to traceEvents: per-class totals, the wall
         // latency histogram buckets, and the repair distribution.
         let mut summary = String::from("{\"classes\":{");

@@ -36,11 +36,15 @@ pub enum MessageClass {
     Timer = 6,
     /// Topology mutation (churn, link failure/recovery).
     Topology = 7,
+    /// Data-plane forwarding-table lookup (served traffic, not a control
+    /// message — fed by the `exp_forward` traffic generator, never by the
+    /// engine itself).
+    Lookup = 8,
 }
 
 impl MessageClass {
     /// Number of classes (array-registry size).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every class, in index order.
     pub const ALL: [MessageClass; Self::COUNT] = [
@@ -52,6 +56,7 @@ impl MessageClass {
         MessageClass::Gossip,
         MessageClass::Timer,
         MessageClass::Topology,
+        MessageClass::Lookup,
     ];
 
     /// Registry index of this class.
@@ -71,6 +76,7 @@ impl MessageClass {
             MessageClass::Gossip => "gossip",
             MessageClass::Timer => "timer",
             MessageClass::Topology => "topology",
+            MessageClass::Lookup => "lookup",
         }
     }
 

@@ -79,12 +79,19 @@ impl ClassRegistry {
         out
     }
 
-    /// Total messages delivered across the message classes (excludes
-    /// timers and topology events).
+    /// Total messages delivered across the *control* message classes
+    /// (excludes timers, topology events and data-plane lookups — budget
+    /// stops must count the same protocol work whether or not a traffic
+    /// generator is feeding the recorder).
     pub fn messages_delivered(&self) -> u64 {
         MessageClass::ALL
             .iter()
-            .filter(|c| !matches!(c, MessageClass::Timer | MessageClass::Topology))
+            .filter(|c| {
+                !matches!(
+                    c,
+                    MessageClass::Timer | MessageClass::Topology | MessageClass::Lookup
+                )
+            })
             .map(|c| self.stats[c.index()].delivered)
             .sum()
     }
